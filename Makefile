@@ -1,0 +1,45 @@
+# mcpaging build targets. Everything is stdlib Go; no external tools are
+# required beyond the Go toolchain.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench soak experiments cover smoke clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short mode skips the soak tests.
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+	@test -z "$$(gofmt -l .)" || (echo "gofmt needed" && exit 1)
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem .
+
+soak:
+	$(GO) test -run Soak -v .
+
+# Full-size reproduction of every paper claim (EXPERIMENTS.md tables).
+experiments:
+	$(GO) run ./cmd/mcexp -parallel 8
+
+smoke:
+	./scripts/smoke.sh
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

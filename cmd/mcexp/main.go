@@ -1,0 +1,88 @@
+// Command mcexp runs the experiment suite that reproduces the paper's
+// results (see DESIGN.md §4 and EXPERIMENTS.md). Each experiment
+// instantiates a lemma/theorem's construction and reports a table whose
+// shape must match the claim.
+//
+// Usage:
+//
+//	mcexp                 # run everything at full size
+//	mcexp -exp E7         # one experiment
+//	mcexp -quick          # reduced sizes (seconds instead of minutes)
+//	mcexp -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpaging/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "run a single experiment (e.g. E7); empty = all")
+		quick    = flag.Bool("quick", false, "reduced workload sizes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel = flag.Int("parallel", 0, "run experiments concurrently on this many workers (0 = serial)")
+		format   = flag.String("format", "text", "output format: text or md (markdown)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *exp == "" {
+		if *format == "md" {
+			for _, id := range experiments.IDs() {
+				r, err := experiments.Get(id)
+				if err != nil {
+					fatal(err)
+				}
+				res, err := r(cfg)
+				if err != nil {
+					fatal(err)
+				}
+				if err := res.RenderMarkdown(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
+		var err error
+		if *parallel > 0 {
+			err = experiments.RunAllParallel(cfg, os.Stdout, *parallel)
+		} else {
+			err = experiments.RunAll(cfg, os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	r, err := experiments.Get(*exp)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := r(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	render := res.Render
+	if *format == "md" {
+		render = res.RenderMarkdown
+	}
+	if err := render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcexp:", err)
+	os.Exit(1)
+}

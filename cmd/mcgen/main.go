@@ -1,0 +1,92 @@
+// Command mcgen generates synthetic multicore paging traces.
+//
+// Usage:
+//
+//	mcgen -kind zipf -cores 4 -length 10000 -pages 64 -seed 1 -o trace.txt
+//	mcgen -kind lemma4 -cores 2 -k 4 -length 1000 -o adversarial.txt
+//
+// Kinds: uniform, zipf, loop, phased, markov (synthetic families), plus
+// the adversarial constructions lemma1, lemma2, lemma4, theorem1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpaging/internal/adversary"
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/trace"
+	"mcpaging/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "zipf", "workload kind: uniform|zipf|loop|phased|markov|lemma1|lemma2|lemma4|theorem1")
+		cores    = flag.Int("cores", 4, "number of cores (p)")
+		length   = flag.Int("length", 10000, "per-core sequence length")
+		pages    = flag.Int("pages", 64, "distinct private pages per core")
+		seed     = flag.Int64("seed", 1, "random seed")
+		shared   = flag.Float64("shared", 0, "fraction of requests drawn from a shared pool")
+		k        = flag.Int("k", 16, "cache size (adversarial kinds only)")
+		tau      = flag.Int("tau", 1, "fetch delay (theorem1 only)")
+		x        = flag.Int("x", 100, "distinct-period repetitions (theorem1 only)")
+		out      = flag.String("o", "-", "output file ('-' = stdout)")
+		binFmt   = flag.Bool("binary", false, "write the compact binary format instead of text")
+		phases   = flag.Int("phases", 8, "phases (phased only)")
+		wset     = flag.Int("wset", 0, "working-set size per phase (phased only; 0 = pages/4)")
+		zipfS    = flag.Float64("zipf-s", 1.2, "zipf exponent (zipf only)")
+		jumpProb = flag.Float64("jump", 0.05, "jump probability (markov only)")
+	)
+	flag.Parse()
+
+	rs, err := build(*kind, *cores, *length, *pages, *seed, *shared, *k, *tau, *x, *phases, *wset, *zipfS, *jumpProb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcgen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	writeFn := trace.Write
+	if *binFmt {
+		writeFn = trace.WriteBinary
+	}
+	if err := writeFn(w, rs); err != nil {
+		fmt.Fprintln(os.Stderr, "mcgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "mcgen: %d cores, %d requests, %d distinct pages, disjoint=%v\n",
+		rs.NumCores(), rs.TotalLen(), len(rs.Universe()), rs.Disjoint())
+}
+
+func build(kind string, cores, length, pages int, seed int64, shared float64,
+	k, tau, x, phases, wset int, zipfS, jump float64) (core.RequestSet, error) {
+	switch kind {
+	case "uniform", "zipf", "loop", "phased", "markov":
+		return workload.Generate(workload.Spec{
+			Cores: cores, Length: length, Pages: pages, Kind: workload.Kind(kind),
+			Seed: seed, SharedFrac: shared, Phases: phases, WorkingSet: wset,
+			ZipfS: zipfS, JumpProb: jump,
+		})
+	case "lemma1":
+		sizes := policy.EvenSizes(k, cores)
+		return adversary.Lemma1(sizes, length)
+	case "lemma2":
+		sizes := policy.EvenSizes(k, cores)
+		return adversary.Lemma2(sizes, length)
+	case "lemma4":
+		return adversary.Lemma4(cores, k, length)
+	case "theorem1":
+		return adversary.Theorem1Round(cores, k, tau, x)
+	}
+	return nil, fmt.Errorf("unknown kind %q", kind)
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildSyntheticKinds(t *testing.T) {
+	for _, kind := range []string{"uniform", "zipf", "loop", "phased", "markov"} {
+		rs, err := build(kind, 3, 100, 16, 1, 0, 16, 1, 10, 8, 4, 1.2, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if rs.NumCores() != 3 || rs.TotalLen() != 300 {
+			t.Fatalf("%s: wrong shape", kind)
+		}
+	}
+}
+
+func TestBuildAdversarialKinds(t *testing.T) {
+	cases := []struct {
+		kind  string
+		cores int
+		k     int
+	}{
+		{"lemma1", 4, 16},
+		{"lemma2", 4, 8},
+		{"lemma4", 2, 4},
+		{"theorem1", 2, 4},
+	}
+	for _, c := range cases {
+		rs, err := build(c.kind, c.cores, 100, 16, 1, 0, c.k, 1, 10, 8, 4, 1.2, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", c.kind, err)
+		}
+		if rs.NumCores() != c.cores {
+			t.Fatalf("%s: %d cores", c.kind, rs.NumCores())
+		}
+		if !rs.Disjoint() {
+			t.Fatalf("%s: not disjoint", c.kind)
+		}
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := build("bogus", 2, 10, 4, 1, 0, 4, 1, 10, 8, 4, 1.2, 0.05); err == nil {
+		t.Fatal("unknown kind should fail")
+	}
+}

@@ -1,0 +1,104 @@
+// Command mcopt runs the paper's offline dynamic programs on a trace:
+// Algorithm 1 (minimum total faults, Theorem 6) and Algorithm 2 (the
+// PARTIAL-INDIVIDUAL-FAULTS decision, Theorem 7). Both are exponential
+// in p and K — keep the instances small.
+//
+// Usage:
+//
+//	mcopt -trace tiny.txt -k 3 -tau 1                      # FTF optimum
+//	mcopt -trace tiny.txt -k 3 -tau 1 -pif -t 20 -b 4,5    # PIF decision
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/trace"
+
+	"mcpaging/internal/cache"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace (required)")
+		k         = flag.Int("k", 3, "cache size K")
+		tau       = flag.Int("tau", 1, "fetch delay τ")
+		pif       = flag.Bool("pif", false, "decide PARTIAL-INDIVIDUAL-FAULTS instead of FTF")
+		tFlag     = flag.Int64("t", 0, "PIF checkpoint time")
+		bFlag     = flag.String("b", "", "PIF per-core fault bounds, comma separated")
+		forcing   = flag.Bool("forcing", false, "FTF: allow voluntary evictions (Theorem 4 says this cannot help)")
+		maxStates = flag.Int("max-states", 0, "abort beyond this many DP states (0 = default)")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "mcopt: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	rs, err := trace.ReadAuto(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	in := core.Instance{R: rs, P: core.Params{K: *k, Tau: *tau}}
+	opts := offline.Options{AllowForcing: *forcing, MaxStates: *maxStates}
+
+	if *pif {
+		bounds, err := parseBounds(*bFlag, rs.NumCores())
+		if err != nil {
+			fatal(err)
+		}
+		ans, st, err := offline.DecidePIF(offline.PIFInstance{Inst: in, T: *tFlag, Bounds: bounds}, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("PIF(T=%d, b=%v): %v  (states=%d, pairs=%d)\n", *tFlag, bounds, ans, st.States, st.Pairs)
+		return
+	}
+
+	sol, err := offline.SolveFTF(in, opts)
+	if err != nil {
+		fatal(err)
+	}
+	online, err := sim.Run(in, policy.NewShared(func() cache.Policy { return cache.NewLRU() }), nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("OPT total faults: %d  (states=%d)\n", sol.Faults, sol.States)
+	fmt.Printf("S(LRU) faults:    %d  (ratio %.3f)\n", online.TotalFaults(),
+		float64(online.TotalFaults())/float64(sol.Faults))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcopt:", err)
+	os.Exit(1)
+}
+
+func parseBounds(s string, p int) ([]int64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-b is required with -pif")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != p {
+		return nil, fmt.Errorf("got %d bounds for %d cores", len(parts), p)
+	}
+	out := make([]int64, p)
+	for i, t := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad bound %q", t)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

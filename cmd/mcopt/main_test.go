@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseBounds(t *testing.T) {
+	got, err := parseBounds("3, 4,5", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestParseBoundsErrors(t *testing.T) {
+	cases := []struct {
+		s string
+		p int
+	}{
+		{"", 2},
+		{"1,2", 3},
+		{"1,x", 2},
+	}
+	for _, c := range cases {
+		if _, err := parseBounds(c.s, c.p); err == nil {
+			t.Errorf("parseBounds(%q, %d) should fail", c.s, c.p)
+		}
+	}
+}

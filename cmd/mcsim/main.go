@@ -1,0 +1,118 @@
+// Command mcsim replays a trace against a cache-management strategy
+// under the multicore paging model and reports per-core and aggregate
+// statistics.
+//
+// Usage:
+//
+//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'S(LRU)'
+//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'sP[even](LRU)'
+//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'sP[opt](LRU)'
+//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'dP(LRU)'
+//	mcsim -trace trace.txt -k 16 -tau 4 -all
+//
+// Strategy syntax: S(<policy>) shared; sP[even](<policy>) evenly
+// partitioned; sP[opt](<policy>) offline-optimal static partition
+// (LRU or FITF curves); dP(LRU) the Lemma 3 dynamic partition;
+// dP[fair](LRU) the fairness-oriented FairShare partition.
+// Policies: LRU FIFO CLOCK LFU MRU MARK RMARK RAND FITF ARC SLRU LRU2
+// TINYLFU.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/metrics"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/strategyspec"
+	"mcpaging/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace (required)")
+		k         = flag.Int("k", 16, "shared cache size K")
+		tau       = flag.Int("tau", 4, "fetch delay τ")
+		strat     = flag.String("strategy", "S(LRU)", "strategy spec (see doc comment)")
+		all       = flag.Bool("all", false, "run a standard portfolio of strategies")
+		seed      = flag.Int64("seed", 1, "seed for RAND policies")
+		perCore   = flag.Bool("per-core", false, "print per-core breakdown")
+		events    = flag.String("events", "", "write a CSV of every service event to this file (single-strategy runs)")
+		addrShift = flag.Int("addr-shift", -1, "treat the input as a raw address trace ('<core> <addr>' lines) with this page shift (e.g. 12); -1 = normal trace format")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "mcsim: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	var rs core.RequestSet
+	if *addrShift >= 0 {
+		rs, err = trace.ReadAddressTrace(f, uint(*addrShift))
+	} else {
+		rs, err = trace.ReadAuto(f)
+	}
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	in := core.Instance{R: rs, P: core.Params{K: *k, Tau: *tau}}
+
+	specs := []string{*strat}
+	if *all {
+		specs = strategyspec.Portfolio()
+	}
+	tbl := metrics.NewTable(
+		fmt.Sprintf("trace=%s p=%d n=%d K=%d τ=%d", *tracePath, rs.NumCores(), rs.TotalLen(), *k, *tau),
+		"strategy", "faults", "fault_rate", "jain", "makespan")
+	for _, spec := range specs {
+		st, err := strategyspec.Build(spec, rs, *k, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		var obs sim.Observer
+		var evFile *os.File
+		if *events != "" && len(specs) == 1 {
+			evFile, err = os.Create(*events)
+			if err != nil {
+				fatal(err)
+			}
+			w := bufio.NewWriter(evFile)
+			defer func() { w.Flush(); evFile.Close() }()
+			fmt.Fprintln(w, "time,core,index,page,fault,join,victim")
+			obs = func(e sim.Event) {
+				fmt.Fprintf(w, "%d,%d,%d,%d,%v,%v,%d\n",
+					e.Time, e.Core, e.Index, e.Page, e.Fault, e.Join, e.Victim)
+			}
+		}
+		res, err := sim.Run(in, st, obs)
+		if err != nil {
+			fatal(err)
+		}
+		tbl.AddRow(st.Name(), res.TotalFaults(),
+			float64(res.TotalFaults())/float64(rs.TotalLen()),
+			metrics.JainIndex(res.Faults), res.Makespan)
+		if *perCore {
+			sub := metrics.NewTable("  per-core ("+st.Name()+")", "core", "faults", "hits", "finish", "slowdown")
+			slow := metrics.Slowdowns(rs, res)
+			for j := range rs {
+				sub.AddRow(j, res.Faults[j], res.Hits[j], res.Finish[j], slow[j])
+			}
+			defer sub.Render(os.Stdout)
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCurveSamples(t *testing.T) {
+	if got := curveSamples(32); !reflect.DeepEqual(got, []int{1, 8, 16, 32}) {
+		t.Fatalf("got %v", got)
+	}
+	if got := curveSamples(2); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("k=2: got %v", got)
+	}
+	if got := curveSamples(1); !reflect.DeepEqual(got, []int{1}) {
+		t.Fatalf("k=1: got %v", got)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if rate(5, 10) != 0.5 {
+		t.Fatal("rate wrong")
+	}
+	if rate(5, 0) != 0 {
+		t.Fatal("zero-length rate should be 0")
+	}
+}

@@ -1,0 +1,114 @@
+// Command mcsweep runs a strategy × K × τ grid over a trace in parallel
+// and prints the results as an aligned table or CSV.
+//
+// Usage:
+//
+//	mcsweep -trace trace.txt -k 8,16,32 -tau 0,2,8 \
+//	        -strategies 'S(LRU),sP[even](LRU),dP[ucp](LRU)' -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mcpaging/internal/metrics"
+	"mcpaging/internal/sweep"
+	"mcpaging/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace (required)")
+		kList     = flag.String("k", "16", "comma-separated cache sizes")
+		tauList   = flag.String("tau", "0,4", "comma-separated fetch delays")
+		specList  = flag.String("strategies", "S(LRU),sP[even](LRU),dP(LRU)", "comma-separated strategy specs")
+		seed      = flag.Int64("seed", 1, "seed for RAND policies")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		heatmap   = flag.String("heatmap", "", "render a K×τ heatmap for this strategy spec instead of the flat table")
+		metric    = flag.String("metric", "faults", "heatmap metric: faults|rate|jain|makespan")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "mcsweep: -trace is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	rs, err := trace.ReadAuto(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	ks, err := parseInts(*kList)
+	if err != nil {
+		fatal(err)
+	}
+	taus, err := parseInts(*tauList)
+	if err != nil {
+		fatal(err)
+	}
+	grid := sweep.Grid{
+		R:       rs,
+		Ks:      ks,
+		Taus:    taus,
+		Specs:   splitNonEmpty(*specList),
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	pts, err := sweep.Run(grid)
+	if err != nil {
+		fatal(err)
+	}
+	title := fmt.Sprintf("sweep over %s (p=%d, n=%d)", *tracePath, rs.NumCores(), rs.TotalLen())
+	var tbl *metrics.Table
+	if *heatmap != "" {
+		tbl, err = sweep.Heatmap(title, *heatmap, *metric, pts)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tbl = sweep.Table(title, pts)
+	}
+	if *csv {
+		err = tbl.CSV(os.Stdout)
+	} else {
+		err = tbl.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcsweep:", err)
+	os.Exit(1)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, t := range splitNonEmpty(s) {
+		v, err := strconv.Atoi(t)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", t)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, t := range strings.Split(s, ",") {
+		t = strings.TrimSpace(t)
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

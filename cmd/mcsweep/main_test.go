@@ -1,0 +1,29 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 8, 16 ,32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{8, 16, 32}) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := parseInts("8,x"); err == nil {
+		t.Fatal("bad integer should fail")
+	}
+}
+
+func TestSplitNonEmpty(t *testing.T) {
+	got := splitNonEmpty("a, ,b,,c ")
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("got %v", got)
+	}
+	if splitNonEmpty("") != nil {
+		t.Fatal("empty input should yield nil")
+	}
+}

@@ -1,0 +1,170 @@
+package mcpaging_test
+
+import (
+	"fmt"
+
+	"mcpaging"
+)
+
+// The examples below are compiled and run by `go test`; their Output
+// comments are assertions.
+
+func ExampleSimulate() {
+	// Two cores, disjoint working sets, K=3, τ=1.
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{
+			{1, 2, 1, 2}, // core 0 alternates two pages
+			{9, 9, 9},    // core 1 re-reads one page
+		},
+		P: mcpaging.Params{K: 3, Tau: 1},
+	}
+	res, err := mcpaging.Simulate(inst, mcpaging.SharedLRU())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("faults:", res.TotalFaults())
+	fmt.Println("hits:", res.TotalHits())
+	fmt.Println("makespan:", res.Makespan)
+	// Output:
+	// faults: 3
+	// hits: 4
+	// makespan: 6
+}
+
+func ExampleOptimalStaticLRU() {
+	// Core 0 loops over 3 pages, core 1 over 1 page: the optimal split
+	// of 4 cells is 3+1.
+	rs := mcpaging.RequestSet{
+		{0, 1, 2, 0, 1, 2, 0, 1, 2},
+		{100, 100, 100, 100},
+	}
+	part, err := mcpaging.OptimalStaticLRU(rs, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sizes:", part.Sizes)
+	fmt.Println("predicted faults:", part.Faults)
+	// Output:
+	// sizes: [3 1]
+	// predicted faults: 4
+}
+
+func ExampleMinTotalFaults() {
+	// The offline optimum (Algorithm 1) on a miniature Lemma 4 instance:
+	// two cores each cycling 3 pages through a 4-cell cache.
+	rs, err := mcpaging.AdversaryLemma4(2, 4, 9)
+	if err != nil {
+		panic(err)
+	}
+	inst := mcpaging.Instance{R: rs, P: mcpaging.Params{K: 4, Tau: 1}}
+	sol, err := mcpaging.MinTotalFaults(inst, mcpaging.OfflineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	online, err := mcpaging.Simulate(inst, mcpaging.SharedLRU())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("offline optimum:", sol.Faults)
+	fmt.Println("online shared LRU:", online.TotalFaults())
+	// Output:
+	// offline optimum: 10
+	// online shared LRU: 18
+}
+
+func ExampleDecidePIF() {
+	// Can both cores stay within 3 faults by time 12?
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{
+			{0, 1, 0, 1, 0, 1},
+			{100, 101, 102, 100},
+		},
+		P: mcpaging.Params{K: 4, Tau: 1},
+	}
+	yes, _, err := mcpaging.DecidePIF(mcpaging.PIFInstance{
+		Inst: inst, T: 12, Bounds: []int64{3, 3},
+	}, mcpaging.OfflineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", yes)
+	// Output:
+	// feasible: true
+}
+
+func ExampleGenerateWorkload() {
+	rs, err := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+		Cores: 2, Length: 4, Pages: 8,
+		Kind: mcpaging.WorkloadLoop, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cores:", rs.NumCores())
+	fmt.Println("total requests:", rs.TotalLen())
+	fmt.Println("disjoint:", rs.Disjoint())
+	// Output:
+	// cores: 2
+	// total requests: 8
+	// disjoint: true
+}
+
+func ExampleHassidimGreedyLRU() {
+	// The never-delay schedule in Hassidim's model coincides exactly
+	// with the paper model's shared LRU.
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{{1, 2, 1}, {9, 9}},
+		P: mcpaging.Params{K: 3, Tau: 1},
+	}
+	g, err := mcpaging.HassidimGreedyLRU(inst)
+	if err != nil {
+		panic(err)
+	}
+	s, err := mcpaging.Simulate(inst, mcpaging.SharedLRU())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("greedy faults:", g.TotalFaults(), "makespan:", g.Makespan)
+	fmt.Println("same as simulator:", g.TotalFaults() == s.TotalFaults() && g.Makespan == s.Makespan)
+	// Output:
+	// greedy faults: 3 makespan: 5
+	// same as simulator: true
+}
+
+func ExampleMultiAppLRU() {
+	// At τ=0 the paper's model is multiapplication caching over the
+	// round-robin interleaving.
+	rs := mcpaging.RequestSet{{1, 2, 1}, {8, 9, 8}}
+	reqs := mcpaging.MultiAppInterleave(rs)
+	ma, err := mcpaging.MultiAppLRU(reqs, 2, 3)
+	if err != nil {
+		panic(err)
+	}
+	s, err := mcpaging.Simulate(mcpaging.Instance{R: rs, P: mcpaging.Params{K: 3, Tau: 0}},
+		mcpaging.SharedLRU())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("interleaving faults:", ma.TotalFaults())
+	fmt.Println("simulator faults:", s.TotalFaults())
+	// Output:
+	// interleaving faults: 6
+	// simulator faults: 6
+}
+
+func ExampleFaultBudgetFrontier() {
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{
+			{0, 1, 2, 0, 1, 2, 0, 1},
+			{100, 101, 102, 100, 101, 102, 100, 101},
+		},
+		P: mcpaging.Params{K: 4, Tau: 1},
+	}
+	frontier, err := mcpaging.FaultBudgetFrontier(inst, 16, mcpaging.OfflineOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(frontier)
+	// Output:
+	// [[3 7] [4 6] [5 5] [6 4] [7 3]]
+}

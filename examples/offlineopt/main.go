@@ -1,0 +1,59 @@
+// Offlineopt: run the paper's offline dynamic programs (Algorithms 1
+// and 2) on a small instance, compare the optimum against online
+// strategies, and demonstrate the model's signature effect — the offline
+// algorithm wins by re-aligning the sequences through its eviction
+// choices, something no online strategy can plan for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcpaging"
+)
+
+func main() {
+	// Two cores cycling through 3 private pages each with K=4: the
+	// miniature of Lemma 4. Shared LRU faults on everything; the offline
+	// optimum parks one core.
+	rs, err := mcpaging.AdversaryLemma4(2, 4, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := mcpaging.Instance{R: rs, P: mcpaging.Params{K: 4, Tau: 1}}
+
+	sol, err := mcpaging.MinTotalFaults(inst, mcpaging.OfflineOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance: p=%d, n=%d, K=%d, tau=%d\n", rs.NumCores(), rs.TotalLen(), inst.P.K, inst.P.Tau)
+	fmt.Printf("Algorithm 1 offline optimum: %d faults (%d DP states)\n\n", sol.Faults, sol.States)
+
+	for _, s := range []mcpaging.Strategy{
+		mcpaging.SharedLRU(),
+		mcpaging.SharedFITF(),
+		mcpaging.SacrificeStrategy(1),
+	} {
+		res, err := mcpaging.Simulate(inst, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s faults=%3d  ratio-to-OPT=%.2f\n",
+			s.Name(), res.TotalFaults(), float64(res.TotalFaults())/float64(sol.Faults))
+	}
+
+	// Algorithm 2: fairness bounds. Can both cores stay under 8 faults
+	// by time 30? Under 6?
+	fmt.Println("\nAlgorithm 2 (PARTIAL-INDIVIDUAL-FAULTS):")
+	for _, b := range []int64{8, 6, 4} {
+		yes, st, err := mcpaging.DecidePIF(mcpaging.PIFInstance{
+			Inst: inst, T: 30, Bounds: []int64{b, b},
+		}, mcpaging.OfflineOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  both cores ≤ %d faults by t=30?  %-5v (states=%d)\n", b, yes, st.States)
+	}
+	fmt.Println("\nNote: FITF is not optimal here — eviction choices change future")
+	fmt.Println("alignment, and only the DP (or the sacrifice schedule) exploits it.")
+}

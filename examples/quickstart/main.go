@@ -1,0 +1,65 @@
+// Quickstart: generate a multicore workload, serve it with a shared LRU
+// cache and with partitioned caches, and compare fault counts, fairness
+// and makespan — the minimal end-to-end use of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mcpaging"
+)
+
+func main() {
+	// Four cores with heterogeneous private workloads (different working
+	// set sizes), a 32-page shared cache, and a fetch delay of 4 time
+	// units per fault.
+	var rs mcpaging.RequestSet
+	for j, pages := range []int{12, 24, 48, 96} {
+		one, err := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+			Cores: 1, Length: 20000, Pages: pages,
+			Kind: mcpaging.WorkloadZipf, Seed: int64(42 + j),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		seq := one[0]
+		base := mcpaging.PageID(j * 1 << 16) // private namespace per core
+		for i := range seq {
+			seq[i] += base
+		}
+		rs = append(rs, seq)
+	}
+	inst := mcpaging.Instance{R: rs, P: mcpaging.Params{K: 32, Tau: 4}}
+
+	strategies := []mcpaging.Strategy{
+		mcpaging.SharedLRU(),
+		mcpaging.DynamicLRUPartition(),
+	}
+	if s, err := mcpaging.StaticPartition(mcpaging.EvenPartition(32, 4), "LRU", 0); err == nil {
+		strategies = append(strategies, s)
+	}
+	// The offline-optimal static partition, computed from per-core miss
+	// curves (Mattson stack distances + dynamic programming).
+	part, err := mcpaging.OptimalStaticLRU(rs, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if s, err := mcpaging.StaticPartition(part.Sizes, "LRU", 0); err == nil {
+		strategies = append(strategies, s)
+	}
+
+	fmt.Printf("workload: p=%d, n=%d requests, K=%d, tau=%d\n",
+		rs.NumCores(), rs.TotalLen(), inst.P.K, inst.P.Tau)
+	fmt.Printf("optimal static partition: %v (predicted faults %d)\n\n", part.Sizes, part.Faults)
+	fmt.Printf("%-24s %8s %10s %10s\n", "strategy", "faults", "rate", "makespan")
+	for _, s := range strategies {
+		res, err := mcpaging.Simulate(inst, s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %8d %9.2f%% %10d\n", s.Name(), res.TotalFaults(),
+			100*float64(res.TotalFaults())/float64(rs.TotalLen()), res.Makespan)
+	}
+	fmt.Println("\nNote: the dynamic partition matches shared LRU exactly (Lemma 3).")
+}

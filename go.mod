@@ -1,0 +1,3 @@
+module mcpaging
+
+go 1.22

@@ -1,0 +1,72 @@
+package mcpaging
+
+import (
+	"mcpaging/internal/adversary"
+	"mcpaging/internal/core"
+	"mcpaging/internal/npc"
+)
+
+// NP-hardness gadgets (Section 5.1 of the paper).
+type (
+	// PartitionInstance is a 3-PARTITION (Arity 3) or 4-PARTITION
+	// (Arity 4) instance.
+	PartitionInstance = npc.PartitionInstance
+	// Reduction is a PIF instance built from a partition instance by
+	// the Theorem 2 / Theorem 3 construction.
+	Reduction = npc.Reduction
+)
+
+// ReducePartitionToPIF builds the Theorem 2 (arity 3) or Theorem 3
+// (arity 4) reduction with fetch delay τ: the resulting PIF instance is
+// feasible exactly when the partition instance is solvable.
+func ReducePartitionToPIF(pi PartitionInstance, tau int) (Reduction, error) {
+	return npc.Reduce(pi, tau)
+}
+
+// VerifyReductionSchedule runs the proof's constructive schedule for a
+// known partition solution and reports whether every sequence meets its
+// fault bound at the checkpoint, along with the observed per-core fault
+// counts.
+func VerifyReductionSchedule(red Reduction, groups [][]int) (bool, []int64, error) {
+	return npc.VerifySchedule(red, groups)
+}
+
+// Adversarial constructions (Section 4 lower bounds). Each returns a
+// disjoint request set realizing the corresponding statement's bound;
+// see package documentation for the parameter conventions.
+
+// AdversaryLemma1 builds the Lemma 1 sequence: per-part LRU loses a
+// factor max_j k_j against per-part OPT under the fixed static partition
+// sizes.
+func AdversaryLemma1(sizes []int, perCore int) (RequestSet, error) {
+	return adversary.Lemma1(sizes, perCore)
+}
+
+// AdversaryLemma2 builds the Lemma 2 sequence: any online static
+// partition loses Ω(n) against the offline-optimal static partition.
+func AdversaryLemma2(sizes []int, perCore int) (RequestSet, error) {
+	return adversary.Lemma2(sizes, perCore)
+}
+
+// AdversaryTheorem1 builds the Theorem 1(1) round-robin sequence on
+// which shared LRU beats every static partition by Ω(n). Requires p | K.
+func AdversaryTheorem1(p, k, tau, x int) (RequestSet, error) {
+	return adversary.Theorem1Round(p, k, tau, x)
+}
+
+// AdversaryLemma4 builds the Lemma 4 cyclic sequence on which shared LRU
+// loses Ω(p(τ+1)) to the offline sacrifice strategy. Requires p | K.
+func AdversaryLemma4(p, k, perCore int) (RequestSet, error) {
+	return adversary.Lemma4(p, k, perCore)
+}
+
+// SacrificeStrategy returns the Lemma 4 offline strategy that parks one
+// core's sequence to protect the others' working sets.
+func SacrificeStrategy(victimCore int) Strategy {
+	return adversary.NewSacrifice(victimCore)
+}
+
+// Interleave flattens a request set into one round-robin reference
+// string (the multiapplication-caching view in which all algorithms see
+// the same order).
+func Interleave(r RequestSet) Sequence { return core.Concat(r) }

@@ -1,0 +1,321 @@
+// Package adversary builds the worst-case request sets used in the
+// paper's lower-bound proofs (Lemmas 1, 2, 4 and Theorem 1), plus the
+// scripted offline strategies those proofs play against. Each
+// constructor documents which statement it instantiates; the experiments
+// in EXPERIMENTS.md sweep their parameters to reproduce the claimed
+// growth rates.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// pageBase spaces the page namespaces of different cores so every
+// construction is disjoint.
+const pageBase = 1 << 16
+
+// page returns the i-th private page of core j.
+func page(j, i int) core.PageID { return core.PageID(j*pageBase + i) }
+
+// Repeat returns a sequence requesting core j's page 0 n times.
+func Repeat(j, n int) core.Sequence {
+	s := make(core.Sequence, n)
+	for i := range s {
+		s[i] = page(j, 0)
+	}
+	return s
+}
+
+// Cycle returns a sequence of length n cycling through w distinct pages
+// of core j: σ1 σ2 … σw σ1 σ2 …  — the classic LRU worst case when the
+// available cache is smaller than w.
+func Cycle(j, w, n int) core.Sequence {
+	s := make(core.Sequence, n)
+	for i := range s {
+		s[i] = page(j, i%w)
+	}
+	return s
+}
+
+// Lemma1 builds the lower-bound request set of Lemma 1 for per-part LRU
+// under a fixed static partition B = sizes: the core with the largest
+// part cycles through k_max+1 pages (faulting on every request under
+// LRU), while every other core re-requests a single page. perCore is the
+// per-core sequence length (the paper's n/p).
+func Lemma1(sizes []int, perCore int) (core.RequestSet, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("adversary: empty partition")
+	}
+	jstar := 0
+	for j, k := range sizes {
+		if k > sizes[jstar] {
+			jstar = j
+		}
+	}
+	rs := make(core.RequestSet, len(sizes))
+	for j := range rs {
+		if j == jstar {
+			rs[j] = Cycle(j, sizes[j]+1, perCore)
+		} else {
+			rs[j] = Repeat(j, perCore)
+		}
+	}
+	return rs, nil
+}
+
+// Lemma1Jstar returns the index of the cycling core in Lemma1's
+// construction for the given partition.
+func Lemma1Jstar(sizes []int) int {
+	jstar := 0
+	for j, k := range sizes {
+		if k > sizes[jstar] {
+			jstar = j
+		}
+	}
+	return jstar
+}
+
+// Lemma2 builds the request set of Lemma 2, on which any online static
+// partition B loses Ω(n) against the best offline static partition: the
+// k* cores with the largest parts (except j*) cycle through k_j+1 pages
+// — one more than their part — while j*, the smallest part of size ≥ 2,
+// wastes its cells on a single repeated page. An offline partition moves
+// j*'s spare cells to the thrashing cores and faults only K times.
+func Lemma2(sizes []int, perCore int) (core.RequestSet, error) {
+	p := len(sizes)
+	if p < 2 {
+		return nil, fmt.Errorf("adversary: Lemma2 needs p >= 2")
+	}
+	jstar := -1
+	for j, k := range sizes {
+		if k >= 2 && (jstar == -1 || k < sizes[jstar]) {
+			jstar = j
+		}
+	}
+	if jstar == -1 {
+		return nil, fmt.Errorf("adversary: Lemma2 needs some part of size >= 2")
+	}
+	kstar := sizes[jstar]
+	// P: the first k* cores in decreasing order of part size.
+	order := make([]int, p)
+	for j := range order {
+		order[j] = j
+	}
+	// Stable selection sort by decreasing size (p is small).
+	for a := 0; a < p; a++ {
+		best := a
+		for b := a + 1; b < p; b++ {
+			if sizes[order[b]] > sizes[order[best]] {
+				best = b
+			}
+		}
+		order[a], order[best] = order[best], order[a]
+	}
+	inP := make(map[int]bool, kstar)
+	for a := 0; a < kstar && a < p; a++ {
+		inP[order[a]] = true
+	}
+	rs := make(core.RequestSet, p)
+	for j := range rs {
+		switch {
+		case j == jstar:
+			rs[j] = Repeat(j, perCore)
+		case inP[j]:
+			rs[j] = Cycle(j, sizes[j]+1, perCore)
+		default:
+			rs[j] = Cycle(j, sizes[j], perCore)
+		}
+	}
+	return rs, nil
+}
+
+// Theorem1Round builds the round-robin construction of Theorem 1(1): the
+// cores take turns being "in the distinct period" — cycling x times
+// through K/p+1 distinct pages — while every other core re-requests a
+// single page. Shared LRU pays only the K/p+1 compulsory faults per
+// turn; any static partition must starve some core and faults Θ(x) in
+// its distinct period. Requires p | K.
+func Theorem1Round(p, k, tau, x int) (core.RequestSet, error) {
+	if p < 1 || k%p != 0 {
+		return nil, fmt.Errorf("adversary: Theorem1Round needs p | K (p=%d, K=%d)", p, k)
+	}
+	m := k/p + 1 // distinct pages per turn
+	rs := make(core.RequestSet, p)
+	for j := 1; j <= p; j++ {
+		var s core.Sequence
+		pre := (j - 1) * m * (tau + x)
+		post := (p - j) * m * (tau + x)
+		for i := 0; i < pre; i++ {
+			s = append(s, page(j-1, 0))
+		}
+		for r := 0; r < x; r++ {
+			for i := 0; i < m; i++ {
+				s = append(s, page(j-1, i))
+			}
+		}
+		for i := 0; i < post; i++ {
+			s = append(s, page(j-1, 0))
+		}
+		rs[j-1] = s
+	}
+	return rs, nil
+}
+
+// Lemma4 builds the construction under which shared LRU loses a factor
+// Ω(p(τ+1)) to an offline strategy: every core cycles through K/p+1
+// distinct pages, so LRU faults on every request, while the offline
+// strategy sacrifices the last core's pages to fit everyone else.
+// Requires p | K. perCore is the paper's n/p.
+func Lemma4(p, k, perCore int) (core.RequestSet, error) {
+	if p < 1 || k%p != 0 {
+		return nil, fmt.Errorf("adversary: Lemma4 needs p | K (p=%d, K=%d)", p, k)
+	}
+	rs := make(core.RequestSet, p)
+	for j := 0; j < p; j++ {
+		rs[j] = Cycle(j, k/p+1, perCore)
+	}
+	return rs, nil
+}
+
+// Sacrifice is the scripted offline strategy from the proof of Lemma 4:
+// it designates one victim core and, once the cache is full, serves every
+// other core's fault by evicting a page of the victim core — choosing the
+// victim core's page whose next request is soonest, so the victim core
+// keeps faulting while everyone else's working set settles into the
+// cache. Faults by the victim core itself also evict its own
+// soonest-needed page. If the victim core has no evictable page, the
+// globally furthest-in-the-future page is evicted instead.
+type Sacrifice struct {
+	// VictimCore designates the sacrificed sequence (the proof uses the
+	// last core).
+	VictimCore int
+
+	inst     core.Instance
+	owner    map[core.PageID]int
+	occ      map[core.PageID][]int
+	ptr      map[core.PageID]int
+	served   []int
+	resident map[core.PageID]bool
+}
+
+// NewSacrifice returns the Lemma 4 offline strategy sacrificing core j.
+func NewSacrifice(j int) *Sacrifice { return &Sacrifice{VictimCore: j} }
+
+// Name implements sim.Strategy.
+func (s *Sacrifice) Name() string { return fmt.Sprintf("SOFF(sacrifice=%d)", s.VictimCore) }
+
+// Init implements sim.Strategy.
+func (s *Sacrifice) Init(inst core.Instance) error {
+	if !inst.R.Disjoint() {
+		return sim.ErrNotDisjoint
+	}
+	if s.VictimCore < 0 || s.VictimCore >= inst.R.NumCores() {
+		return fmt.Errorf("adversary: victim core %d out of range", s.VictimCore)
+	}
+	s.inst = inst
+	s.owner = inst.R.Owner()
+	s.occ = make(map[core.PageID][]int)
+	for _, seq := range inst.R {
+		for i, pg := range seq {
+			s.occ[pg] = append(s.occ[pg], i)
+		}
+	}
+	s.ptr = make(map[core.PageID]int, len(s.occ))
+	s.served = make([]int, inst.R.NumCores())
+	s.resident = make(map[core.PageID]bool)
+	return nil
+}
+
+// nextUse returns the remaining distance (in the owner's own sequence)
+// to the next occurrence of pg at or after the owner's current position.
+// The per-page pointer only moves forward, so the amortised cost is O(1).
+func (s *Sacrifice) nextUse(pg core.PageID) int64 {
+	c := s.owner[pg]
+	list := s.occ[pg]
+	i := s.ptr[pg]
+	for i < len(list) && list[i] < s.served[c] {
+		i++
+	}
+	s.ptr[pg] = i
+	if i == len(list) {
+		return math.MaxInt64
+	}
+	return int64(list[i] - s.served[c])
+}
+
+// OnHit implements sim.Strategy.
+func (s *Sacrifice) OnHit(_ core.PageID, at cache.Access) { s.served[at.Core]++ }
+
+// OnJoin implements sim.Strategy.
+func (s *Sacrifice) OnJoin(_ core.PageID, at cache.Access) { s.served[at.Core]++ }
+
+// othersActive reports whether any core other than the victim core still
+// has unserved requests.
+func (s *Sacrifice) othersActive() bool {
+	for c, seq := range s.inst.R {
+		if c != s.VictimCore && s.served[c] < len(seq) {
+			return true
+		}
+	}
+	return false
+}
+
+// OnFault implements sim.Strategy.
+func (s *Sacrifice) OnFault(pg core.PageID, at cache.Access, v sim.View) core.PageID {
+	s.served[at.Core]++
+	if v.Free() > 0 {
+		s.resident[pg] = true
+		return core.NoPage
+	}
+	victim := core.NoPage
+	if s.othersActive() {
+		// Sacrifice phase: evict the victim core's soonest-needed page,
+		// keeping everyone else's working set intact.
+		var bestNU int64 = math.MaxInt64
+		for q := range s.resident {
+			if q == pg || !v.Resident(q) || s.owner[q] != s.VictimCore {
+				continue
+			}
+			if nu := s.nextUse(q); victim == core.NoPage || nu < bestNU || (nu == bestNU && q < victim) {
+				victim, bestNU = q, nu
+			}
+		}
+	}
+	if victim == core.NoPage {
+		// Recovery phase (or no sacrificeable page): evict the globally
+		// furthest-in-the-future page; pages of finished sequences are
+		// never requested again and go first.
+		var bestNU int64 = -1
+		for q := range s.resident {
+			if q == pg || !v.Resident(q) {
+				continue
+			}
+			if nu := s.nextUse(q); nu > bestNU || (nu == bestNU && (victim == core.NoPage || q < victim)) {
+				victim, bestNU = q, nu
+			}
+		}
+	}
+	if victim != core.NoPage {
+		delete(s.resident, victim)
+	}
+	s.resident[pg] = true
+	return victim
+}
+
+// SharedLRU is a convenience constructor for the S_LRU baseline used in
+// every adversarial experiment.
+func SharedLRU() sim.Strategy {
+	return policy.NewShared(func() cache.Policy { return cache.NewLRU() })
+}
+
+// SharedFITF is a convenience constructor for the S_FITF strategy used by
+// experiment E8.
+func SharedFITF() sim.Strategy {
+	return policy.NewShared(func() cache.Policy { return cache.NewFITF() })
+}

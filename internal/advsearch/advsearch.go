@@ -1,0 +1,177 @@
+// Package advsearch synthesises adversarial instances automatically:
+// randomized hill climbing over tiny request sets, maximizing a
+// strategy's fault count relative to the exact offline optimum. It is
+// the computational counterpart of the paper's hand-built lower-bound
+// constructions (Lemmas 1–4): instead of proving a bad input exists, it
+// finds one.
+//
+// Because every candidate is scored with the exact DP (exponential in p
+// and K), searches are restricted to the same tiny-instance regime the
+// offline solvers live in.
+package advsearch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/stats"
+)
+
+// Config describes a search.
+type Config struct {
+	// Build constructs a fresh instance of the strategy under attack.
+	Build func() sim.Strategy
+	// P, K, Tau fix the model parameters.
+	P, K, Tau int
+	// MaxLen caps each core's sequence length (default 6).
+	MaxLen int
+	// PagesPerCore caps each core's private page alphabet (default 3).
+	PagesPerCore int
+	// Iters is the number of hill-climbing steps per restart (default
+	// 300).
+	Iters int
+	// Restarts is the number of random restarts (default 4).
+	Restarts int
+	// Seed drives the search.
+	Seed int64
+}
+
+func (c *Config) defaults() error {
+	if c.Build == nil {
+		return fmt.Errorf("advsearch: Build is required")
+	}
+	if c.P < 1 || c.K < c.P {
+		return fmt.Errorf("advsearch: need 1 <= p <= K (p=%d, K=%d)", c.P, c.K)
+	}
+	if c.Tau < 0 {
+		return fmt.Errorf("advsearch: negative tau")
+	}
+	if c.MaxLen <= 0 {
+		c.MaxLen = 6
+	}
+	if c.PagesPerCore <= 0 {
+		c.PagesPerCore = 3
+	}
+	if c.Iters <= 0 {
+		c.Iters = 300
+	}
+	if c.Restarts <= 0 {
+		c.Restarts = 4
+	}
+	return nil
+}
+
+// Found is the best instance a search produced.
+type Found struct {
+	R      core.RequestSet
+	Online int64
+	Opt    int64
+	Ratio  float64
+	// Evals counts DP evaluations spent.
+	Evals int
+}
+
+// Search runs randomized hill climbing and returns the best instance
+// found. Deterministic given the config.
+func Search(cfg Config) (Found, error) {
+	if err := cfg.defaults(); err != nil {
+		return Found{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	best := Found{Ratio: -1}
+
+	eval := func(rs core.RequestSet) (Found, bool) {
+		in := core.Instance{R: rs, P: core.Params{K: cfg.K, Tau: cfg.Tau}}
+		opt, err := offline.SolveFTFSeq(in, offline.Options{MaxStates: 300000})
+		if err != nil || opt.Faults == 0 {
+			return Found{}, false
+		}
+		res, err := sim.Run(in, cfg.Build(), nil)
+		if err != nil {
+			return Found{}, false
+		}
+		return Found{
+			R:      rs,
+			Online: res.TotalFaults(),
+			Opt:    opt.Faults,
+			Ratio:  stats.Ratio(res.TotalFaults(), opt.Faults),
+		}, true
+	}
+
+	evals := 0
+	for restart := 0; restart < cfg.Restarts; restart++ {
+		cur := randomInstance(rng, cfg)
+		curF, ok := eval(cur)
+		evals++
+		if !ok {
+			continue
+		}
+		for iter := 0; iter < cfg.Iters; iter++ {
+			cand := mutate(rng, cfg, cur)
+			candF, ok := eval(cand)
+			evals++
+			if !ok {
+				continue
+			}
+			// Accept improvements; break ratio ties toward more online
+			// faults (sharper witnesses).
+			if candF.Ratio > curF.Ratio ||
+				(candF.Ratio == curF.Ratio && candF.Online > curF.Online) {
+				cur, curF = cand, candF
+			}
+		}
+		if curF.Ratio > best.Ratio {
+			best = curF
+		}
+	}
+	if best.Ratio < 0 {
+		return Found{}, fmt.Errorf("advsearch: no evaluable instance found")
+	}
+	best.Evals = evals
+	return best, nil
+}
+
+// randomInstance draws a fresh disjoint instance.
+func randomInstance(rng *rand.Rand, cfg Config) core.RequestSet {
+	rs := make(core.RequestSet, cfg.P)
+	for j := range rs {
+		n := 1 + rng.Intn(cfg.MaxLen)
+		s := make(core.Sequence, n)
+		for i := range s {
+			s[i] = core.PageID(100*j + rng.Intn(cfg.PagesPerCore))
+		}
+		rs[j] = s
+	}
+	return rs
+}
+
+// mutate applies one random edit: repaint a request, append a request,
+// or drop a request.
+func mutate(rng *rand.Rand, cfg Config, rs core.RequestSet) core.RequestSet {
+	out := rs.Clone()
+	j := rng.Intn(len(out))
+	switch op := rng.Intn(3); {
+	case op == 0 || len(out[j]) == 0: // repaint (or forced append on empty)
+		if len(out[j]) == 0 {
+			out[j] = append(out[j], core.PageID(100*j+rng.Intn(cfg.PagesPerCore)))
+			break
+		}
+		i := rng.Intn(len(out[j]))
+		out[j][i] = core.PageID(100*j + rng.Intn(cfg.PagesPerCore))
+	case op == 1 && len(out[j]) < cfg.MaxLen: // append
+		i := rng.Intn(len(out[j]) + 1)
+		pg := core.PageID(100*j + rng.Intn(cfg.PagesPerCore))
+		out[j] = append(out[j], 0)
+		copy(out[j][i+1:], out[j][i:])
+		out[j][i] = pg
+	default: // drop
+		if len(out[j]) > 1 {
+			i := rng.Intn(len(out[j]))
+			out[j] = append(out[j][:i], out[j][i+1:]...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package advsearch_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/advsearch"
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func lruBuilder() sim.Strategy {
+	return policy.NewShared(func() cache.Policy { return cache.NewLRU() })
+}
+
+func TestSearchFindsBadLRUInstance(t *testing.T) {
+	found, err := advsearch.Search(advsearch.Config{
+		Build: lruBuilder,
+		P:     2, K: 3, Tau: 2,
+		Seed: 1, Iters: 150, Restarts: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Ratio < 1.4 {
+		t.Fatalf("search found only ratio %.2f (online %d vs opt %d on %v)",
+			found.Ratio, found.Online, found.Opt, found.R)
+	}
+	// The witness must be reproducible: re-evaluating it gives the same
+	// numbers.
+	in := core.Instance{R: found.R, P: core.Params{K: 3, Tau: 2}}
+	res, err := sim.Run(in, lruBuilder(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := offline.SolveFTFSeq(in, offline.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults() != found.Online || opt.Faults != found.Opt {
+		t.Fatalf("witness not reproducible: %d/%d vs recorded %d/%d",
+			res.TotalFaults(), opt.Faults, found.Online, found.Opt)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	cfg := advsearch.Config{
+		Build: lruBuilder,
+		P:     2, K: 3, Tau: 1,
+		Seed: 7, Iters: 60, Restarts: 2,
+	}
+	a, err := advsearch.Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := advsearch.Search(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio != b.Ratio || a.Online != b.Online || a.Opt != b.Opt {
+		t.Fatal("search not deterministic for a fixed seed")
+	}
+}
+
+func TestSearchRatioGrowsWithTau(t *testing.T) {
+	// The found ratio should not shrink when τ grows (Lemma 4's
+	// direction), at least between the extremes.
+	at := func(tau int) float64 {
+		f, err := advsearch.Search(advsearch.Config{
+			Build: lruBuilder,
+			P:     2, K: 3, Tau: tau,
+			Seed: 5, Iters: 120, Restarts: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Ratio
+	}
+	if r0, r4 := at(0), at(4); r4 <= r0 {
+		t.Fatalf("found ratio should grow with τ: τ=0 → %.2f, τ=4 → %.2f", r0, r4)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := advsearch.Search(advsearch.Config{}); err == nil {
+		t.Fatal("missing Build should fail")
+	}
+	if _, err := advsearch.Search(advsearch.Config{Build: lruBuilder, P: 3, K: 2}); err == nil {
+		t.Fatal("K < p should fail")
+	}
+}

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcpaging/internal/core"
+)
+
+// benchPolicy drives a policy through a zipf-ish access pattern with a
+// fixed domain capacity, measuring combined insert/touch/evict
+// throughput.
+func benchPolicy(b *testing.B, name string) {
+	mk, err := NewFactory(name, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const capacity = 256
+	rng := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(rng, 1.2, 1, 4095)
+	accesses := make([]core.PageID, 1<<16)
+	for i := range accesses {
+		accesses[i] = core.PageID(zipf.Uint64())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := mk()
+		if ca, ok := p.(CapacityAware); ok {
+			ca.SetCapacity(capacity)
+		}
+		if ou, ok := p.(OracleUser); ok {
+			ou.SetOracle(mapOracle{})
+		}
+		for step, pg := range accesses {
+			if p.Contains(pg) {
+				p.Touch(pg, Access{Time: int64(step)})
+				continue
+			}
+			if p.Len() >= capacity {
+				if ie, ok := p.(IncomingEvictor); ok {
+					ie.EvictFor(pg, nil)
+				} else if _, ok := p.Evict(nil); !ok {
+					b.Fatal("evict failed")
+				}
+			}
+			p.Insert(pg, Access{Time: int64(step)})
+		}
+	}
+	b.ReportMetric(float64(len(accesses)*b.N)/b.Elapsed().Seconds(), "acc/s")
+}
+
+func BenchmarkPolicyLRU(b *testing.B)     { benchPolicy(b, "LRU") }
+func BenchmarkPolicyFIFO(b *testing.B)    { benchPolicy(b, "FIFO") }
+func BenchmarkPolicyCLOCK(b *testing.B)   { benchPolicy(b, "CLOCK") }
+func BenchmarkPolicyLFU(b *testing.B)     { benchPolicy(b, "LFU") }
+func BenchmarkPolicyMARK(b *testing.B)    { benchPolicy(b, "MARK") }
+func BenchmarkPolicyRMARK(b *testing.B)   { benchPolicy(b, "RMARK") }
+func BenchmarkPolicyRAND(b *testing.B)    { benchPolicy(b, "RAND") }
+func BenchmarkPolicyARC(b *testing.B)     { benchPolicy(b, "ARC") }
+func BenchmarkPolicySLRU(b *testing.B)    { benchPolicy(b, "SLRU") }
+func BenchmarkPolicyLRU2(b *testing.B)    { benchPolicy(b, "LRU2") }
+func BenchmarkPolicyTinyLFU(b *testing.B) { benchPolicy(b, "TINYLFU") }

@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"mcpaging/internal/core"
+)
+
+// FITF (Furthest-In-The-Future) is the offline eviction rule: evict the
+// page whose next request is furthest in the future according to the
+// attached Oracle, breaking ties by smallest page ID.
+//
+// In sequential paging FITF (Belady's algorithm) is optimal. One of the
+// paper's observations (remark after Lemma 4) is that in the multicore
+// model shared FITF is *not* optimal once τ > K/p, because eviction
+// choices change the future alignment of the sequences; experiment E8
+// demonstrates this with the Lemma 4 construction.
+//
+// Per-part FITF on a disjoint request set *is* optimal for that part,
+// because a core's own requests are never reordered relative to each
+// other; this is the sP_OPT per-part eviction rule used by Lemma 1's
+// baseline.
+type FITF struct {
+	pages  map[core.PageID]struct{}
+	oracle Oracle
+}
+
+// NewFITF returns an empty FITF policy. An Oracle must be attached via
+// SetOracle before the first eviction.
+func NewFITF() *FITF { return &FITF{pages: make(map[core.PageID]struct{})} }
+
+// Name implements Policy.
+func (f *FITF) Name() string { return "FITF" }
+
+// SetOracle implements OracleUser.
+func (f *FITF) SetOracle(o Oracle) { f.oracle = o }
+
+// Insert implements Policy.
+func (f *FITF) Insert(p core.PageID, _ Access) {
+	if _, ok := f.pages[p]; ok {
+		panic("cache: duplicate insert of page in FITF domain")
+	}
+	f.pages[p] = struct{}{}
+}
+
+// Touch implements Policy. FITF keeps no recency state.
+func (f *FITF) Touch(core.PageID, Access) {}
+
+// Evict implements Policy.
+func (f *FITF) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
+	if f.oracle == nil {
+		panic("cache: FITF policy used without an oracle")
+	}
+	best := core.NoPage
+	var bestNext int64 = -1
+	for p := range f.pages {
+		if evictable != nil && !evictable(p) {
+			continue
+		}
+		next := f.oracle.NextUse(p)
+		if next > bestNext || (next == bestNext && (best == core.NoPage || p < best)) {
+			best, bestNext = p, next
+		}
+	}
+	if best == core.NoPage {
+		return core.NoPage, false
+	}
+	delete(f.pages, best)
+	return best, true
+}
+
+// Remove implements Policy.
+func (f *FITF) Remove(p core.PageID) bool {
+	if _, ok := f.pages[p]; !ok {
+		return false
+	}
+	delete(f.pages, p)
+	return true
+}
+
+// Contains implements Policy.
+func (f *FITF) Contains(p core.PageID) bool {
+	_, ok := f.pages[p]
+	return ok
+}
+
+// Len implements Policy.
+func (f *FITF) Len() int { return len(f.pages) }
+
+// Reset implements Policy. The oracle attachment is preserved.
+func (f *FITF) Reset() { f.pages = make(map[core.PageID]struct{}) }

@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"container/list"
+
+	"mcpaging/internal/core"
+)
+
+// recencyList is the shared machinery of the recency-ordered policies
+// (LRU, MRU, FIFO): a doubly linked list from least to most recently
+// used/inserted plus a page → element index.
+type recencyList struct {
+	ll  *list.List // front = least recent
+	pos map[core.PageID]*list.Element
+}
+
+func newRecencyList() recencyList {
+	return recencyList{ll: list.New(), pos: make(map[core.PageID]*list.Element)}
+}
+
+func (r *recencyList) insert(p core.PageID) {
+	if _, ok := r.pos[p]; ok {
+		panic("cache: duplicate insert of page in replacement domain")
+	}
+	r.pos[p] = r.ll.PushBack(p)
+}
+
+func (r *recencyList) moveToBack(p core.PageID) {
+	if e, ok := r.pos[p]; ok {
+		r.ll.MoveToBack(e)
+	}
+}
+
+func (r *recencyList) remove(p core.PageID) bool {
+	e, ok := r.pos[p]
+	if !ok {
+		return false
+	}
+	r.ll.Remove(e)
+	delete(r.pos, p)
+	return true
+}
+
+func (r *recencyList) contains(p core.PageID) bool {
+	_, ok := r.pos[p]
+	return ok
+}
+
+func (r *recencyList) len() int { return r.ll.Len() }
+
+func (r *recencyList) reset() {
+	r.ll.Init()
+	r.pos = make(map[core.PageID]*list.Element)
+}
+
+// evictFront removes and returns the first evictable page scanning from
+// the front of the list.
+func (r *recencyList) evictFront(evictable func(core.PageID) bool) (core.PageID, bool) {
+	for e := r.ll.Front(); e != nil; e = e.Next() {
+		p := e.Value.(core.PageID)
+		if evictable == nil || evictable(p) {
+			r.ll.Remove(e)
+			delete(r.pos, p)
+			return p, true
+		}
+	}
+	return core.NoPage, false
+}
+
+// evictBack removes and returns the first evictable page scanning from
+// the back of the list.
+func (r *recencyList) evictBack(evictable func(core.PageID) bool) (core.PageID, bool) {
+	for e := r.ll.Back(); e != nil; e = e.Prev() {
+		p := e.Value.(core.PageID)
+		if evictable == nil || evictable(p) {
+			r.ll.Remove(e)
+			delete(r.pos, p)
+			return p, true
+		}
+	}
+	return core.NoPage, false
+}
+
+// LRU evicts the least recently used page of its domain. With a shared
+// domain this is the paper's S_LRU eviction rule; with one domain per
+// part it is the per-part rule of sP_LRU and dP_LRU.
+type LRU struct{ r recencyList }
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU { return &LRU{r: newRecencyList()} }
+
+// Name implements Policy.
+func (l *LRU) Name() string { return "LRU" }
+
+// Insert implements Policy.
+func (l *LRU) Insert(p core.PageID, _ Access) { l.r.insert(p) }
+
+// Touch implements Policy.
+func (l *LRU) Touch(p core.PageID, _ Access) { l.r.moveToBack(p) }
+
+// Evict implements Policy.
+func (l *LRU) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return l.r.evictFront(evictable)
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(p core.PageID) bool { return l.r.remove(p) }
+
+// Contains implements Policy.
+func (l *LRU) Contains(p core.PageID) bool { return l.r.contains(p) }
+
+// Len implements Policy.
+func (l *LRU) Len() int { return l.r.len() }
+
+// Reset implements Policy.
+func (l *LRU) Reset() { l.r.reset() }
+
+// LeastRecent returns the least recently used page currently in the
+// domain without removing it. It is used by the Lemma-3 dynamic
+// partition, which must locate the globally least recent page across
+// parts. ok is false when the domain is empty or nothing is evictable.
+func (l *LRU) LeastRecent(evictable func(core.PageID) bool) (core.PageID, bool) {
+	for e := l.r.ll.Front(); e != nil; e = e.Next() {
+		p := e.Value.(core.PageID)
+		if evictable == nil || evictable(p) {
+			return p, true
+		}
+	}
+	return core.NoPage, false
+}
+
+// MRU evicts the most recently used page. It is the classic pathological
+// counterpoint to LRU on looping workloads and appears in the E13 policy
+// matrix.
+type MRU struct{ r recencyList }
+
+// NewMRU returns an empty MRU policy.
+func NewMRU() *MRU { return &MRU{r: newRecencyList()} }
+
+// Name implements Policy.
+func (m *MRU) Name() string { return "MRU" }
+
+// Insert implements Policy.
+func (m *MRU) Insert(p core.PageID, _ Access) { m.r.insert(p) }
+
+// Touch implements Policy.
+func (m *MRU) Touch(p core.PageID, _ Access) { m.r.moveToBack(p) }
+
+// Evict implements Policy.
+func (m *MRU) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return m.r.evictBack(evictable)
+}
+
+// Remove implements Policy.
+func (m *MRU) Remove(p core.PageID) bool { return m.r.remove(p) }
+
+// Contains implements Policy.
+func (m *MRU) Contains(p core.PageID) bool { return m.r.contains(p) }
+
+// Len implements Policy.
+func (m *MRU) Len() int { return m.r.len() }
+
+// Reset implements Policy.
+func (m *MRU) Reset() { m.r.reset() }
+
+// FIFO evicts the page that has been in the domain longest, regardless of
+// hits. It is a conservative policy, so Lemma 1's upper bound applies to
+// it.
+type FIFO struct{ r recencyList }
+
+// NewFIFO returns an empty FIFO policy.
+func NewFIFO() *FIFO { return &FIFO{r: newRecencyList()} }
+
+// Name implements Policy.
+func (f *FIFO) Name() string { return "FIFO" }
+
+// Insert implements Policy.
+func (f *FIFO) Insert(p core.PageID, _ Access) { f.r.insert(p) }
+
+// Touch implements Policy. FIFO ignores hits.
+func (f *FIFO) Touch(core.PageID, Access) {}
+
+// Evict implements Policy.
+func (f *FIFO) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return f.r.evictFront(evictable)
+}
+
+// Remove implements Policy.
+func (f *FIFO) Remove(p core.PageID) bool { return f.r.remove(p) }
+
+// Contains implements Policy.
+func (f *FIFO) Contains(p core.PageID) bool { return f.r.contains(p) }
+
+// Len implements Policy.
+func (f *FIFO) Len() int { return f.r.len() }
+
+// Reset implements Policy.
+func (f *FIFO) Reset() { f.r.reset() }

@@ -1,0 +1,121 @@
+package cache
+
+import (
+	"container/list"
+
+	"mcpaging/internal/core"
+)
+
+// Marking implements a deterministic member of the marking family: pages
+// are marked when inserted or hit; victims are chosen among unmarked
+// pages in least-recently-used order; when every page is marked a new
+// phase begins and all marks are cleared. On a single replacement domain
+// this has the K-competitiveness guarantee of marking algorithms, so
+// Lemma 1's upper bound applies to it.
+type Marking struct {
+	ll     *list.List // recency order, front = least recent
+	pos    map[core.PageID]*list.Element
+	marked map[core.PageID]bool
+}
+
+// NewMarking returns an empty marking policy.
+func NewMarking() *Marking {
+	return &Marking{
+		ll:     list.New(),
+		pos:    make(map[core.PageID]*list.Element),
+		marked: make(map[core.PageID]bool),
+	}
+}
+
+// Name implements Policy.
+func (m *Marking) Name() string { return "MARK" }
+
+// Insert implements Policy. Newly inserted pages are marked.
+func (m *Marking) Insert(p core.PageID, _ Access) {
+	if _, ok := m.pos[p]; ok {
+		panic("cache: duplicate insert of page in marking domain")
+	}
+	m.pos[p] = m.ll.PushBack(p)
+	m.marked[p] = true
+}
+
+// Touch implements Policy: hits mark the page and refresh recency.
+func (m *Marking) Touch(p core.PageID, _ Access) {
+	e, ok := m.pos[p]
+	if !ok {
+		return
+	}
+	m.ll.MoveToBack(e)
+	m.marked[p] = true
+}
+
+// Evict implements Policy. If no unmarked evictable page exists but some
+// evictable page does, a new phase starts: all marks are cleared and the
+// search repeats.
+func (m *Marking) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
+	if v, ok := m.evictUnmarked(evictable); ok {
+		return v, true
+	}
+	// Check that at least one page is evictable before opening a new
+	// phase; otherwise report failure without disturbing marks.
+	any := false
+	for e := m.ll.Front(); e != nil; e = e.Next() {
+		p := e.Value.(core.PageID)
+		if evictable == nil || evictable(p) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return core.NoPage, false
+	}
+	for p := range m.marked {
+		delete(m.marked, p)
+	}
+	return m.evictUnmarked(evictable)
+}
+
+func (m *Marking) evictUnmarked(evictable func(core.PageID) bool) (core.PageID, bool) {
+	for e := m.ll.Front(); e != nil; e = e.Next() {
+		p := e.Value.(core.PageID)
+		if m.marked[p] {
+			continue
+		}
+		if evictable != nil && !evictable(p) {
+			continue
+		}
+		m.ll.Remove(e)
+		delete(m.pos, p)
+		delete(m.marked, p)
+		return p, true
+	}
+	return core.NoPage, false
+}
+
+// Remove implements Policy.
+func (m *Marking) Remove(p core.PageID) bool {
+	e, ok := m.pos[p]
+	if !ok {
+		return false
+	}
+	m.ll.Remove(e)
+	delete(m.pos, p)
+	delete(m.marked, p)
+	return true
+}
+
+// Contains implements Policy.
+func (m *Marking) Contains(p core.PageID) bool {
+	_, ok := m.pos[p]
+	return ok
+}
+
+// Len implements Policy.
+func (m *Marking) Len() int { return m.ll.Len() }
+
+// Reset implements Policy.
+func (m *Marking) Reset() {
+	m.ll.Init()
+	m.pos = make(map[core.PageID]*list.Element)
+	m.marked = make(map[core.PageID]bool)
+}

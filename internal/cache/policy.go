@@ -1,0 +1,132 @@
+// Package cache implements eviction policies over a single replacement
+// domain — either the whole shared cache or one part of a partitioned
+// cache. A Policy tracks replacement metadata (recency, frequency, marks,
+// future knowledge) for the pages currently resident in its domain and
+// chooses eviction victims; residency itself, fetch-in-flight state and
+// capacity enforcement belong to the simulator and the strategies built
+// on top (package sim and package policy).
+//
+// All policies in this package are deterministic given their construction
+// arguments (Random takes an explicit seed), which keeps every simulation
+// in this library reproducible.
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"mcpaging/internal/core"
+)
+
+// Access carries the context of a request: which core issued it, the
+// simulation time at which it is served, and the request's index within
+// the core's sequence. Policies may use any subset of these.
+type Access struct {
+	Core  int
+	Time  int64
+	Index int
+}
+
+// Policy is the replacement-policy interface. A policy tracks a set of
+// pages (its domain) and selects eviction victims from it.
+//
+// The evictable predicate passed to Evict lets the caller exclude pages
+// that are physically not evictable at this instant (pages whose fetch is
+// still in flight, per the paper's convention that an evicted cell stays
+// unused until the fetch finishes). Policies must honour it and must pick
+// deterministically among the remaining candidates.
+type Policy interface {
+	// Name returns a short identifier such as "LRU" or "FIFO".
+	Name() string
+	// Insert adds a page to the domain. The page must not already be
+	// present. It is called at fault time, when the fetched page's cell
+	// is allocated.
+	Insert(p core.PageID, at Access)
+	// Touch records a hit on a page already in the domain.
+	Touch(p core.PageID, at Access)
+	// Evict selects a victim among the domain pages for which evictable
+	// returns true, removes it from the domain, and returns it. It
+	// returns ok=false if no page qualifies. A nil predicate means all
+	// pages are evictable.
+	Evict(evictable func(core.PageID) bool) (victim core.PageID, ok bool)
+	// Remove forcibly removes a page from the domain (used when a
+	// dynamic partition shrinks a part or a shared page migrates). It
+	// reports whether the page was present.
+	Remove(p core.PageID) bool
+	// Contains reports whether the page is in the domain.
+	Contains(p core.PageID) bool
+	// Len returns the number of pages in the domain.
+	Len() int
+	// Reset clears all metadata, returning the policy to its initial
+	// state.
+	Reset()
+}
+
+// Oracle provides future knowledge to offline policies such as FITF. The
+// simulator implements it.
+type Oracle interface {
+	// NextUse returns a monotone priority for page p's next request: a
+	// larger value means the next request is further in the future. The
+	// simulator returns a lower bound on the absolute time of the next
+	// request under the current alignment, or NeverUsed if the page is
+	// never requested again.
+	NextUse(p core.PageID) int64
+}
+
+// NeverUsed is returned by Oracle.NextUse for pages with no future
+// request.
+const NeverUsed int64 = math.MaxInt64
+
+// OracleUser is implemented by policies that need future knowledge. The
+// simulator calls SetOracle before the run starts; using such a policy
+// outside a simulation without an oracle panics on the first eviction.
+type OracleUser interface {
+	SetOracle(Oracle)
+}
+
+// Factory constructs a fresh policy instance. Partitioned strategies call
+// the factory once per part so that parts never share metadata.
+type Factory func() Policy
+
+// NewFactory returns a factory for the named policy. Supported names:
+// LRU, FIFO, CLOCK, LFU, MRU, MARK (marking with LRU preference among
+// unmarked pages), RMARK (randomized marking), RAND (both take the
+// seed), FITF (offline; needs an oracle), ARC, SLRU, and LRU2. The name
+// match is exact.
+func NewFactory(name string, seed int64) (Factory, error) {
+	switch name {
+	case "LRU":
+		return func() Policy { return NewLRU() }, nil
+	case "FIFO":
+		return func() Policy { return NewFIFO() }, nil
+	case "CLOCK":
+		return func() Policy { return NewClock() }, nil
+	case "LFU":
+		return func() Policy { return NewLFU() }, nil
+	case "MRU":
+		return func() Policy { return NewMRU() }, nil
+	case "MARK":
+		return func() Policy { return NewMarking() }, nil
+	case "RAND":
+		return func() Policy { return NewRandom(seed) }, nil
+	case "RMARK":
+		return func() Policy { return NewRMark(seed) }, nil
+	case "FITF":
+		return func() Policy { return NewFITF() }, nil
+	case "ARC":
+		return func() Policy { return NewARC() }, nil
+	case "SLRU":
+		return func() Policy { return NewSLRU() }, nil
+	case "LRU2":
+		return func() Policy { return NewLRU2() }, nil
+	case "TINYLFU":
+		return func() Policy { return NewTinyLFU() }, nil
+	}
+	return nil, fmt.Errorf("cache: unknown policy %q", name)
+}
+
+// PolicyNames lists the policy names accepted by NewFactory, in a stable
+// order suitable for CLI help strings and experiment sweeps.
+func PolicyNames() []string {
+	return []string{"LRU", "FIFO", "CLOCK", "LFU", "MRU", "MARK", "RMARK", "RAND", "FITF", "ARC", "SLRU", "LRU2", "TINYLFU"}
+}

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+)
+
+func TestTinyLFUBasics(t *testing.T) {
+	tl := NewTinyLFU()
+	tl.SetCapacity(8)
+	for p := core.PageID(0); p < 8; p++ {
+		tl.Insert(p, acc(int64(p)))
+	}
+	if tl.Len() != 8 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	for p := core.PageID(0); p < 8; p++ {
+		if !tl.Contains(p) {
+			t.Fatalf("missing page %d", p)
+		}
+	}
+	v, ok := tl.Evict(nil)
+	if !ok || tl.Contains(v) || tl.Len() != 7 {
+		t.Fatalf("evict broken: v=%d ok=%v len=%d", v, ok, tl.Len())
+	}
+	if !tl.Remove(core.PageID(7)) && !tl.Contains(7) {
+		// 7 may have been the victim; either way Remove of a missing
+		// page must return false.
+		if tl.Remove(7) {
+			t.Fatal("double remove")
+		}
+	}
+	tl.Reset()
+	if tl.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	tl.Insert(1, acc(0)) // must not panic after reset
+}
+
+func TestTinyLFUAdmissionProtectsHotPages(t *testing.T) {
+	tl := NewTinyLFU()
+	tl.SetCapacity(4)
+	// Build frequency for the hot pages.
+	for p := core.PageID(0); p < 3; p++ {
+		tl.Insert(p, acc(int64(p)))
+	}
+	for rep := 0; rep < 10; rep++ {
+		for p := core.PageID(0); p < 3; p++ {
+			tl.Touch(p, acc(int64(10+rep)))
+		}
+	}
+	// A cold page arrives; under pressure the duel must evict cold
+	// pages, never the hot trio.
+	tl.Insert(100, acc(50))
+	for i := 0; i < 5; i++ {
+		v, ok := tl.Evict(nil)
+		if !ok {
+			break
+		}
+		if v < 3 {
+			t.Fatalf("hot page %d evicted before cold ones", v)
+		}
+		tl.Insert(core.PageID(200+i), acc(int64(60+i)))
+	}
+}
+
+func TestTinyLFUScanResistance(t *testing.T) {
+	// Same harness as the ARC scan test: hot set + one-shot scans.
+	const capacity = 6
+	run := func(mk func() Policy) (hits int) {
+		p := mk()
+		if ca, ok := p.(CapacityAware); ok {
+			ca.SetCapacity(capacity)
+		}
+		access := func(pg core.PageID, i int) {
+			if p.Contains(pg) {
+				p.Touch(pg, acc(int64(i)))
+				hits++
+				return
+			}
+			if p.Len() >= capacity {
+				p.Evict(nil)
+			}
+			p.Insert(pg, acc(int64(i)))
+		}
+		step := 0
+		for round := 0; round < 50; round++ {
+			for rep := 0; rep < 2; rep++ {
+				for h := core.PageID(0); h < 4; h++ {
+					access(h, step)
+					step++
+				}
+			}
+			for s := 0; s < 8; s++ {
+				access(core.PageID(1000+round*8+s), step)
+				step++
+			}
+		}
+		return hits
+	}
+	tinyHits := run(func() Policy { return NewTinyLFU() })
+	lruHits := run(func() Policy { return NewLRU() })
+	if tinyHits <= lruHits {
+		t.Fatalf("TinyLFU hits %d should beat LRU hits %d under scan pollution", tinyHits, lruHits)
+	}
+}
+
+func TestTinyLFURespectsEvictable(t *testing.T) {
+	tl := NewTinyLFU()
+	tl.SetCapacity(3)
+	tl.Insert(1, acc(0))
+	tl.Insert(2, acc(1))
+	tl.Insert(3, acc(2))
+	v, ok := tl.Evict(func(p core.PageID) bool { return p == 2 })
+	if !ok || v != 2 {
+		t.Fatalf("predicate evict = %d,%v; want 2", v, ok)
+	}
+	if _, ok := tl.Evict(func(core.PageID) bool { return false }); ok {
+		t.Fatal("all-pinned evict should fail")
+	}
+}
+
+func TestCMSketch(t *testing.T) {
+	var s cmSketch
+	s.init()
+	for i := 0; i < 10; i++ {
+		s.add(42)
+	}
+	s.add(7)
+	if s.estimate(42) < s.estimate(7) {
+		t.Fatal("sketch ordering wrong")
+	}
+	if s.estimate(42) > 15 {
+		t.Fatal("counter not saturating")
+	}
+	before := s.estimate(42)
+	s.halve()
+	if s.estimate(42) != before/2 {
+		t.Fatalf("halve: %d -> %d", before, s.estimate(42))
+	}
+}

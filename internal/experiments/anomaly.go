@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/metrics"
+	"mcpaging/internal/sim"
+)
+
+func init() {
+	register("E17", runE17)
+}
+
+// lruFaults simulates shared LRU and returns total faults (-1 on error).
+func lruFaults(rs core.RequestSet, k, tau int) int64 {
+	in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+	res, err := sim.Run(in, sharedLRU(), nil)
+	if err != nil {
+		return -1
+	}
+	return res.TotalFaults()
+}
+
+// anomalyExampleK is a found instance (p=3) on which shared LRU faults
+// MORE with K=5 than with K=4 at τ=3 — impossible in sequential paging
+// (LRU is a stack algorithm) and caused here purely by fault delays
+// re-aligning the sequences.
+func anomalyExampleK() core.RequestSet {
+	return core.RequestSet{
+		{3, 3, 0, 1, 1, 1, 3, 1, 2, 2, 2, 3, 1, 1, 0, 1, 0, 0, 2},
+		{100, 102, 100, 101, 103, 103, 100, 101, 101, 102, 101, 100, 103, 100, 102, 102, 102, 103, 102},
+		{202, 203, 203, 201, 203, 202, 201, 203, 201, 202, 202, 203, 201, 200},
+	}
+}
+
+// anomalyExampleTau is a found instance on which shared LRU faults FEWER
+// times with τ=3 than with τ=1 (K=7): slower memory, fewer faults.
+func anomalyExampleTau() core.RequestSet {
+	return core.RequestSet{
+		{3, 2, 3, 3, 0, 2, 2, 1, 2, 3, 3, 2, 1, 1},
+		{103, 102, 102, 100, 100, 100, 102, 102, 102, 101, 101},
+		{201, 201, 202, 201, 200, 201, 200, 200, 202, 203, 201, 203, 203, 203, 201},
+	}
+}
+
+// runE17 — alignment anomalies. The paper's Section 6 stresses that
+// fault-induced re-alignment makes the multicore problem
+// "counterintuitive when trying to apply the reasoning that works in the
+// sequential case". This experiment quantifies two concrete
+// counterintuitive phenomena the simulator surfaces:
+//
+//   - a cache-size anomaly: shared LRU can fault MORE with a LARGER
+//     cache (sequential LRU, a stack algorithm, never can);
+//   - a fetch-delay anomaly: shared LRU can fault FEWER times with a
+//     SLOWER memory (larger τ), because delays can push sequences into
+//     friendlier alignments.
+func runE17(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E17",
+		Title: "Alignment anomalies of shared LRU (beyond the paper)",
+		Claim: "Section 6 (qualitative): fault-induced re-alignment defeats sequential-paging intuition; quantified here as cache-size and fetch-delay anomalies",
+	}
+	trials := 4000
+	if cfg.Quick {
+		trials = 600
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 17))
+	kAnom, tauAnom, valid := 0, 0, 0
+	for trial := 0; trial < trials; trial++ {
+		p := 2 + rng.Intn(2)
+		rs := make(core.RequestSet, p)
+		for j := range rs {
+			n := 5 + rng.Intn(20)
+			s := make(core.Sequence, n)
+			for i := range s {
+				s[i] = core.PageID(100*j + rng.Intn(4))
+			}
+			rs[j] = s
+		}
+		tau := 1 + rng.Intn(3)
+		k := p + 1 + rng.Intn(4)
+		f1, f2 := lruFaults(rs, k, tau), lruFaults(rs, k+1, tau)
+		g2 := lruFaults(rs, k, tau+2)
+		if f1 < 0 || f2 < 0 || g2 < 0 {
+			continue
+		}
+		valid++
+		if f2 > f1 {
+			kAnom++
+		}
+		if g2 < f1 {
+			tauAnom++
+		}
+	}
+	rates := metrics.NewTable("Anomaly frequency over random instances (p∈{2,3}, small working sets)",
+		"instances", "faults(K+1) > faults(K)", "faults(τ+2) < faults(τ)")
+	rates.AddRow(valid, kAnom, tauAnom)
+	res.Tables = append(res.Tables, rates)
+
+	// The pinned examples, swept.
+	kTbl := metrics.NewTable("Cache-size anomaly example (p=3, τ=3): faults vs K",
+		"K", "slru_faults")
+	for k := 4; k <= 8; k++ {
+		kTbl.AddRow(k, lruFaults(anomalyExampleK(), k, 3))
+	}
+	res.Tables = append(res.Tables, kTbl)
+
+	tTbl := metrics.NewTable("Fetch-delay anomaly example (p=3, K=7): faults vs τ",
+		"tau", "slru_faults")
+	for _, tau := range []int{0, 1, 2, 3, 4, 6} {
+		tTbl.AddRow(tau, lruFaults(anomalyExampleTau(), 7, tau))
+	}
+	res.Tables = append(res.Tables, tTbl)
+
+	if lruFaults(anomalyExampleK(), 5, 3) <= lruFaults(anomalyExampleK(), 4, 3) {
+		res.Notes = append(res.Notes, "VIOLATION: pinned K-anomaly vanished")
+	}
+	if lruFaults(anomalyExampleTau(), 7, 3) >= lruFaults(anomalyExampleTau(), 7, 1) {
+		res.Notes = append(res.Notes, "VIOLATION: pinned τ-anomaly vanished")
+	}
+	res.Notes = append(res.Notes,
+		"cache-size anomalies are rare but real (sequential LRU cannot exhibit them); delay anomalies are common — alignment, not capacity, dominates")
+	return res, nil
+}

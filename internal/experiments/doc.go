@@ -1,0 +1,32 @@
+// Package experiments reproduces every quantitative claim of López-Ortiz
+// & Salinger's "Paging for Multicore Processors" as runnable experiments,
+// plus follow-up studies the exact solvers enable. The registry:
+//
+//	E1   Lemma 1      fixed static partition: LRU within max_j k_j of per-part OPT
+//	E2   Lemma 2      online static partitions lose Ω(n)
+//	E3   Theorem 1(1) shared LRU beats every static partition by Ω(n)
+//	E4   Theorem 1(2) shared LRU within K of the best static partition
+//	E5   Theorem 1(3) slowly changing dynamic partitions lose ω(1)
+//	E6   Lemma 3      global-LRU dynamic partition ≡ shared LRU, event for event
+//	E7   Lemma 4      shared LRU loses Ω(p(τ+1)) to the sacrifice schedule
+//	E8   §4 remark    FITF stops being optimal past τ = K/p
+//	E9   Theorems 2–3 the 3-/4-PARTITION gadgets, executable both directions
+//	E10  Theorem 6    Algorithm 1 correctness (vs exhaustive search) and scaling
+//	E11  Theorem 7    Algorithm 2 correctness and scaling
+//	E12  Theorems 4–5 honesty and per-sequence-FITF restrictions are lossless
+//	E13  practice     policy × workload matrix (17 strategies, 5 families)
+//	E14  Section 2    Hassidim's model: exact embedding; the value of delaying
+//	E15  Section 2    multiapplication caching; the τ=0 boundary; pinned-rule gap
+//	E16  Section 6    fairness: FairShare/UCP vs the PIF yardstick
+//	E17  beyond       alignment anomalies (cache-size and fetch-delay)
+//	E18  Section 6    empirical competitive ratios vs the exact OPT
+//	E19  Section 3    fault-optimal vs makespan-optimal schedules conflict
+//	E20  method       automatic adversary synthesis for any strategy
+//	E21  Definition 2 the exact PIF fault-budget Pareto frontier
+//	E22  Section 1    resource augmentation: Hassidim's Ω(τ/α) direction
+//
+// Every experiment is deterministic given Config.Seed, runs at reduced
+// size with Config.Quick (the regression suite), and renders to text or
+// markdown. cmd/mcexp is the CLI; bench_test.go mirrors each experiment
+// as a benchmark.
+package experiments

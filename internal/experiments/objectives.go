@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/hassidim"
+	"mcpaging/internal/metrics"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/sim"
+)
+
+func init() {
+	register("E19", runE19)
+}
+
+// runE19 — objective conflict. The paper minimizes faults (FTF);
+// Hassidim minimizes makespan. Within the paper's own model the two
+// objectives already diverge: a fault-minimal schedule can sacrifice one
+// core (stretching its finish time, hence the makespan) to save total
+// faults, while the makespan-minimal schedule spreads the pain. The
+// experiment quantifies how often and by how much, by replaying the
+// fault-optimal schedule (Algorithm 1, exact variant) and comparing its
+// makespan against the exhaustive makespan optimum restricted to
+// no-delay schedules (the paper's model).
+func runE19(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "E19",
+		Title: "Total faults vs makespan: the objectives conflict",
+		Claim: "Section 3 (framing): FTF is one of several natural objectives; an FTF-optimal schedule need not be makespan-optimal",
+	}
+	trials := 80
+	if cfg.Quick {
+		trials = 25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 19))
+	conflicts, valid := 0, 0
+	worstAbs := int64(0)
+	var example string
+	for trial := 0; trial < trials; trial++ {
+		p := 2
+		k := 2 + rng.Intn(2)
+		tau := 1 + rng.Intn(3)
+		rs := make(core.RequestSet, p)
+		for j := range rs {
+			n := 2 + rng.Intn(4)
+			s := make(core.Sequence, n)
+			for i := range s {
+				s[i] = core.PageID(100*j + rng.Intn(3))
+			}
+			rs[j] = s
+		}
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+		_, sched, err := offline.SolveFTFSeqSchedule(in, offline.Options{})
+		if err != nil {
+			continue
+		}
+		rep := offline.NewReplayer(sched)
+		simRes, err := sim.Run(in, rep, nil)
+		if err != nil || rep.Err() != nil {
+			continue
+		}
+		mkOpt, _, err := hassidim.MinMakespan(in, hassidim.Options{NoDelay: true, MaxStates: 400000})
+		if err != nil {
+			continue
+		}
+		valid++
+		if simRes.Makespan > mkOpt {
+			conflicts++
+			if gap := simRes.Makespan - mkOpt; gap > worstAbs {
+				worstAbs = gap
+				example = compactInstance(rs, k, tau)
+			}
+		}
+	}
+	tbl := metrics.NewTable("Fault-optimal schedule's makespan vs the makespan optimum (random tiny instances)",
+		"instances", "fault_opt_makespan_suboptimal", "worst_gap_steps")
+	tbl.AddRow(valid, conflicts, worstAbs)
+	res.Tables = append(res.Tables, tbl)
+	if example != "" {
+		res.Notes = append(res.Notes, "worst conflict on "+example)
+	}
+	res.Notes = append(res.Notes,
+		"the Algorithm-1 schedule trades makespan for faults on a fraction of instances — PIF-style per-core constraints (or makespan itself) are genuinely different objectives, as Section 3 anticipates")
+	return res, nil
+}
+
+// compactInstance formats an instance for a note line.
+func compactInstance(rs core.RequestSet, k, tau int) string {
+	return fmt.Sprintf("R=%v K=%d tau=%d", rs, k, tau)
+}

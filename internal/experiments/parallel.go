@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// RunAllParallel executes every experiment concurrently on up to
+// `workers` goroutines (0 = GOMAXPROCS) and writes the reports to w in
+// registry order. Experiments are independent and deterministic given
+// the seed, so the output is identical to RunAll's.
+func RunAllParallel(cfg Config, w io.Writer, workers int) error {
+	ids := IDs()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := registry[id](cfg)
+			results[i], errs[i] = res, err
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", id, errs[i])
+		}
+		if err := results[i].Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

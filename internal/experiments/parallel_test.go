@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"regexp"
+	"testing"
+)
+
+// stripTimings removes the wall-clock "ms" values, the only
+// run-dependent content in the reports.
+func stripTimings(s string) string {
+	return regexp.MustCompile(`[0-9]+\.[0-9]+\n`).ReplaceAllString(s, "X\n")
+}
+
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	cfg := Config{Quick: true, Seed: 11}
+	var serial, parallel bytes.Buffer
+	if err := RunAll(cfg, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAllParallel(cfg, &parallel, 4); err != nil {
+		t.Fatal(err)
+	}
+	if stripTimings(serial.String()) != stripTimings(parallel.String()) {
+		t.Fatal("parallel run output differs from serial")
+	}
+}
+
+func TestRunAllParallelSingleWorker(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAllParallel(Config{Quick: true, Seed: 2}, &buf, 1); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestRunAllParallelDefaultWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAllParallel(Config{Quick: true, Seed: 2}, &buf, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,494 @@
+// Package hassidim implements the comparison model the paper argues
+// against: Hassidim's scheduler-empowered multicore paging (Innovations
+// in Computer Science 2010), in which the paging algorithm may *delay*
+// sequences — each timestep it chooses which ready cores to serve — and
+// the objective is the makespan. The paper's model (package sim) is the
+// restriction that every ready request must be served immediately.
+//
+// The package provides:
+//
+//   - Greedy: the no-delay policy (serve every ready core, evict with a
+//     pluggable shared policy). On disjoint inputs Greedy(LRU)
+//     reproduces the paper-model simulator exactly — the executable
+//     statement that our model is Hassidim's minus scheduling power.
+//   - MinMakespan: breadth-first search over schedules (subsets of
+//     ready cores to serve, eviction choices) computing the optimal
+//     makespan, with the delay power switchable off. Exponential;
+//     small instances only. Comparing the two modes quantifies how much
+//     the scheduling power the paper removes is actually worth.
+//
+// Timing matches package sim: a hit occupies its core for one step, a
+// fault for τ+1 steps; a fetched page occupies its cell, unevictable,
+// from the start of the fetch; the core is ready again the step after
+// its service completes.
+package hassidim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// Options bounds the exhaustive search.
+type Options struct {
+	// NoDelay restricts MinMakespan to schedules that serve every ready
+	// core every step (the paper's model); only eviction choices remain.
+	NoDelay bool
+	// MaxStates aborts the search beyond this many distinct states
+	// (default 2,000,000).
+	MaxStates int
+	// MaxTime aborts the search beyond this makespan horizon (default
+	// (n + faults·τ) with every request faulting, plus slack).
+	MaxTime int64
+}
+
+const defaultMaxStates = 2_000_000
+
+// Stats reports search effort.
+type Stats struct {
+	States int
+	Steps  int64 // timesteps explored (BFS depth reached)
+}
+
+// state is one search node; remain[c] > 0 means core c is fetching
+// fetch[c] with that many steps left.
+type state struct {
+	idx    []int16
+	remain []int16
+	fetch  []core.PageID
+	cache  []core.PageID // sorted
+}
+
+func (s *state) clone() *state {
+	return &state{
+		idx:    append([]int16(nil), s.idx...),
+		remain: append([]int16(nil), s.remain...),
+		fetch:  append([]core.PageID(nil), s.fetch...),
+		cache:  append([]core.PageID(nil), s.cache...),
+	}
+}
+
+func (s *state) key() string {
+	buf := make([]byte, 0, 2*len(s.idx)+4*len(s.cache)+len(s.fetch))
+	for i := range s.idx {
+		buf = append(buf, byte(s.idx[i]), byte(s.remain[i]), byte(s.fetch[i]), byte(s.fetch[i]>>8))
+	}
+	buf = append(buf, 0xFE)
+	for _, p := range s.cache {
+		buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+	}
+	return string(buf)
+}
+
+func (s *state) cacheHas(p core.PageID) bool {
+	i := sort.Search(len(s.cache), func(i int) bool { return s.cache[i] >= p })
+	return i < len(s.cache) && s.cache[i] == p
+}
+
+func (s *state) cacheAdd(p core.PageID) {
+	i := sort.Search(len(s.cache), func(i int) bool { return s.cache[i] >= p })
+	s.cache = append(s.cache, 0)
+	copy(s.cache[i+1:], s.cache[i:])
+	s.cache[i] = p
+}
+
+func (s *state) cacheDel(p core.PageID) {
+	i := sort.Search(len(s.cache), func(i int) bool { return s.cache[i] >= p })
+	if i < len(s.cache) && s.cache[i] == p {
+		s.cache = append(s.cache[:i], s.cache[i+1:]...)
+	}
+}
+
+// inFlight reports whether page p is currently being fetched.
+func (s *state) inFlight(p core.PageID) bool {
+	for c := range s.remain {
+		if s.remain[c] > 0 && s.fetch[c] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// MinMakespan computes the optimal makespan over all schedules (delaying
+// allowed unless opts.NoDelay). The request set must be disjoint.
+func MinMakespan(inst core.Instance, opts Options) (int64, Stats, error) {
+	var st Stats
+	if err := inst.Validate(); err != nil {
+		return 0, st, err
+	}
+	if !inst.R.Disjoint() {
+		return 0, st, sim.ErrNotDisjoint
+	}
+	p := inst.R.NumCores()
+	tau := int16(inst.P.Tau)
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = defaultMaxStates
+	}
+	horizon := opts.MaxTime
+	if horizon <= 0 {
+		horizon = int64(inst.R.TotalLen())*int64(inst.P.Tau+2) + 4
+	}
+
+	start := &state{
+		idx:    make([]int16, p),
+		remain: make([]int16, p),
+		fetch:  make([]core.PageID, p),
+		cache:  nil,
+	}
+	done := func(s *state) bool {
+		for c := 0; c < p; c++ {
+			if int(s.idx[c]) < len(inst.R[c]) || s.remain[c] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	visited := map[string]bool{start.key(): true}
+	layer := []*state{start}
+	for t := int64(0); t <= horizon; t++ {
+		st.Steps = t
+		// Each layer state reflects the world at time t: fetch
+		// completions scheduled for t have already been applied when the
+		// state was advanced into this layer.
+		var next []*state
+		push := func(s *state) error {
+			k := s.key()
+			if visited[k] {
+				return nil
+			}
+			visited[k] = true
+			st.States++
+			if st.States > maxStates {
+				return fmt.Errorf("hassidim: state limit %d exceeded", maxStates)
+			}
+			next = append(next, s)
+			return nil
+		}
+		for _, s := range layer {
+			// Advance fetches into time t.
+			adv := s.clone()
+			for c := 0; c < p; c++ {
+				if adv.remain[c] > 0 {
+					adv.remain[c]--
+					if adv.remain[c] == 0 {
+						adv.fetch[c] = core.NoPage
+						adv.idx[c]++ // the faulting request completes
+					}
+				}
+			}
+			if done(adv) {
+				return t, st, nil
+			}
+			// Ready cores.
+			var ready []int
+			for c := 0; c < p; c++ {
+				if adv.remain[c] == 0 && int(adv.idx[c]) < len(inst.R[c]) {
+					ready = append(ready, c)
+				}
+			}
+			if err := expand(inst, adv, ready, tau, opts.NoDelay, push); err != nil {
+				return 0, st, err
+			}
+		}
+		if len(next) == 0 {
+			break // every state stuck; fall through to horizon error
+		}
+		layer = next
+	}
+	return 0, st, fmt.Errorf("hassidim: horizon %d exceeded", horizon)
+}
+
+// expand enumerates all serve/evict decisions for the ready cores and
+// pushes the resulting states.
+func expand(inst core.Instance, s *state, ready []int, tau int16, noDelay bool, push func(*state) error) error {
+	if len(ready) == 0 {
+		return push(s)
+	}
+	// Pinned pages: requests of cores scheduled this step; built up as
+	// the subset recursion decides to serve cores.
+	var rec func(i int, cur *state, servedAny bool, pinned map[core.PageID]bool) error
+	rec = func(i int, cur *state, servedAny bool, pinned map[core.PageID]bool) error {
+		if i == len(ready) {
+			if !servedAny && !noDelay {
+				// Pure-delay step: only useful while something fetches;
+				// push regardless — the visited set dedups no-ops, and
+				// the horizon bounds the walk.
+			}
+			return push(cur)
+		}
+		c := ready[i]
+		pg := inst.R[c][cur.idx[c]]
+
+		// Option A: delay core c (not available in no-delay mode).
+		if !noDelay {
+			if err := rec(i+1, cur, servedAny, pinned); err != nil {
+				return err
+			}
+		}
+
+		// Option B: serve core c.
+		if cur.cacheHas(pg) && !cur.inFlight(pg) {
+			ns := cur.clone()
+			ns.idx[c]++
+			np := pinned // hits do not pin beyond this step's semantics
+			return recWith(rec, i+1, ns, true, np, pg)
+		}
+		if cur.cacheHas(pg) {
+			// In-flight join is impossible on disjoint inputs.
+			return nil
+		}
+		// Fault: free cell or victim.
+		if len(cur.cache) < inst.P.K {
+			ns := cur.clone()
+			ns.cacheAdd(pg)
+			ns.fetch[c] = pg
+			ns.remain[c] = tau + 1
+			if err := recWith(rec, i+1, ns, true, pinned, pg); err != nil {
+				return err
+			}
+			return nil
+		}
+		for _, v := range cur.cache {
+			if cur.inFlight(v) || pinned[v] || v == pg {
+				continue
+			}
+			ns := cur.clone()
+			ns.cacheDel(v)
+			ns.cacheAdd(pg)
+			ns.fetch[c] = pg
+			ns.remain[c] = tau + 1
+			if err := recWith(rec, i+1, ns, true, pinned, pg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0, s, false, map[core.PageID]bool{})
+}
+
+// recWith recurses with pg added to the pinned set.
+func recWith(rec func(int, *state, bool, map[core.PageID]bool) error,
+	i int, s *state, served bool, pinned map[core.PageID]bool, pg core.PageID) error {
+	np := make(map[core.PageID]bool, len(pinned)+1)
+	for k := range pinned {
+		np[k] = true
+	}
+	np[pg] = true
+	return rec(i, s, served, np)
+}
+
+// BatchLRU runs the batching schedule behind Hassidim's Ω(τ/α) lower
+// bound: cores are served batch by batch — cores outside the current
+// batch are delayed entirely — with LRU eviction inside the batch. When
+// each batch's working set fits the (smaller) cache, every batch runs at
+// hit speed after its cold misses, which is how a delay-empowered
+// offline with cache K/α beats thrashing LRU with cache K.
+func BatchLRU(inst core.Instance, batches [][]int) (GreedyResult, error) {
+	if err := inst.Validate(); err != nil {
+		return GreedyResult{}, err
+	}
+	if !inst.R.Disjoint() {
+		return GreedyResult{}, sim.ErrNotDisjoint
+	}
+	p := inst.R.NumCores()
+	seen := make([]bool, p)
+	for _, b := range batches {
+		for _, c := range b {
+			if c < 0 || c >= p || seen[c] {
+				return GreedyResult{}, fmt.Errorf("hassidim: invalid or repeated core %d in batches", c)
+			}
+			seen[c] = true
+		}
+	}
+	for c := 0; c < p; c++ {
+		if !seen[c] && len(inst.R[c]) > 0 {
+			return GreedyResult{}, fmt.Errorf("hassidim: core %d not covered by any batch", c)
+		}
+	}
+	res := GreedyResult{Faults: make([]int64, p)}
+	var t, seq int64
+	resident := make(map[core.PageID]int64)
+	for _, batch := range batches {
+		sub := make(core.RequestSet, p)
+		for _, c := range batch {
+			sub[c] = inst.R[c]
+		}
+		// Run the batch in isolation, offset by the current time; the
+		// recency counter threads through so carried pages age correctly.
+		g, nseq, err := greedyLRUFrom(core.Instance{R: sub, P: inst.P}, resident, seq)
+		if err != nil {
+			return GreedyResult{}, err
+		}
+		seq = nseq
+		for c := range g.Faults {
+			res.Faults[c] += g.Faults[c]
+		}
+		t += g.Makespan
+	}
+	res.Makespan = t
+	return res, nil
+}
+
+// greedyLRUFrom is GreedyLRU with a persistent resident map (pages kept
+// across batches can hit) and a threaded recency counter.
+func greedyLRUFrom(inst core.Instance, resident map[core.PageID]int64, seq int64) (GreedyResult, int64, error) {
+	p := inst.R.NumCores()
+	res := GreedyResult{Faults: make([]int64, p)}
+	idx := make([]int, p)
+	remain := make([]int, p)
+	fetch := make([]core.PageID, p)
+	inflight := make(map[core.PageID]bool)
+	tau := inst.P.Tau
+	finished := func() bool {
+		for c := 0; c < p; c++ {
+			if idx[c] < len(inst.R[c]) || remain[c] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for t := int64(0); ; t++ {
+		for c := 0; c < p; c++ {
+			if remain[c] > 0 {
+				remain[c]--
+				if remain[c] == 0 {
+					delete(inflight, fetch[c])
+					idx[c]++
+				}
+			}
+		}
+		if finished() {
+			res.Makespan = t
+			return res, seq, nil
+		}
+		for c := 0; c < p; c++ {
+			if remain[c] > 0 || idx[c] >= len(inst.R[c]) {
+				continue
+			}
+			pg := inst.R[c][idx[c]]
+			seq++
+			if _, ok := resident[pg]; ok && !inflight[pg] {
+				resident[pg] = seq
+				idx[c]++
+				continue
+			}
+			res.Faults[c]++
+			if len(resident) >= inst.P.K {
+				victim, best := core.NoPage, int64(math.MaxInt64)
+				for q, last := range resident {
+					if inflight[q] {
+						continue
+					}
+					if last < best || (last == best && (victim == core.NoPage || q < victim)) {
+						victim, best = q, last
+					}
+				}
+				if victim == core.NoPage {
+					return res, seq, fmt.Errorf("hassidim: no evictable page at t=%d", t)
+				}
+				delete(resident, victim)
+			}
+			resident[pg] = seq
+			inflight[pg] = true
+			fetch[c] = pg
+			remain[c] = tau + 1
+		}
+	}
+}
+
+// GreedyResult mirrors sim.Result for the greedy no-delay run.
+type GreedyResult struct {
+	Faults   []int64
+	Makespan int64
+}
+
+// TotalFaults sums the per-core fault counts.
+func (g GreedyResult) TotalFaults() int64 {
+	var s int64
+	for _, f := range g.Faults {
+		s += f
+	}
+	return s
+}
+
+// GreedyLRU serves every ready core each step (no delaying) and evicts
+// the least recently used resident page, cores in increasing order
+// within a step. On disjoint inputs this is exactly the paper model's
+// S_LRU — verified against package sim in the tests — expressed inside
+// Hassidim's model as the schedule that never delays.
+func GreedyLRU(inst core.Instance) (GreedyResult, error) {
+	if err := inst.Validate(); err != nil {
+		return GreedyResult{}, err
+	}
+	if !inst.R.Disjoint() {
+		return GreedyResult{}, sim.ErrNotDisjoint
+	}
+	p := inst.R.NumCores()
+	res := GreedyResult{Faults: make([]int64, p)}
+	idx := make([]int, p)
+	remain := make([]int, p)
+	fetch := make([]core.PageID, p)
+	resident := make(map[core.PageID]int64) // page → last use time
+	inflight := make(map[core.PageID]bool)
+	tau := inst.P.Tau
+
+	finished := func() bool {
+		for c := 0; c < p; c++ {
+			if idx[c] < len(inst.R[c]) || remain[c] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for t := int64(0); ; t++ {
+		for c := 0; c < p; c++ {
+			if remain[c] > 0 {
+				remain[c]--
+				if remain[c] == 0 {
+					delete(inflight, fetch[c])
+					idx[c]++
+				}
+			}
+		}
+		if finished() {
+			res.Makespan = t
+			return res, nil
+		}
+		for c := 0; c < p; c++ {
+			if remain[c] > 0 || idx[c] >= len(inst.R[c]) {
+				continue
+			}
+			pg := inst.R[c][idx[c]]
+			if _, ok := resident[pg]; ok && !inflight[pg] {
+				resident[pg] = t
+				idx[c]++
+				continue
+			}
+			res.Faults[c]++
+			if len(resident) >= inst.P.K {
+				victim, best := core.NoPage, int64(math.MaxInt64)
+				for q, last := range resident {
+					if inflight[q] {
+						continue
+					}
+					if last < best || (last == best && (victim == core.NoPage || q < victim)) {
+						victim, best = q, last
+					}
+				}
+				if victim == core.NoPage {
+					return res, fmt.Errorf("hassidim: no evictable page at t=%d", t)
+				}
+				delete(resident, victim)
+			}
+			resident[pg] = t
+			inflight[pg] = true
+			fetch[c] = pg
+			remain[c] = tau + 1
+		}
+	}
+}

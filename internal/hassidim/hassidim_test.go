@@ -1,0 +1,287 @@
+package hassidim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/hassidim"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func lru() cache.Factory { return func() cache.Policy { return cache.NewLRU() } }
+
+// TestGreedyLRUEqualsPaperModel: Hassidim's model restricted to the
+// never-delay schedule with LRU eviction is exactly the paper model's
+// S_LRU — same per-core faults and same makespan.
+func TestGreedyLRUEqualsPaperModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(3)
+		k := p + rng.Intn(6)
+		tau := rng.Intn(4)
+		rs := make(core.RequestSet, p)
+		for j := range rs {
+			n := 1 + rng.Intn(40)
+			s := make(core.Sequence, n)
+			for i := range s {
+				s[i] = core.PageID(100*j + rng.Intn(6))
+			}
+			rs[j] = s
+		}
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+		g, err := hassidim.GreedyLRU(in)
+		if err != nil {
+			return false
+		}
+		simRes, err := sim.Run(in, policy.NewShared(lru()), nil)
+		if err != nil {
+			return false
+		}
+		if g.Makespan != simRes.Makespan {
+			return false
+		}
+		for j := range rs {
+			if g.Faults[j] != simRes.Faults[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMakespanSingleCore(t *testing.T) {
+	// p=1: delaying is pointless; makespan = n + misses(Belady)·τ.
+	seq := core.Sequence{0, 1, 2, 0, 1}
+	in := core.Instance{R: core.RequestSet{seq}, P: core.Params{K: 2, Tau: 2}}
+	got, _, err := hassidim.MinMakespan(in, hassidim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Belady with K=2: misses on 0,1,2 and then 0 or 1 — 4 misses.
+	want := int64(5 + 4*2)
+	if got != want {
+		t.Fatalf("makespan = %d, want %d", got, want)
+	}
+}
+
+func TestMinMakespanEmptyAndTrivial(t *testing.T) {
+	in := core.Instance{R: core.RequestSet{{}}, P: core.Params{K: 1, Tau: 3}}
+	got, _, err := hassidim.MinMakespan(in, hassidim.Options{})
+	if err != nil || got != 0 {
+		t.Fatalf("empty: makespan=%d err=%v", got, err)
+	}
+	in = core.Instance{R: core.RequestSet{{7}}, P: core.Params{K: 1, Tau: 3}}
+	got, _, err = hassidim.MinMakespan(in, hassidim.Options{})
+	if err != nil || got != 4 {
+		t.Fatalf("single fault: makespan=%d err=%v", got, err)
+	}
+}
+
+// TestDelayPowerNeverHurts: the delaying optimum is never above the
+// no-delay optimum.
+func TestDelayPowerNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(2)
+		k := p + rng.Intn(2)
+		tau := rng.Intn(3)
+		rs := make(core.RequestSet, p)
+		for j := range rs {
+			n := 1 + rng.Intn(4)
+			s := make(core.Sequence, n)
+			for i := range s {
+				s[i] = core.PageID(100*j + rng.Intn(3))
+			}
+			rs[j] = s
+		}
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+		free, _, err := hassidim.MinMakespan(in, hassidim.Options{})
+		if err != nil {
+			return false
+		}
+		strict, _, err := hassidim.MinMakespan(in, hassidim.Options{NoDelay: true})
+		if err != nil {
+			return false
+		}
+		return free <= strict
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDelayPowerStrictlyHelps is the paper's motivating separation: the
+// scheduling power it removes from the model is real. On this instance
+// (found by exhaustive search) delaying core 1's re-requests while core
+// 0 juggles three pages in two cells saves two time units over every
+// no-delay schedule: optimal makespan 10 with delays vs 12 without.
+func TestDelayPowerStrictlyHelps(t *testing.T) {
+	in := core.Instance{
+		R: core.RequestSet{
+			{2, 1, 2, 0},
+			{102, 102},
+		},
+		P: core.Params{K: 2, Tau: 2},
+	}
+	free, _, err := hassidim.MinMakespan(in, hassidim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, _, err := hassidim.MinMakespan(in, hassidim.Options{NoDelay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free >= strict {
+		t.Fatalf("delaying should strictly help: free=%d strict=%d", free, strict)
+	}
+}
+
+// TestNoDelayMakespanLowerBoundsOnline: the no-delay optimum lower
+// bounds any strategy in the paper model.
+func TestNoDelayMakespanLowerBoundsOnline(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(2)
+		k := p + rng.Intn(2)
+		tau := rng.Intn(3)
+		rs := make(core.RequestSet, p)
+		for j := range rs {
+			n := 1 + rng.Intn(4)
+			s := make(core.Sequence, n)
+			for i := range s {
+				s[i] = core.PageID(100*j + rng.Intn(3))
+			}
+			rs[j] = s
+		}
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+		strict, _, err := hassidim.MinMakespan(in, hassidim.Options{NoDelay: true})
+		if err != nil {
+			return false
+		}
+		online, err := sim.Run(in, policy.NewShared(lru()), nil)
+		if err != nil {
+			return false
+		}
+		return strict <= online.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoDelayMakespanConsistentWithFTF: minimizing faults (Algorithm 1)
+// and minimizing makespan are different objectives, but on a single
+// core they coincide: makespan = n + faults·τ.
+func TestNoDelayMakespanConsistentWithFTF(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(4)
+		seq := make(core.Sequence, n)
+		for i := range seq {
+			seq[i] = core.PageID(rng.Intn(3))
+		}
+		tau := rng.Intn(3)
+		in := core.Instance{R: core.RequestSet{seq}, P: core.Params{K: 2, Tau: tau}}
+		mk, _, err := hassidim.MinMakespan(in, hassidim.Options{NoDelay: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := offline.SolveFTF(in, offline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk != int64(n)+sol.Faults*int64(tau) {
+			t.Fatalf("trial %d: makespan %d != n + faults·τ = %d", trial, mk, int64(n)+sol.Faults*int64(tau))
+		}
+	}
+}
+
+func TestMinMakespanRejectsNonDisjoint(t *testing.T) {
+	in := core.Instance{R: core.RequestSet{{1}, {1}}, P: core.Params{K: 2, Tau: 0}}
+	if _, _, err := hassidim.MinMakespan(in, hassidim.Options{}); err == nil {
+		t.Fatal("non-disjoint input should be rejected")
+	}
+	if _, err := hassidim.GreedyLRU(in); err == nil {
+		t.Fatal("greedy should reject non-disjoint input")
+	}
+}
+
+func TestMinMakespanStateLimit(t *testing.T) {
+	rs := core.RequestSet{
+		{0, 1, 2, 0, 1, 2, 0, 1},
+		{10, 11, 12, 10, 11, 12, 10, 11},
+	}
+	in := core.Instance{R: rs, P: core.Params{K: 3, Tau: 2}}
+	if _, _, err := hassidim.MinMakespan(in, hassidim.Options{MaxStates: 100}); err == nil {
+		t.Fatal("state limit should trip")
+	}
+}
+
+func TestBatchLRU(t *testing.T) {
+	// Two cores, each alternating two pages; K=2 fits one working set.
+	rs := core.RequestSet{}
+	for j := 0; j < 2; j++ {
+		s := make(core.Sequence, 20)
+		for i := range s {
+			s[i] = core.PageID(100*j + i%2)
+		}
+		rs = append(rs, s)
+	}
+	in := core.Instance{R: rs, P: core.Params{K: 2, Tau: 3}}
+	b, err := hassidim.BatchLRU(in, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each batch: 2 cold faults then hits: makespan ≈ 2(τ+1) + 18 per
+	// batch; faults exactly 2 per core.
+	if b.Faults[0] != 2 || b.Faults[1] != 2 {
+		t.Fatalf("faults = %v, want [2 2]", b.Faults)
+	}
+	want := int64(2 * (2*4 + 18))
+	if b.Makespan != want {
+		t.Fatalf("makespan = %d, want %d", b.Makespan, want)
+	}
+	// The no-delay greedy with the same cache thrashes in comparison.
+	g, err := hassidim.GreedyLRU(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalFaults() <= b.TotalFaults() {
+		t.Fatalf("greedy (%d faults) should thrash vs batching (%d)", g.TotalFaults(), b.TotalFaults())
+	}
+}
+
+func TestBatchLRUValidation(t *testing.T) {
+	rs := core.RequestSet{{1}, {2}}
+	in := core.Instance{R: rs, P: core.Params{K: 2, Tau: 0}}
+	cases := [][][]int{
+		{{0}},         // core 1 uncovered
+		{{0, 0}, {1}}, // repeated
+		{{0, 5}},      // out of range
+	}
+	for i, b := range cases {
+		if _, err := hassidim.BatchLRU(in, b); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// Exhaustive delaying OPT is at least as good as any batching.
+	opt, _, err := hassidim.MinMakespan(in, hassidim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hassidim.BatchLRU(in, [][]int{{0}, {1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt > b.Makespan {
+		t.Fatalf("OPT %d worse than batching %d", opt, b.Makespan)
+	}
+}

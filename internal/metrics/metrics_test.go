@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+func TestJainIndex(t *testing.T) {
+	if j := JainIndex([]int64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal vector: %v", j)
+	}
+	if j := JainIndex([]int64{10, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("dominated vector: %v", j)
+	}
+	if j := JainIndex(nil); j != 1 {
+		t.Fatalf("empty vector: %v", j)
+	}
+	if j := JainIndex([]int64{0, 0}); j != 1 {
+		t.Fatalf("all-zero vector: %v", j)
+	}
+	mid := JainIndex([]int64{4, 2, 2})
+	if mid <= 0.25 || mid >= 1 {
+		t.Fatalf("mixed vector out of range: %v", mid)
+	}
+}
+
+func TestSpread(t *testing.T) {
+	if s := Spread([]int64{2, 8}); s != 4 {
+		t.Fatalf("spread = %v", s)
+	}
+	if s := Spread(nil); s != 1 {
+		t.Fatalf("empty spread = %v", s)
+	}
+	if s := Spread([]int64{0, 0}); s != 1 {
+		t.Fatalf("zero spread = %v", s)
+	}
+	if s := Spread([]int64{0, 3}); s != 6 {
+		t.Fatalf("zero-min spread = %v (want 2·max)", s)
+	}
+}
+
+func TestSlowdowns(t *testing.T) {
+	r := core.RequestSet{{1, 2, 3, 4}, {}}
+	res := sim.Result{Finish: []int64{8, 0}}
+	s := Slowdowns(r, res)
+	if s[0] != 2 || s[1] != 1 {
+		t.Fatalf("slowdowns = %v", s)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value", "ratio")
+	tb.AddRow("alpha", 42, 1.23456)
+	tb.AddRow("b", int64(7), 0.5)
+	var buf bytes.Buffer
+	if err := tb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: header and first row start "value" at same offset.
+	h, r0 := lines[1], lines[3]
+	if strings.Index(h, "value") != strings.Index(r0, "42") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow(1, 2.5)
+	var buf bytes.Buffer
+	if err := tb.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2.5\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(3.14159265)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	if !strings.Contains(buf.String(), "3.142") {
+		t.Fatalf("float formatting: %q", buf.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("demo", "a", "b")
+	tb.AddRow(1, "x")
+	var buf bytes.Buffer
+	if err := tb.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"**demo**", "| a | b |", "| --- | --- |", "| 1 | x |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	r := core.RequestSet{{1, 2}, {3, 4}, {}}
+	res := sim.Result{Finish: []int64{10, 20, 0}}
+	solo := []int64{5, 20, 0}
+	// Core 0: 5/10 = 0.5, core 1: 20/20 = 1 → mean 0.75; core 2 skipped.
+	if got := WeightedSpeedup(r, res, solo); got != 0.75 {
+		t.Fatalf("weighted speedup = %v, want 0.75", got)
+	}
+	if got := WeightedSpeedup(core.RequestSet{{}}, sim.Result{Finish: []int64{0}}, []int64{0}); got != 1 {
+		t.Fatalf("degenerate = %v, want 1", got)
+	}
+}

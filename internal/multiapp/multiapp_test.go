@@ -1,0 +1,200 @@
+package multiapp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/multiapp"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func lru() cache.Factory { return func() cache.Policy { return cache.NewLRU() } }
+
+func randomDisjoint(rng *rand.Rand, p, maxLen, pages int) core.RequestSet {
+	rs := make(core.RequestSet, p)
+	for j := range rs {
+		n := 1 + rng.Intn(maxLen)
+		s := make(core.Sequence, n)
+		for i := range s {
+			s[i] = core.PageID(100*j + rng.Intn(pages))
+		}
+		rs[j] = s
+	}
+	return rs
+}
+
+func TestInterleaveRoundRobin(t *testing.T) {
+	rs := core.RequestSet{{1, 2, 3}, {4}, {5, 6}}
+	got := multiapp.Interleave(rs)
+	want := []multiapp.Request{
+		{0, 1}, {1, 4}, {2, 5}, {0, 2}, {2, 6}, {0, 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEquivalenceWithPaperModelAtTauZero: at τ=0 the paper model's
+// shared LRU produces exactly the multiapplication model's LRU fault
+// counts on the round-robin interleaving — faults cannot re-align
+// sequences without a delay.
+func TestEquivalenceWithPaperModelAtTauZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(4)
+		k := p + rng.Intn(8) // K ≥ p: with K < p simultaneous fetches can exhaust the cache
+		rs := randomDisjoint(rng, p, 40, 6)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: 0}}
+		simRes, err := sim.Run(in, policy.NewShared(lru()), nil)
+		if err != nil {
+			return false
+		}
+		maRes, err := multiapp.ServeLRU(multiapp.Interleave(rs), p, k)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < p; j++ {
+			if simRes.Faults[j] != maRes.Faults[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOPTBoundsExactDPAtTauZero: Belady on the interleaving lower-bounds
+// the exact (logical-order) FTF optimum at τ=0. They differ only through
+// the model's in-flight rule: the interleaving model may evict a page
+// fetched earlier in the same round, which the paper's model forbids
+// (the cell is busy during the fetch step even at τ=0). The pinned
+// Algorithm 1 sits at or above both.
+func TestOPTBoundsExactDPAtTauZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 60; trial++ {
+		p := 1 + rng.Intn(2)
+		k := p + rng.Intn(2)
+		rs := randomDisjoint(rng, p, 5, 3)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: 0}}
+		sol, err := offline.SolveFTFSeq(in, offline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		maRes, err := multiapp.ServeOPT(multiapp.Interleave(rs), p, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maRes.TotalFaults() > sol.Faults {
+			t.Fatalf("trial %d: Belady-on-interleaving %d above exact DP %d (R=%v K=%d)",
+				trial, maRes.TotalFaults(), sol.Faults, rs, k)
+		}
+		pinned, err := offline.SolveFTF(in, offline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pinned.Faults < sol.Faults {
+			t.Fatalf("trial %d: pinned DP %d below exact optimum %d", trial, pinned.Faults, sol.Faults)
+		}
+	}
+}
+
+// TestSharedFITFOptimalAtTauZero verifies the paper's observation that
+// FTF is solvable by FITF when τ=0 *within the model*: the online-style
+// shared FITF strategy (which respects the in-flight rule) achieves the
+// exact optimum on every sampled instance.
+func TestSharedFITFOptimalAtTauZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		p := 1 + rng.Intn(2)
+		k := p + rng.Intn(2)
+		rs := randomDisjoint(rng, p, 5, 3)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: 0}}
+		sol, err := offline.SolveFTFSeq(in, offline.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fitf, err := sim.Run(in, policy.NewShared(func() cache.Policy { return cache.NewFITF() }), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fitf.TotalFaults() != sol.Faults {
+			t.Fatalf("trial %d: S_FITF %d != exact optimum %d (R=%v K=%d)",
+				trial, fitf.TotalFaults(), sol.Faults, rs, k)
+		}
+	}
+}
+
+func TestOPTNeverWorseThanLRU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(6)
+		rs := randomDisjoint(rng, p, 60, 5)
+		reqs := multiapp.Interleave(rs)
+		lruRes, err1 := multiapp.ServeLRU(reqs, p, k)
+		optRes, err2 := multiapp.ServeOPT(reqs, p, k)
+		return err1 == nil && err2 == nil && optRes.TotalFaults() <= lruRes.TotalFaults()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPartitionedMatchesPerAppLRU: partitioned service decomposes into
+// independent per-application LRU caches.
+func TestPartitionedMatchesPerAppLRU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(3)
+		rs := randomDisjoint(rng, p, 50, 5)
+		sizes := make([]int, p)
+		for j := range sizes {
+			sizes[j] = 1 + rng.Intn(4)
+		}
+		res, err := multiapp.ServePartitioned(multiapp.Interleave(rs), sizes)
+		if err != nil {
+			return false
+		}
+		for j := range rs {
+			solo, err := multiapp.ServeLRU(multiapp.Interleave(core.RequestSet{rs[j]}), 1, sizes[j])
+			if err != nil || solo.Faults[0] != res.Faults[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeValidation(t *testing.T) {
+	if _, err := multiapp.ServeLRU(nil, 1, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	bad := []multiapp.Request{{App: 5, Page: 1}}
+	if _, err := multiapp.ServeLRU(bad, 2, 2); err == nil {
+		t.Error("out-of-range app should fail")
+	}
+	if _, err := multiapp.ServeOPT(bad, 2, 2); err == nil {
+		t.Error("out-of-range app should fail (OPT)")
+	}
+	if _, err := multiapp.ServePartitioned(bad, []int{1, 1}); err == nil {
+		t.Error("out-of-range app should fail (partitioned)")
+	}
+	if _, err := multiapp.ServePartitioned(nil, []int{0}); err == nil {
+		t.Error("zero part should fail")
+	}
+}

@@ -1,0 +1,302 @@
+package npc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mcpaging/internal/npc"
+	"mcpaging/internal/offline"
+)
+
+func TestPartitionValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		pi   npc.PartitionInstance
+		ok   bool
+	}{
+		{"valid 3p", npc.PartitionInstance{S: []int{2, 2, 2}, B: 6, Arity: 3}, true},
+		{"valid 3p two groups", npc.PartitionInstance{S: []int{2, 2, 3, 3, 2, 2}, B: 7, Arity: 3}, true},
+		{"bad arity", npc.PartitionInstance{S: []int{2, 2, 2}, B: 6, Arity: 5}, false},
+		{"bad count", npc.PartitionInstance{S: []int{2, 2}, B: 6, Arity: 3}, false},
+		{"element too small", npc.PartitionInstance{S: []int{1, 2, 3}, B: 6, Arity: 3}, false},
+		{"element too big", npc.PartitionInstance{S: []int{3, 2, 1}, B: 6, Arity: 3}, false},
+		{"bad sum", npc.PartitionInstance{S: []int{2, 2, 2, 2, 2, 2}, B: 7, Arity: 3}, false},
+		{"valid 4p", npc.PartitionInstance{S: []int{4, 4, 4, 4}, B: 16, Arity: 4}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.pi.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestSolve3PartitionYes(t *testing.T) {
+	pi := npc.PartitionInstance{S: []int{4, 4, 5, 4, 4, 5}, B: 13, Arity: 3}
+	groups, ok := pi.Solve()
+	if !ok {
+		t.Fatal("solvable instance reported unsolvable")
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want 2 triples", groups)
+	}
+	seen := make(map[int]bool)
+	for _, g := range groups {
+		sum := 0
+		for _, i := range g {
+			if seen[i] {
+				t.Fatalf("index %d reused", i)
+			}
+			seen[i] = true
+			sum += pi.S[i]
+		}
+		if sum != pi.B {
+			t.Fatalf("group %v sums to %d, want %d", g, sum, pi.B)
+		}
+	}
+}
+
+func TestSolve3PartitionNo(t *testing.T) {
+	// {4,4,4,4,4,6} with B=13: triples sum to 12 or 14, never 13.
+	pi := npc.PartitionInstance{S: []int{4, 4, 4, 4, 4, 6}, B: 13, Arity: 3}
+	if err := pi.Validate(); err != nil {
+		t.Fatalf("instance should be structurally valid: %v", err)
+	}
+	if _, ok := pi.Solve(); ok {
+		t.Fatal("unsolvable instance reported solvable")
+	}
+	if got := pi.MaxGroups(); got != 0 {
+		t.Fatalf("MaxGroups = %d, want 0", got)
+	}
+}
+
+func TestMaxGroupsPartial(t *testing.T) {
+	// One triple can be formed ({4,4,5}), the rest cannot.
+	pi := npc.PartitionInstance{S: []int{4, 4, 5, 4, 4, 6}, B: 13, Arity: 3}
+	// Not a valid full instance (sum mismatch) but MaxGroups is defined
+	// on any element set.
+	if got := pi.MaxGroups(); got != 1 {
+		t.Fatalf("MaxGroups = %d, want 1", got)
+	}
+}
+
+func TestGenerateYesSolvable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		arity := 3
+		if trial%2 == 1 {
+			arity = 4
+		}
+		b := 12 + rng.Intn(10)
+		if arity == 4 {
+			b = 16 + rng.Intn(8)
+		}
+		pi, err := npc.GenerateYes(rng, arity, 2+rng.Intn(2), b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := pi.Validate(); err != nil {
+			t.Fatalf("trial %d: generated instance invalid: %v", trial, err)
+		}
+		if _, ok := pi.Solve(); !ok {
+			t.Fatalf("trial %d: generated yes-instance unsolvable: %+v", trial, pi)
+		}
+	}
+}
+
+func TestReduceShape(t *testing.T) {
+	pi := npc.PartitionInstance{S: []int{2, 2, 2}, B: 6, Arity: 3}
+	red, err := npc.Reduce(pi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := red.PIF.Inst
+	if in.R.NumCores() != 3 {
+		t.Fatalf("p = %d, want 3", in.R.NumCores())
+	}
+	if in.P.K != 4 {
+		t.Fatalf("K = %d, want 4p/3 = 4", in.P.K)
+	}
+	wantLen := 6*2 + 4*1 + 5 // B(τ+1) + 4τ + 5
+	if len(in.R[0]) != wantLen || red.PIF.T != int64(wantLen) {
+		t.Fatalf("len = %d, T = %d, want both %d", len(in.R[0]), red.PIF.T, wantLen)
+	}
+	for i := range in.R {
+		if red.PIF.Bounds[i] != int64(6-2+4) {
+			t.Fatalf("b[%d] = %d, want 8", i, red.PIF.Bounds[i])
+		}
+		for j, pg := range in.R[i] {
+			want := npc.AlphaPage(i)
+			if j%2 == 1 {
+				want = npc.BetaPage(i)
+			}
+			if pg != want {
+				t.Fatalf("R[%d][%d] = %d, want %d", i, j, pg, want)
+			}
+		}
+	}
+	if !in.R.Disjoint() {
+		t.Fatal("reduction sequences must be disjoint")
+	}
+}
+
+// TestConstructiveScheduleMeetsBounds is the executable "⇒" direction of
+// Theorem 2: for solvable instances the proof's schedule keeps every
+// sequence within its fault bound at the checkpoint, for a range of τ.
+func TestConstructiveScheduleMeetsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		tau := rng.Intn(4)
+		b := 12 + rng.Intn(8)
+		groups := 1 + rng.Intn(3)
+		pi, err := npc.GenerateYes(rng, 3, groups, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, ok := pi.Solve()
+		if !ok {
+			t.Fatal("yes-instance unsolvable")
+		}
+		red, err := npc.Reduce(pi, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, counts, err := npc.VerifySchedule(red, sol)
+		if err != nil {
+			t.Fatalf("trial %d (τ=%d, B=%d): %v", trial, tau, b, err)
+		}
+		if !ok {
+			t.Fatalf("trial %d (τ=%d, B=%d): bounds violated: faults=%v bounds=%v S=%v groups=%v",
+				trial, tau, b, counts, red.PIF.Bounds, pi.S, sol)
+		}
+	}
+}
+
+// TestConstructiveScheduleTight: the proof's arithmetic says sequence i
+// faults exactly B - s_i + 4 times by the checkpoint — the bound is met
+// with equality, which pins the schedule implementation to the proof.
+func TestConstructiveScheduleTight(t *testing.T) {
+	pi := npc.PartitionInstance{S: []int{2, 2, 2}, B: 6, Arity: 3}
+	sol, ok := pi.Solve()
+	if !ok {
+		t.Fatal("unsolvable")
+	}
+	for _, tau := range []int{0, 1, 2, 3} {
+		red, err := npc.Reduce(pi, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, counts, err := npc.VerifySchedule(red, sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("τ=%d: bounds violated: %v vs %v", tau, counts, red.PIF.Bounds)
+		}
+		for i, f := range counts {
+			if f != red.PIF.Bounds[i] {
+				t.Fatalf("τ=%d: core %d faults %d, want exactly %d", tau, i, f, red.PIF.Bounds[i])
+			}
+		}
+	}
+}
+
+// TestConstructiveScheduleFourPartition exercises the Theorem 3 variant
+// (arity 4, K = 5p/4, b_i = B - s_i + 5).
+func TestConstructiveScheduleFourPartition(t *testing.T) {
+	pi := npc.PartitionInstance{S: []int{4, 4, 4, 4}, B: 16, Arity: 4}
+	sol, ok := pi.Solve()
+	if !ok {
+		t.Fatal("unsolvable")
+	}
+	for _, tau := range []int{0, 1, 2} {
+		red, err := npc.Reduce(pi, tau)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if red.PIF.Inst.P.K != 5 {
+			t.Fatalf("K = %d, want 5p/4 = 5", red.PIF.Inst.P.K)
+		}
+		ok, counts, err := npc.VerifySchedule(red, sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("τ=%d: bounds violated: %v vs %v", tau, counts, red.PIF.Bounds)
+		}
+	}
+}
+
+// TestWrongGroupingFails: grouping sequences whose elements do not sum to
+// B is rejected at Init — and with unequal groups the bounds are
+// unattainable by the schedule, which is the content of the "⇐"
+// direction.
+func TestWrongGroupingRejected(t *testing.T) {
+	pi := npc.PartitionInstance{S: []int{4, 4, 5, 4, 4, 5}, B: 13, Arity: 3}
+	red, err := npc.Reduce(pi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group {0,1,3} sums to 12 ≠ 13.
+	bad := [][]int{{0, 1, 3}, {2, 4, 5}}
+	if _, _, err := npc.VerifySchedule(red, bad); err == nil {
+		t.Fatal("mis-summed grouping should be rejected")
+	}
+}
+
+// TestReductionAgreesWithPIFDP runs Algorithm 2 on a small reduction
+// instance. With p=3 and τ=0 the gadget's hit budget is exactly tight:
+// each sequence needs h_i = s_i+1 hits by the checkpoint and only one
+// sequence can hit per timestep (each sequence pins one cell, leaving
+// exactly one extra cell), so the required 9 hits exactly fill the 9
+// available slots. The instance is therefore a yes — and tightening any
+// single bound by one pushes the requirement to 10 > 9 and must flip the
+// answer to no. This exercises Algorithm 2 on the reduction gadget in
+// both directions.
+func TestReductionAgreesWithPIFDP(t *testing.T) {
+	yes := npc.PartitionInstance{S: []int{2, 2, 2}, B: 6, Arity: 3}
+	redYes, err := npc.Reduce(yes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := offline.DecidePIF(redYes.PIF, offline.Options{MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatalf("solvable reduction decided NO (states=%d)", stats.States)
+	}
+
+	tight := redYes.PIF
+	tight.Bounds = append([]int64(nil), tight.Bounds...)
+	tight.Bounds[0]--
+	got, stats, err = offline.DecidePIF(tight, offline.Options{MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatalf("over-tight reduction decided YES (states=%d)", stats.States)
+	}
+}
+
+// TestReductionSumMismatchSlack documents a subtlety of the gadget: with
+// a single group (p=3) and τ=0, an element sum *below* B leaves slack in
+// the hit budget, so the PIF instance is still a yes even though no
+// triple sums to B. The ⇐ direction of Theorem 2 relies on the validity
+// condition sum(S) = (n/3)·B; this test pins that boundary.
+func TestReductionSumMismatchSlack(t *testing.T) {
+	noPart := npc.PartitionInstance{S: []int{2, 2, 2}, B: 7, Arity: 3}
+	red, err := npc.ReduceUnchecked(noPart, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := offline.DecidePIF(red.PIF, offline.Options{MaxStates: 3_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("slack gadget (sum < B) should still be feasible")
+	}
+}

@@ -1,0 +1,208 @@
+// Package npc implements the NP-completeness machinery of Section 5.1:
+// 3-PARTITION and 4-PARTITION instances with exact solvers, the
+// Theorem 2 reduction from 3-PARTITION to PARTIAL-INDIVIDUAL-FAULTS, the
+// Theorem 3 reduction from 4-PARTITION, and the constructive schedule
+// that turns a partition solution into an eviction schedule meeting the
+// PIF bounds (the "⇒" direction of the proof, made executable).
+package npc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PartitionInstance is an instance of m-PARTITION: split S into groups of
+// Arity elements, each summing to B. Arity 3 gives 3-PARTITION
+// (B/4 < s < B/2 forces triples), Arity 4 gives 4-PARTITION
+// (B/5 < s < B/3 forces quadruples).
+type PartitionInstance struct {
+	S     []int
+	B     int
+	Arity int
+}
+
+// Validate checks the structural constraints of the problem definition.
+func (pi PartitionInstance) Validate() error {
+	a := pi.Arity
+	if a != 3 && a != 4 {
+		return fmt.Errorf("npc: arity %d, want 3 or 4", a)
+	}
+	n := len(pi.S)
+	if n == 0 || n%a != 0 {
+		return fmt.Errorf("npc: |S|=%d not a positive multiple of %d", n, a)
+	}
+	sum := 0
+	for i, s := range pi.S {
+		// Element range: B/(a+1) < s < B/(a-1), strict.
+		if s*(a+1) <= pi.B || s*(a-1) >= pi.B {
+			return fmt.Errorf("npc: element s[%d]=%d outside (B/%d, B/%d) for B=%d",
+				i, s, a+1, a-1, pi.B)
+		}
+		sum += s
+	}
+	if sum != (n/a)*pi.B {
+		return fmt.Errorf("npc: sum(S)=%d, want (n/%d)·B = %d", sum, a, (n/a)*pi.B)
+	}
+	return nil
+}
+
+// Solve finds a partition of S into groups of Arity elements each summing
+// to B, returning the groups as index sets, or ok=false if none exists.
+// Exhaustive with pruning; intended for the small instances used in the
+// reduction experiments.
+func (pi PartitionInstance) Solve() (groups [][]int, ok bool) {
+	if pi.Validate() != nil {
+		return nil, false
+	}
+	n := len(pi.S)
+	used := make([]bool, n)
+	var cur [][]int
+	var rec func() bool
+	rec = func() bool {
+		// First unused element anchors the next group (canonical order
+		// kills permutation symmetry).
+		first := -1
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				first = i
+				break
+			}
+		}
+		if first == -1 {
+			return true
+		}
+		used[first] = true
+		group := []int{first}
+		var extend func(start, count, sum int) bool
+		extend = func(start, count, sum int) bool {
+			if count == pi.Arity {
+				if sum != pi.B {
+					return false
+				}
+				cur = append(cur, append([]int(nil), group...))
+				if rec() {
+					return true
+				}
+				cur = cur[:len(cur)-1]
+				return false
+			}
+			for i := start; i < n; i++ {
+				if used[i] || sum+pi.S[i] > pi.B {
+					continue
+				}
+				used[i] = true
+				group = append(group, i)
+				if extend(i+1, count+1, sum+pi.S[i]) {
+					return true
+				}
+				group = group[:len(group)-1]
+				used[i] = false
+			}
+			return false
+		}
+		if extend(first+1, 1, pi.S[first]) {
+			return true
+		}
+		used[first] = false
+		return false
+	}
+	if rec() {
+		return cur, true
+	}
+	return nil, false
+}
+
+// MaxGroups returns the maximum number of disjoint groups of Arity
+// elements each summing to B — the MAX-m-PARTITION objective of
+// Theorem 3's gap reduction.
+func (pi PartitionInstance) MaxGroups() int {
+	n := len(pi.S)
+	// Enumerate all valid groups, then search for the largest disjoint
+	// family. Fine at experiment scale (n ≤ ~16).
+	var groups []int // bitmasks
+	var build func(start, count, sum, mask int)
+	build = func(start, count, sum, mask int) {
+		if count == pi.Arity {
+			if sum == pi.B {
+				groups = append(groups, mask)
+			}
+			return
+		}
+		for i := start; i < n; i++ {
+			if sum+pi.S[i] > pi.B {
+				continue
+			}
+			build(i+1, count+1, sum+pi.S[i], mask|1<<i)
+		}
+	}
+	build(0, 0, 0, 0)
+	best := 0
+	var pick func(idx, used, count int)
+	pick = func(idx, used, count int) {
+		if count > best {
+			best = count
+		}
+		if idx == len(groups) || count+(len(groups)-idx) <= best {
+			return
+		}
+		for i := idx; i < len(groups); i++ {
+			if groups[i]&used == 0 {
+				pick(i+1, used|groups[i], count+1)
+			}
+		}
+	}
+	pick(0, 0, 0)
+	return best
+}
+
+// GenerateYes builds a solvable m-PARTITION instance with the given
+// number of groups: each group is drawn independently with elements in
+// the legal range summing to B, then the whole multiset is shuffled.
+func GenerateYes(rng *rand.Rand, arity, groups, b int) (PartitionInstance, error) {
+	lo, hi := b/(arity+1)+1, (b-1)/(arity-1) // inclusive legal range
+	if hi < lo {
+		return PartitionInstance{}, fmt.Errorf("npc: B=%d leaves empty element range for arity %d", b, arity)
+	}
+	var s []int
+	for g := 0; g < groups; g++ {
+		grp, ok := randomGroup(rng, arity, b, lo, hi)
+		if !ok {
+			return PartitionInstance{}, fmt.Errorf("npc: cannot draw a group summing to %d in [%d,%d]", b, lo, hi)
+		}
+		s = append(s, grp...)
+	}
+	rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	pi := PartitionInstance{S: s, B: b, Arity: arity}
+	if err := pi.Validate(); err != nil {
+		return PartitionInstance{}, err
+	}
+	return pi, nil
+}
+
+// randomGroup draws arity values in [lo,hi] summing to b by rejection
+// with a final forced element.
+func randomGroup(rng *rand.Rand, arity, b, lo, hi int) ([]int, bool) {
+	for attempt := 0; attempt < 1000; attempt++ {
+		grp := make([]int, arity)
+		sum := 0
+		for i := 0; i < arity-1; i++ {
+			grp[i] = lo + rng.Intn(hi-lo+1)
+			sum += grp[i]
+		}
+		last := b - sum
+		if last >= lo && last <= hi {
+			grp[arity-1] = last
+			return grp, true
+		}
+	}
+	return nil, false
+}
+
+// SortedCopy returns the instance's elements in ascending order, useful
+// for deterministic displays.
+func (pi PartitionInstance) SortedCopy() []int {
+	out := append([]int(nil), pi.S...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,232 @@
+package npc
+
+import (
+	"fmt"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/sim"
+)
+
+// Reduction is a PIF instance built from an m-PARTITION instance by the
+// Theorem 2 (arity 3) or Theorem 3 (arity 4) construction:
+//
+//   - one sequence per element, alternating two private pages α_i, β_i;
+//   - |R_i| = T = B(τ+1) + (a+1)τ + (a+2);
+//   - K = (a+1)·p/a   (groups of a sequences share a+1 cells);
+//   - b_i = B − s_i + (a+1).
+//
+// The instance is a yes-instance of PIF exactly when S can be split into
+// groups of a elements summing to B.
+type Reduction struct {
+	Part PartitionInstance
+	PIF  offline.PIFInstance
+}
+
+// AlphaPage and BetaPage are the two pages of sequence i.
+func AlphaPage(i int) core.PageID { return core.PageID(2 * i) }
+
+// BetaPage is the second page of sequence i.
+func BetaPage(i int) core.PageID { return core.PageID(2*i + 1) }
+
+// Reduce builds the PIF instance for the partition instance with fetch
+// delay τ ≥ 0.
+func Reduce(pi PartitionInstance, tau int) (Reduction, error) {
+	if err := pi.Validate(); err != nil {
+		return Reduction{}, err
+	}
+	return ReduceUnchecked(pi, tau)
+}
+
+// ReduceUnchecked builds the reduction gadget without validating the
+// partition instance. It exists so experiments can build *no*-instances
+// whose element sum deliberately mismatches (n/a)·B — by the "⇐"
+// direction of Theorem 2 their PIF answer must be no.
+func ReduceUnchecked(pi PartitionInstance, tau int) (Reduction, error) {
+	if pi.Arity != 3 && pi.Arity != 4 {
+		return Reduction{}, fmt.Errorf("npc: arity %d, want 3 or 4", pi.Arity)
+	}
+	if len(pi.S) == 0 || len(pi.S)%pi.Arity != 0 {
+		return Reduction{}, fmt.Errorf("npc: |S|=%d not a positive multiple of %d", len(pi.S), pi.Arity)
+	}
+	if tau < 0 {
+		return Reduction{}, fmt.Errorf("npc: negative tau %d", tau)
+	}
+	a := pi.Arity
+	p := len(pi.S)
+	k := (a + 1) * p / a
+	length := pi.B*(tau+1) + (a+1)*tau + (a + 2)
+	rs := make(core.RequestSet, p)
+	for i := range rs {
+		s := make(core.Sequence, length)
+		for j := range s {
+			if j%2 == 0 {
+				s[j] = AlphaPage(i)
+			} else {
+				s[j] = BetaPage(i)
+			}
+		}
+		rs[i] = s
+	}
+	bounds := make([]int64, p)
+	for i, si := range pi.S {
+		bounds[i] = int64(pi.B - si + a + 1)
+	}
+	return Reduction{
+		Part: pi,
+		PIF: offline.PIFInstance{
+			Inst:   core.Instance{R: rs, P: core.Params{K: k, Tau: tau}},
+			T:      int64(length),
+			Bounds: bounds,
+		},
+	}, nil
+}
+
+// HitQuota returns h_i = s_i(τ+1)+1, the number of hits sequence i must
+// accumulate while it owns its group's extra cell.
+func (r Reduction) HitQuota(i int) int64 {
+	return int64(r.Part.S[i]*(r.PIF.Inst.P.Tau+1) + 1)
+}
+
+// Constructive executes the proof's schedule for a known partition
+// solution: the sequences of each group share one extra cell, passed
+// along the group in order once the current owner has accumulated its
+// hit quota; every other fault evicts the faulting sequence's own other
+// page.
+type Constructive struct {
+	red    Reduction
+	groups [][]int
+
+	groupOf map[int]int
+	order   map[int]int // position of a core within its group
+	cur     []int       // per group: index of the privileged member
+	extra   []bool      // per group: extra cell claimed
+	served  []int
+	hits    []int64
+}
+
+// NewConstructive returns the scheduled strategy for a reduction and a
+// partition solution (groups of sequence indices, each group's elements
+// summing to B). The strategy is single-use per Run (Init resets it).
+func NewConstructive(red Reduction, groups [][]int) *Constructive {
+	return &Constructive{red: red, groups: groups}
+}
+
+// Name implements sim.Strategy.
+func (c *Constructive) Name() string { return "theorem2-schedule" }
+
+// Init implements sim.Strategy.
+func (c *Constructive) Init(inst core.Instance) error {
+	p := inst.R.NumCores()
+	seen := make([]bool, p)
+	c.groupOf = make(map[int]int)
+	c.order = make(map[int]int)
+	for g, grp := range c.groups {
+		if len(grp) != c.red.Part.Arity {
+			return fmt.Errorf("npc: group %d has %d members, want %d", g, len(grp), c.red.Part.Arity)
+		}
+		sum := 0
+		for pos, i := range grp {
+			if i < 0 || i >= p || seen[i] {
+				return fmt.Errorf("npc: group %d member %d invalid or repeated", g, i)
+			}
+			seen[i] = true
+			c.groupOf[i] = g
+			c.order[i] = pos
+			sum += c.red.Part.S[i]
+		}
+		if sum != c.red.Part.B {
+			return fmt.Errorf("npc: group %d sums to %d, want B=%d", g, sum, c.red.Part.B)
+		}
+	}
+	for i := 0; i < p; i++ {
+		if !seen[i] {
+			return fmt.Errorf("npc: sequence %d not covered by any group", i)
+		}
+	}
+	c.cur = make([]int, len(c.groups))
+	c.extra = make([]bool, len(c.groups))
+	c.served = make([]int, p)
+	c.hits = make([]int64, p)
+	return nil
+}
+
+// other returns the page of sequence i that is not pg.
+func other(i int, pg core.PageID) core.PageID {
+	if pg == AlphaPage(i) {
+		return BetaPage(i)
+	}
+	return AlphaPage(i)
+}
+
+// OnHit implements sim.Strategy.
+func (c *Constructive) OnHit(_ core.PageID, at cache.Access) {
+	c.hits[at.Core]++
+	c.served[at.Core]++
+}
+
+// OnJoin implements sim.Strategy (unreachable: sequences are disjoint).
+func (c *Constructive) OnJoin(_ core.PageID, at cache.Access) {
+	c.served[at.Core]++
+}
+
+// OnFault implements sim.Strategy.
+func (c *Constructive) OnFault(pg core.PageID, at cache.Access, v sim.View) core.PageID {
+	i := at.Core
+	c.served[i]++
+	if c.served[i] == 1 {
+		return core.NoPage // first request fills the dedicated cell
+	}
+	g := c.groupOf[i]
+	grp := c.groups[g]
+	switch {
+	case grp[c.cur[g]] == i && !c.extra[g]:
+		// The privileged member claims the group's extra cell.
+		c.extra[g] = true
+		return core.NoPage
+	case c.cur[g]+1 < len(grp) && grp[c.cur[g]+1] == i &&
+		c.hits[grp[c.cur[g]]] >= c.red.HitQuota(grp[c.cur[g]]):
+		// Quota reached: take the extra cell from the previous owner by
+		// evicting the page it needs next, so it faults from now on.
+		prev := grp[c.cur[g]]
+		victim := c.red.PIF.Inst.R[prev][c.served[prev]]
+		c.cur[g]++
+		return victim
+	default:
+		return other(i, pg)
+	}
+}
+
+// FaultsBefore runs the strategy on the reduction's instance and returns
+// the per-core fault counts among requests served strictly before time T
+// (a fault served at time t contributes to the count "at time T" exactly
+// when t < T, matching Algorithm 2's accounting).
+func FaultsBefore(inst core.Instance, s sim.Strategy, t int64) ([]int64, error) {
+	counts := make([]int64, inst.R.NumCores())
+	_, err := sim.Run(inst, s, func(ev sim.Event) {
+		if ev.Fault && ev.Time < t {
+			counts[ev.Core]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return counts, nil
+}
+
+// VerifySchedule runs the constructive schedule for a partition solution
+// and reports whether every sequence meets its PIF bound at the
+// checkpoint, along with the observed per-core fault counts.
+func VerifySchedule(red Reduction, groups [][]int) (bool, []int64, error) {
+	counts, err := FaultsBefore(red.PIF.Inst, NewConstructive(red, groups), red.PIF.T)
+	if err != nil {
+		return false, nil, err
+	}
+	for i, f := range counts {
+		if f > red.PIF.Bounds[i] {
+			return false, counts, nil
+		}
+	}
+	return true, counts, nil
+}

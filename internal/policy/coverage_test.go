@@ -1,0 +1,186 @@
+package policy
+
+import (
+	"testing"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// fakeView is a minimal sim.View for unit-testing strategy internals.
+type fakeView struct {
+	resident map[core.PageID]bool
+	free     int
+	k        int
+}
+
+func (f *fakeView) Resident(p core.PageID) bool { return f.resident[p] }
+func (f *fakeView) InFlight(core.PageID) bool   { return false }
+func (f *fakeView) Cached(p core.PageID) bool   { return f.resident[p] }
+func (f *fakeView) Free() int                   { return f.free }
+func (f *fakeView) K() int                      { return f.k }
+func (f *fakeView) Tau() int                    { return 0 }
+func (f *fakeView) Now() int64                  { return 0 }
+func (f *fakeView) NextUse(core.PageID) int64   { return 0 }
+
+func acc(c int, t int64) cache.Access { return cache.Access{Core: c, Time: t} }
+
+// TestQuotaPartsDonorSteal exercises the fallback where a core whose
+// part is empty (after a quota cut) must steal a cell from the most
+// over-quota donor.
+func TestQuotaPartsDonorSteal(t *testing.T) {
+	var q quotaParts
+	q.init(2, 4, []bool{true, true})
+	v := &fakeView{resident: map[core.PageID]bool{}, free: 4, k: 4}
+
+	// Core 0 fills its quota (2 cells) and one more beyond, simulating a
+	// later quota shift.
+	for _, pg := range []core.PageID{1, 2} {
+		if got := q.fault(0, pg, acc(0, 0), v); got != core.NoPage {
+			t.Fatalf("expected free-cell placement, got victim %d", got)
+		}
+		v.resident[pg] = true
+		v.free--
+	}
+	// Shift quota: core 0 now 3, core 1 gets 1.
+	q.quota[0], q.quota[1] = 3, 1
+	if got := q.fault(0, 3, acc(0, 1), v); got != core.NoPage {
+		t.Fatalf("expected free-cell placement, got victim %d", got)
+	}
+	v.resident[3] = true
+	v.free--
+
+	// Core 1 faults with an empty part and one free cell → free cell.
+	if got := q.fault(1, 100, acc(1, 2), v); got != core.NoPage {
+		t.Fatalf("expected free-cell placement, got victim %d", got)
+	}
+	v.resident[100] = true
+	v.free = 0
+
+	// Quota swings to core 1; its part has 1 page but quota 3, core 0 is
+	// now over quota. Core 1's next fault must steal from core 0.
+	q.quota[0], q.quota[1] = 1, 3
+	// Drain core 1's own part first so it is empty.
+	if w, ok := q.parts[1].Evict(nil); !ok {
+		t.Fatal("expected core 1's page evictable")
+	} else {
+		delete(q.partOf, w)
+		delete(v.resident, w)
+		q.occ[1]--
+		v.free++
+	}
+	v.free = 0 // pretend the freed cell was consumed elsewhere
+	victim := q.fault(1, 101, acc(1, 3), v)
+	if victim == core.NoPage {
+		t.Fatal("expected a stolen victim from core 0's part")
+	}
+	if owner, ok := q.partOf[victim]; ok && owner == 0 {
+		t.Fatal("victim should have been removed from ownership map")
+	}
+	if q.occ[0] != 2 || q.occ[1] != 1 {
+		t.Fatalf("occupancies after steal: %v", q.occ)
+	}
+}
+
+// TestQuotaPartsNoDonor: when no donor has pages, fault reports NoPage
+// so the simulator can surface the protocol error.
+func TestQuotaPartsNoDonor(t *testing.T) {
+	var q quotaParts
+	q.init(2, 2, []bool{true, true})
+	v := &fakeView{resident: map[core.PageID]bool{}, free: 0, k: 2}
+	q.quota[0], q.quota[1] = 1, 1
+	if got := q.fault(0, 5, acc(0, 0), v); got != core.NoPage {
+		t.Fatalf("expected NoPage with an empty cache and no free cells, got %d", got)
+	}
+}
+
+// TestQuotaPartsInit verifies inactive cores donate their quota.
+func TestQuotaPartsInit(t *testing.T) {
+	var q quotaParts
+	q.init(3, 6, []bool{false, true, true})
+	if q.quota[0] != 0 {
+		t.Fatalf("inactive core kept quota: %v", q.quota)
+	}
+	sum := 0
+	for _, c := range q.quota {
+		sum += c
+	}
+	if sum != 6 {
+		t.Fatalf("quota sum %d, want 6 (%v)", sum, q.quota)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	lruF := func() cache.Policy { return cache.NewLRU() }
+	cases := []struct {
+		got, want string
+	}{
+		{NewShared(lruF).Name(), "S(LRU)"},
+		{NewDynamicLRU().Name(), "dP[lru-global](LRU)"},
+		{NewFairShare(0).Name(), "dP[fair/64](LRU)"},
+		{NewUCP(0).Name(), "dP[ucp/128](LRU)"},
+		{(&Func{}).Name(), "scripted"},
+		{(&Func{StrategyName: "x"}).Name(), "x"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("name %q, want %q", c.got, c.want)
+		}
+	}
+	st := NewStatic([]int{2, 2}, lruF)
+	if st.Name() == "" || len(st.Sizes()) != 2 {
+		t.Error("static name/sizes broken")
+	}
+	stg := NewStaged([]Stage{{At: 0, Sizes: []int{2, 2}}}, lruF)
+	if stg.Name() == "" {
+		t.Error("staged name broken")
+	}
+}
+
+func TestFuncHooks(t *testing.T) {
+	var hits, joins int
+	f := &Func{
+		StrategyName: "probe",
+		Victim: func(core.PageID, cache.Access, sim.View) core.PageID {
+			return core.NoPage
+		},
+		Hit:  func(core.PageID, cache.Access) { hits++ },
+		Join: func(core.PageID, cache.Access) { joins++ },
+	}
+	if err := f.Init(core.Instance{R: core.RequestSet{{1}}, P: core.Params{K: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	f.OnHit(1, acc(0, 0))
+	f.OnJoin(1, acc(0, 1))
+	if hits != 1 || joins != 1 {
+		t.Fatalf("hooks not invoked: hits=%d joins=%d", hits, joins)
+	}
+}
+
+// TestPartitionedOnJoin drives every partition family through a
+// non-disjoint workload so the OnJoin paths execute.
+func TestPartitionedOnJoin(t *testing.T) {
+	// All cores request the same page simultaneously: core 0 fetches,
+	// the others join.
+	rs := core.RequestSet{{7, 7}, {7, 7}, {7, 7}}
+	in := core.Instance{R: rs, P: core.Params{K: 6, Tau: 3}}
+	lruF := func() cache.Policy { return cache.NewLRU() }
+	strategies := []sim.Strategy{
+		NewShared(lruF),
+		NewStatic([]int{2, 2, 2}, lruF),
+		NewStaged([]Stage{{At: 0, Sizes: []int{2, 2, 2}}}, lruF),
+		NewDynamicLRU(),
+		NewFairShare(4),
+		NewUCP(4),
+	}
+	for _, s := range strategies {
+		res, err := sim.Run(in, s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.TotalFaults()+res.TotalHits() != 6 {
+			t.Fatalf("%s: accounting broken", s.Name())
+		}
+	}
+}

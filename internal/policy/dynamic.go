@@ -1,0 +1,263 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// DynamicLRU is the dynamic-partition strategy D of Lemma 3: each core
+// owns a part running LRU; on a fault with no free cell, the donor part
+// is the one holding the globally least recently used page, that page is
+// evicted, and the cell moves to the faulting core's part. Lemma 3 proves
+// this is exactly equivalent to shared LRU on disjoint request sets —
+// experiment E6 checks the equivalence request by request.
+//
+// The implementation keeps one global recency list (sufficient, since the
+// restriction of global recency order to one part is that part's local
+// LRU order) plus explicit part-ownership and occupancy so tests can
+// observe the evolving partition.
+type DynamicLRU struct {
+	global *cache.LRU
+	partOf map[core.PageID]int
+	occ    []int
+}
+
+// NewDynamicLRU returns the Lemma 3 dynamic partition dP^D_LRU.
+func NewDynamicLRU() *DynamicLRU { return &DynamicLRU{} }
+
+// Name implements sim.Strategy.
+func (d *DynamicLRU) Name() string { return "dP[lru-global](LRU)" }
+
+// Init implements sim.Strategy.
+func (d *DynamicLRU) Init(inst core.Instance) error {
+	d.global = cache.NewLRU()
+	d.partOf = make(map[core.PageID]int)
+	d.occ = make([]int, inst.R.NumCores())
+	return nil
+}
+
+// PartSizes returns the current partition (cells owned per core).
+func (d *DynamicLRU) PartSizes() []int { return append([]int(nil), d.occ...) }
+
+// OnHit implements sim.Strategy.
+func (d *DynamicLRU) OnHit(p core.PageID, at cache.Access) { d.global.Touch(p, at) }
+
+// OnJoin implements sim.Strategy.
+func (d *DynamicLRU) OnJoin(p core.PageID, at cache.Access) { d.global.Touch(p, at) }
+
+// OnFault implements sim.Strategy.
+func (d *DynamicLRU) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	j := at.Core
+	var victim core.PageID = core.NoPage
+	if v.Free() == 0 {
+		w, ok := d.global.Evict(residentOnly(v))
+		if !ok {
+			return core.NoPage
+		}
+		victim = w
+		donor := d.partOf[w]
+		d.occ[donor]--
+		delete(d.partOf, w)
+	}
+	d.global.Insert(p, at)
+	d.partOf[p] = j
+	d.occ[j]++
+	return victim
+}
+
+// Stage is one constant-partition period of a staged dynamic partition.
+type Stage struct {
+	// At is the simulation time from which Sizes applies.
+	At int64
+	// Sizes is the partition during the stage; like a static partition
+	// it must sum to at most K.
+	Sizes []int
+}
+
+// Staged is a dynamic partition dP^D_A whose part sizes follow a fixed
+// schedule of stages (Theorem 1(3) studies exactly this family: dynamic
+// partitions whose size vector changes o(n) times). Within a stage it
+// behaves like a static partition; at a stage boundary, parts over their
+// new size evict their local victims until they fit.
+type Staged struct {
+	stages []Stage
+	mk     cache.Factory
+	name   string
+
+	cur    int
+	parts  []cache.Policy
+	partOf map[core.PageID]int
+	occ    []int
+	sizes  []int
+	// debt[j] > 0 means part j still holds more cells than its size and
+	// sheds pages as they become evictable.
+	debt []int
+}
+
+// NewStaged returns a staged dynamic partition. Stages must be ordered by
+// increasing At and the first stage must start at time 0.
+func NewStaged(stages []Stage, mk cache.Factory) *Staged {
+	p := mk()
+	return &Staged{stages: append([]Stage(nil), stages...), mk: mk,
+		name: fmt.Sprintf("dP[%d stages](%s)", len(stages), p.Name())}
+}
+
+// Name implements sim.Strategy.
+func (s *Staged) Name() string { return s.name }
+
+// Init implements sim.Strategy.
+func (s *Staged) Init(inst core.Instance) error {
+	p := inst.R.NumCores()
+	if len(s.stages) == 0 {
+		return fmt.Errorf("policy: staged partition needs at least one stage")
+	}
+	if s.stages[0].At != 0 {
+		return fmt.Errorf("policy: first stage starts at t=%d, want 0", s.stages[0].At)
+	}
+	if !sort.SliceIsSorted(s.stages, func(i, j int) bool { return s.stages[i].At < s.stages[j].At }) {
+		return fmt.Errorf("policy: stages not sorted by start time")
+	}
+	for i, st := range s.stages {
+		if len(st.Sizes) != p {
+			return fmt.Errorf("policy: stage %d has %d parts for %d cores", i, len(st.Sizes), p)
+		}
+		sum := 0
+		for _, k := range st.Sizes {
+			sum += k
+		}
+		if sum > inst.P.K {
+			return fmt.Errorf("policy: stage %d sizes sum to %d > K=%d", i, sum, inst.P.K)
+		}
+	}
+	s.cur = 0
+	s.sizes = append([]int(nil), s.stages[0].Sizes...)
+	s.parts = make([]cache.Policy, p)
+	for j := range s.parts {
+		s.parts[j] = s.mk()
+		setCapacity(s.parts[j], s.sizes[j])
+	}
+	s.partOf = make(map[core.PageID]int)
+	s.occ = make([]int, p)
+	s.debt = make([]int, p)
+	return nil
+}
+
+// OnTick implements sim.Ticker: it applies stage transitions and sheds
+// outstanding shrink debt.
+func (s *Staged) OnTick(t int64, v sim.View) []core.PageID {
+	for s.cur+1 < len(s.stages) && s.stages[s.cur+1].At <= t {
+		s.cur++
+		s.sizes = append(s.sizes[:0], s.stages[s.cur].Sizes...)
+	}
+	var out []core.PageID
+	for j := range s.occ {
+		over := s.occ[j] - s.sizes[j]
+		if over <= 0 {
+			continue
+		}
+		bindOracle(s.parts[j], v)
+		for i := 0; i < over; i++ {
+			w, ok := s.parts[j].Evict(residentOnly(v))
+			if !ok {
+				break // in-flight pages; retried next tick
+			}
+			delete(s.partOf, w)
+			s.occ[j]--
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// OnHit implements sim.Strategy.
+func (s *Staged) OnHit(p core.PageID, at cache.Access) {
+	if j, ok := s.partOf[p]; ok {
+		s.parts[j].Touch(p, at)
+	}
+}
+
+// OnJoin implements sim.Strategy.
+func (s *Staged) OnJoin(p core.PageID, at cache.Access) {
+	if j, ok := s.partOf[p]; ok {
+		s.parts[j].Touch(p, at)
+	}
+}
+
+// OnFault implements sim.Strategy.
+func (s *Staged) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	j := at.Core
+	bindOracle(s.parts[j], v)
+	var victim core.PageID = core.NoPage
+	if s.occ[j] < s.sizes[j] && v.Free() > 0 {
+		s.occ[j]++
+	} else {
+		w, ok := evictFor(s.parts[j], p, residentOnly(v))
+		if !ok {
+			return core.NoPage
+		}
+		victim = w
+		delete(s.partOf, w)
+	}
+	s.parts[j].Insert(p, at)
+	s.partOf[p] = j
+	return victim
+}
+
+// Func is a scripted strategy: victim selection is delegated to a closure.
+// It is the vehicle for hand-constructed offline strategies (the SOFF
+// adversary of Lemma 4, the constructive schedule of Theorem 2) and for
+// exhaustive-search drivers.
+type Func struct {
+	// StrategyName labels the strategy in results.
+	StrategyName string
+	// Setup, if non-nil, is called by Init with the instance.
+	Setup func(inst core.Instance) error
+	// Victim chooses the eviction victim on a fault needing a cell; it
+	// must return core.NoPage to use a free cell. Required.
+	Victim func(p core.PageID, at cache.Access, v sim.View) core.PageID
+	// Hit and Join, if non-nil, observe hits and in-flight joins.
+	Hit  func(p core.PageID, at cache.Access)
+	Join func(p core.PageID, at cache.Access)
+}
+
+// Name implements sim.Strategy.
+func (f *Func) Name() string {
+	if f.StrategyName != "" {
+		return f.StrategyName
+	}
+	return "scripted"
+}
+
+// Init implements sim.Strategy.
+func (f *Func) Init(inst core.Instance) error {
+	if f.Victim == nil {
+		return fmt.Errorf("policy: Func strategy without Victim")
+	}
+	if f.Setup != nil {
+		return f.Setup(inst)
+	}
+	return nil
+}
+
+// OnHit implements sim.Strategy.
+func (f *Func) OnHit(p core.PageID, at cache.Access) {
+	if f.Hit != nil {
+		f.Hit(p, at)
+	}
+}
+
+// OnJoin implements sim.Strategy.
+func (f *Func) OnJoin(p core.PageID, at cache.Access) {
+	if f.Join != nil {
+		f.Join(p, at)
+	}
+}
+
+// OnFault implements sim.Strategy.
+func (f *Func) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	return f.Victim(p, at, v)
+}

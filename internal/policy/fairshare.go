@@ -1,0 +1,105 @@
+package policy
+
+import (
+	"fmt"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// FairShare is an online dynamic partition aimed at the fairness
+// objective the paper's conclusions propose as future work (and which
+// PARTIAL-INDIVIDUAL-FAULTS formalises offline): every Window timesteps
+// it moves one cache cell from the core with the fewest recent faults to
+// the core with the most, greedily equalising per-core fault rates at
+// some cost in total faults. Parts run LRU.
+//
+// It is the online counterpart of a PIF bound vector: where Algorithm 2
+// asks whether per-core budgets are feasible at a checkpoint, FairShare
+// steers toward balanced budgets without future knowledge. Experiment
+// E16 measures what that steering costs.
+type FairShare struct {
+	// Window is the reallocation period in timesteps (default 64).
+	Window int64
+
+	q      quotaParts
+	window []int64 // faults in the current window
+	nextAt int64
+	active []bool
+}
+
+// NewFairShare returns a FairShare partition with the given reallocation
+// window (0 = default).
+func NewFairShare(window int64) *FairShare {
+	if window <= 0 {
+		window = 64
+	}
+	return &FairShare{Window: window}
+}
+
+// Name implements sim.Strategy.
+func (f *FairShare) Name() string { return fmt.Sprintf("dP[fair/%d](LRU)", f.Window) }
+
+// Init implements sim.Strategy.
+func (f *FairShare) Init(inst core.Instance) error {
+	p := inst.R.NumCores()
+	if inst.P.K < p {
+		return fmt.Errorf("policy: FairShare needs K >= p (K=%d, p=%d)", inst.P.K, p)
+	}
+	f.active = make([]bool, p)
+	for j := range f.active {
+		f.active[j] = len(inst.R[j]) > 0
+	}
+	f.q.init(p, inst.P.K, f.active)
+	f.window = make([]int64, p)
+	f.nextAt = f.Window
+	return nil
+}
+
+// Quota returns the current per-core cell targets (for tests and
+// observability).
+func (f *FairShare) Quota() []int { return append([]int(nil), f.q.quota...) }
+
+// OnTick implements sim.Ticker: periodic quota rebalancing plus shedding
+// of any overage.
+func (f *FairShare) OnTick(t int64, v sim.View) []core.PageID {
+	if t >= f.nextAt {
+		f.nextAt = t + f.Window
+		rich, poor := -1, -1
+		for j := range f.window {
+			if !f.active[j] {
+				continue
+			}
+			if rich == -1 || f.window[j] > f.window[rich] {
+				rich = j
+			}
+			if f.q.quota[j] > 1 && (poor == -1 || f.window[j] < f.window[poor]) {
+				poor = j
+			}
+		}
+		if rich >= 0 && poor >= 0 && rich != poor && f.window[rich] > f.window[poor] {
+			f.q.quota[poor]--
+			f.q.quota[rich]++
+		}
+		for j := range f.window {
+			f.window[j] = 0
+		}
+	}
+	return f.q.shed(v)
+}
+
+// OnHit implements sim.Strategy.
+func (f *FairShare) OnHit(p core.PageID, at cache.Access) { f.q.touch(p, at) }
+
+// OnJoin implements sim.Strategy.
+func (f *FairShare) OnJoin(p core.PageID, at cache.Access) {
+	f.window[at.Core]++
+	f.q.touch(p, at)
+}
+
+// OnFault implements sim.Strategy.
+func (f *FairShare) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	f.window[at.Core]++
+	return f.q.fault(at.Core, p, at, v)
+}

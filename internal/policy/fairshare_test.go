@@ -1,0 +1,99 @@
+package policy_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/metrics"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func TestFairShareRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(3)
+		k := p + rng.Intn(8)
+		rs := randomDisjoint(rng, p, 80, 6)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: rng.Intn(4)}}
+		res, err := sim.Run(in, policy.NewFairShare(16), nil)
+		if err != nil {
+			return false
+		}
+		return res.TotalFaults()+res.TotalHits() == int64(rs.TotalLen())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFairShareImprovesFairness: on a deliberately unbalanced workload —
+// one thrashing core, three tiny-working-set cores — FairShare ends up
+// fairer than the even static partition.
+func TestFairShareImprovesFairness(t *testing.T) {
+	var rs core.RequestSet
+	// Core 0: cycles through 12 pages (needs many cells).
+	big := make(core.Sequence, 1200)
+	for i := range big {
+		big[i] = core.PageID(i % 12)
+	}
+	rs = append(rs, big)
+	for j := 1; j < 4; j++ {
+		small := make(core.Sequence, 1200)
+		for i := range small {
+			small[i] = core.PageID(1000*j + i%2)
+		}
+		rs = append(rs, small)
+	}
+	in := core.Instance{R: rs, P: core.Params{K: 16, Tau: 2}}
+
+	static, err := sim.Run(in, policy.NewStatic(policy.EvenSizes(16, 4), lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := sim.Run(in, policy.NewFairShare(32), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jStatic := metrics.JainIndex(static.Faults)
+	jFair := metrics.JainIndex(fair.Faults)
+	if jFair <= jStatic {
+		t.Fatalf("FairShare Jain %.3f should beat even static %.3f (faults %v vs %v)",
+			jFair, jStatic, fair.Faults, static.Faults)
+	}
+	// And the thrashing core specifically must fault less than under the
+	// even split.
+	if fair.Faults[0] >= static.Faults[0] {
+		t.Fatalf("FairShare should relieve the thrashing core: %d vs %d",
+			fair.Faults[0], static.Faults[0])
+	}
+}
+
+func TestFairShareQuotaConserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rs := randomDisjoint(rng, 3, 150, 6)
+	in := core.Instance{R: rs, P: core.Params{K: 9, Tau: 1}}
+	fs := policy.NewFairShare(8)
+	if _, err := sim.Run(in, fs, nil); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, q := range fs.Quota() {
+		if q < 0 {
+			t.Fatalf("negative quota: %v", fs.Quota())
+		}
+		total += q
+	}
+	if total != 9 {
+		t.Fatalf("quota sums to %d, want K=9 (%v)", total, fs.Quota())
+	}
+}
+
+func TestFairShareRejectsTinyCache(t *testing.T) {
+	in := core.Instance{R: core.RequestSet{{1}, {2}, {3}}, P: core.Params{K: 2, Tau: 0}}
+	if _, err := sim.Run(in, policy.NewFairShare(8), nil); err == nil {
+		t.Fatal("K < p should be rejected")
+	}
+}

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// FWF is Flush-When-Full, the textbook conservative algorithm: when a
+// fault finds the cache full, the entire cache is emptied and a new
+// phase begins. It is the crudest member of the marking family the
+// paper's Lemma 1 covers, and a useful worst-reasonable baseline in the
+// policy matrix.
+//
+// Adaptation to the simulator's contract: a fault needs exactly one
+// cell, so the faulting request evicts one page immediately and the
+// remaining pages of the old phase are flushed as voluntary evictions at
+// the next step boundary (sim.Ticker) — in-flight pages are flushed as
+// soon as their fetches complete. Requests that land between the fault
+// and the boundary may still hit the doomed pages; the flush semantics
+// are otherwise exactly flush-when-full.
+type FWF struct {
+	resident map[core.PageID]bool
+	doomed   map[core.PageID]bool
+}
+
+// NewFWF returns the shared flush-when-full strategy.
+func NewFWF() *FWF { return &FWF{} }
+
+// Name implements sim.Strategy.
+func (f *FWF) Name() string { return "S(FWF)" }
+
+// Init implements sim.Strategy.
+func (f *FWF) Init(core.Instance) error {
+	f.resident = make(map[core.PageID]bool)
+	f.doomed = make(map[core.PageID]bool)
+	return nil
+}
+
+// OnTick implements sim.Ticker: flush the doomed pages that are
+// evictable.
+func (f *FWF) OnTick(_ int64, v sim.View) []core.PageID {
+	if len(f.doomed) == 0 {
+		return nil
+	}
+	var out []core.PageID
+	for p := range f.doomed {
+		if v.Resident(p) {
+			out = append(out, p)
+			delete(f.doomed, p)
+			delete(f.resident, p)
+		}
+	}
+	sortPageIDs(out) // deterministic order for observers
+	return out
+}
+
+// OnHit implements sim.Strategy.
+func (f *FWF) OnHit(core.PageID, cache.Access) {}
+
+// OnJoin implements sim.Strategy.
+func (f *FWF) OnJoin(core.PageID, cache.Access) {}
+
+// OnFault implements sim.Strategy.
+func (f *FWF) OnFault(p core.PageID, _ cache.Access, v sim.View) core.PageID {
+	var victim core.PageID = core.NoPage
+	if v.Free() == 0 {
+		// Cache full: flush. One page goes now (the fault needs its
+		// cell) — preferring an already-doomed page — and the rest are
+		// doomed, leaving at the next boundary.
+		var fallback core.PageID = core.NoPage
+		for q := range f.resident {
+			if q == p || !v.Resident(q) {
+				continue
+			}
+			if f.doomed[q] {
+				if victim == core.NoPage || q < victim {
+					victim = q
+				}
+			} else if fallback == core.NoPage || q < fallback {
+				fallback = q
+			}
+		}
+		if victim == core.NoPage {
+			victim = fallback
+		}
+		if victim == core.NoPage {
+			return core.NoPage // nothing evictable; simulator reports it
+		}
+		delete(f.resident, victim)
+		delete(f.doomed, victim)
+		for q := range f.resident {
+			if q != p {
+				f.doomed[q] = true
+			}
+		}
+	}
+	f.resident[p] = true
+	delete(f.doomed, p) // a re-fetched page belongs to the new phase
+	return victim
+}
+
+// sortPageIDs sorts a small slice in place (insertion sort; flush sets
+// are at most K pages).
+func sortPageIDs(ps []core.PageID) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j] < ps[j-1]; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

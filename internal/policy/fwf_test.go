@@ -1,0 +1,77 @@
+package policy_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func TestFWFAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(3)
+		k := p + rng.Intn(6)
+		rs := randomDisjoint(rng, p, 60, 6)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: rng.Intn(3)}}
+		res, err := sim.Run(in, policy.NewFWF(), nil)
+		if err != nil {
+			return false
+		}
+		return res.TotalFaults()+res.TotalHits() == int64(rs.TotalLen())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFWFFlushesOnFull(t *testing.T) {
+	// Single core, K=2, pages 1 2 3 1: the fault on 3 flushes the phase,
+	// so the second request of 1 faults again (LRU would keep it? no —
+	// LRU evicts 1 on the fault for 3 too; use 2 3 1 ordering to split
+	// behaviours).
+	in := core.Instance{
+		R: core.RequestSet{{1, 2, 3, 2}},
+		P: core.Params{K: 2, Tau: 0},
+	}
+	res, err := sim.Run(in, policy.NewFWF(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1,2 fill; 3 flushes {1,2} (evicts one immediately, dooms the
+	// other); 2 was doomed or evicted → faults again. Total 4 faults.
+	if res.TotalFaults() != 4 {
+		t.Fatalf("faults = %d, want 4", res.TotalFaults())
+	}
+	lruRes, err := sim.Run(in, policy.NewShared(lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LRU keeps 2 across the fault on 3 (victim is 1): only 3 faults.
+	if lruRes.TotalFaults() != 3 {
+		t.Fatalf("LRU faults = %d, want 3", lruRes.TotalFaults())
+	}
+}
+
+func TestFWFNeverBeatsItselfAcrossPhases(t *testing.T) {
+	// Sanity across workload kinds: FWF is within the marking family, so
+	// faults ≤ K · (phases of the interleaved string) — loosely checked
+	// as faults ≤ K × (LRU faults), since LRU faults ≥ phases.
+	rng := rand.New(rand.NewSource(9))
+	rs := randomDisjoint(rng, 2, 200, 6)
+	in := core.Instance{R: rs, P: core.Params{K: 6, Tau: 1}}
+	fwf, err := sim.Run(in, policy.NewFWF(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lruRes, err := sim.Run(in, policy.NewShared(lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwf.TotalFaults() > 6*lruRes.TotalFaults() {
+		t.Fatalf("FWF %d exceeds K×LRU %d", fwf.TotalFaults(), 6*lruRes.TotalFaults())
+	}
+}

@@ -1,0 +1,217 @@
+// Package policy implements the cache-management strategies the paper
+// classifies in Section 4: shared strategies S_A, static partitions
+// sP^B_A, and dynamic partitions dP^D_A, together with scripted
+// strategies used by offline constructions.
+//
+// A strategy pairs a partition discipline with an eviction policy from
+// package cache. The simulator (package sim) owns ground truth; the
+// strategies here own replacement metadata and part occupancy.
+//
+// All strategies assume K ≥ p (there is always at least one resident,
+// evictable page when a victim is needed); the paper's own tall-cache
+// assumption K ≥ p² is stronger.
+package policy
+
+import (
+	"fmt"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// bindOracle attaches the simulator view (which implements cache.Oracle)
+// to policies that want future knowledge, such as FITF.
+func bindOracle(p cache.Policy, v sim.View) {
+	if ou, ok := p.(cache.OracleUser); ok {
+		ou.SetOracle(oracleView{v})
+	}
+}
+
+// oracleView adapts sim.View to cache.Oracle.
+type oracleView struct{ v sim.View }
+
+func (o oracleView) NextUse(p core.PageID) int64 { return o.v.NextUse(p) }
+
+// residentOnly returns the evictability predicate for a view: only pages
+// whose fetch has completed may be evicted.
+func residentOnly(v sim.View) func(core.PageID) bool {
+	return func(p core.PageID) bool { return v.Resident(p) }
+}
+
+// setCapacity informs capacity-aware policies (ARC, SLRU) of their
+// replacement-domain size.
+func setCapacity(p cache.Policy, c int) {
+	if ca, ok := p.(cache.CapacityAware); ok {
+		ca.SetCapacity(c)
+	}
+}
+
+// evictFor asks the policy for a victim, preferring the incoming-aware
+// path (ARC's ghost-directed REPLACE) when the policy offers one.
+func evictFor(p cache.Policy, incoming core.PageID, evictable func(core.PageID) bool) (core.PageID, bool) {
+	if ie, ok := p.(cache.IncomingEvictor); ok {
+		return ie.EvictFor(incoming, evictable)
+	}
+	return p.Evict(evictable)
+}
+
+// Shared manages the whole cache as one replacement domain: the paper's
+// S_A strategy for eviction policy A.
+type Shared struct {
+	pol  cache.Policy
+	mk   cache.Factory
+	name string
+}
+
+// NewShared returns the shared strategy S_A for the policy built by mk.
+func NewShared(mk cache.Factory) *Shared {
+	p := mk()
+	return &Shared{pol: p, mk: mk, name: "S(" + p.Name() + ")"}
+}
+
+// Name implements sim.Strategy.
+func (s *Shared) Name() string { return s.name }
+
+// Init implements sim.Strategy.
+func (s *Shared) Init(inst core.Instance) error {
+	s.pol = s.mk()
+	setCapacity(s.pol, inst.P.K)
+	return nil
+}
+
+// OnHit implements sim.Strategy.
+func (s *Shared) OnHit(p core.PageID, at cache.Access) { s.pol.Touch(p, at) }
+
+// OnJoin implements sim.Strategy. A join is a use of the in-flight page,
+// so it refreshes replacement metadata like a hit.
+func (s *Shared) OnJoin(p core.PageID, at cache.Access) { s.pol.Touch(p, at) }
+
+// RemoveMetadata drops a page from the shared replacement metadata. It is
+// used by wrappers that voluntarily evict pages (forcing strategies): the
+// ground-truth eviction is reported to the simulator via sim.Ticker and
+// this call keeps the policy's view consistent.
+func (s *Shared) RemoveMetadata(p core.PageID) { s.pol.Remove(p) }
+
+// OnFault implements sim.Strategy.
+func (s *Shared) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	bindOracle(s.pol, v)
+	var victim core.PageID = core.NoPage
+	if v.Free() == 0 {
+		w, ok := evictFor(s.pol, p, residentOnly(v))
+		if !ok {
+			// No resident page to evict; the simulator will report the
+			// protocol violation. Cannot happen when K ≥ p.
+			return core.NoPage
+		}
+		victim = w
+	}
+	s.pol.Insert(p, at)
+	return victim
+}
+
+// Static is the static-partition strategy sP^B_A: part j of size B[j] is
+// reserved for core j's pages and runs its own instance of the eviction
+// policy.
+type Static struct {
+	sizes  []int
+	mk     cache.Factory
+	parts  []cache.Policy
+	partOf map[core.PageID]int
+	occ    []int
+	name   string
+}
+
+// NewStatic returns sP^B_A for partition sizes and policy factory mk. The
+// sizes must sum to at most K (validated at Init) and every core with a
+// non-empty sequence must receive at least one cell.
+func NewStatic(sizes []int, mk cache.Factory) *Static {
+	p := mk()
+	return &Static{sizes: append([]int(nil), sizes...), mk: mk,
+		name: fmt.Sprintf("sP%v(%s)", sizes, p.Name())}
+}
+
+// Name implements sim.Strategy.
+func (s *Static) Name() string { return s.name }
+
+// Sizes returns a copy of the partition sizes.
+func (s *Static) Sizes() []int { return append([]int(nil), s.sizes...) }
+
+// Init implements sim.Strategy.
+func (s *Static) Init(inst core.Instance) error {
+	p := inst.R.NumCores()
+	if len(s.sizes) != p {
+		return fmt.Errorf("policy: partition has %d parts for %d cores", len(s.sizes), p)
+	}
+	sum := 0
+	for j, k := range s.sizes {
+		if k < 0 {
+			return fmt.Errorf("policy: negative part size %d for core %d", k, j)
+		}
+		if k == 0 && len(inst.R[j]) > 0 {
+			return fmt.Errorf("policy: core %d is active but has no cache", j)
+		}
+		sum += k
+	}
+	if sum > inst.P.K {
+		return fmt.Errorf("policy: partition sizes sum to %d > K=%d", sum, inst.P.K)
+	}
+	s.parts = make([]cache.Policy, p)
+	for j := range s.parts {
+		s.parts[j] = s.mk()
+		setCapacity(s.parts[j], s.sizes[j])
+	}
+	s.partOf = make(map[core.PageID]int)
+	s.occ = make([]int, p)
+	return nil
+}
+
+// OnHit implements sim.Strategy. The hit may land in another core's part
+// when sequences share pages; metadata is updated where the page lives.
+func (s *Static) OnHit(p core.PageID, at cache.Access) {
+	if j, ok := s.partOf[p]; ok {
+		s.parts[j].Touch(p, at)
+	}
+}
+
+// OnJoin implements sim.Strategy.
+func (s *Static) OnJoin(p core.PageID, at cache.Access) {
+	if j, ok := s.partOf[p]; ok {
+		s.parts[j].Touch(p, at)
+	}
+}
+
+// OnFault implements sim.Strategy: the victim always comes from the
+// faulting core's own part.
+func (s *Static) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	j := at.Core
+	bindOracle(s.parts[j], v)
+	var victim core.PageID = core.NoPage
+	if s.occ[j] < s.sizes[j] {
+		s.occ[j]++
+	} else {
+		w, ok := evictFor(s.parts[j], p, residentOnly(v))
+		if !ok {
+			return core.NoPage
+		}
+		victim = w
+		delete(s.partOf, w)
+	}
+	s.parts[j].Insert(p, at)
+	s.partOf[p] = j
+	return victim
+}
+
+// EvenSizes splits K cells over p cores as evenly as possible (the first
+// K mod p cores get one extra cell).
+func EvenSizes(k, p int) []int {
+	sizes := make([]int, p)
+	base, extra := k/p, k%p
+	for j := range sizes {
+		sizes[j] = base
+		if j < extra {
+			sizes[j]++
+		}
+	}
+	return sizes
+}

@@ -1,0 +1,383 @@
+package policy_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func lru() cache.Factory { return func() cache.Policy { return cache.NewLRU() } }
+func fitf() cache.Factory {
+	return func() cache.Policy { return cache.NewFITF() }
+}
+
+func inst(k, tau int, seqs ...core.Sequence) core.Instance {
+	return core.Instance{R: core.RequestSet(seqs), P: core.Params{K: k, Tau: tau}}
+}
+
+// randomDisjoint builds a random disjoint request set: p cores, each with
+// its own page range.
+func randomDisjoint(rng *rand.Rand, p, maxLen, pagesPerCore int) core.RequestSet {
+	rs := make(core.RequestSet, p)
+	for j := range rs {
+		n := 1 + rng.Intn(maxLen)
+		s := make(core.Sequence, n)
+		for i := range s {
+			s[i] = core.PageID(j*1000 + rng.Intn(pagesPerCore))
+		}
+		rs[j] = s
+	}
+	return rs
+}
+
+func TestSharedLRUSequential(t *testing.T) {
+	// p=1: the model degenerates to classical paging; LRU on the classic
+	// cyclic worst case faults on every request.
+	seq := core.Sequence{}
+	for i := 0; i < 12; i++ {
+		seq = append(seq, core.PageID(i%3))
+	}
+	res, err := sim.Run(inst(2, 0, seq), policy.NewShared(lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults() != 12 {
+		t.Fatalf("cyclic LRU faults = %d, want 12", res.TotalFaults())
+	}
+}
+
+func TestSharedFITFSequential(t *testing.T) {
+	// p=1, τ=0: FITF is Belady and thus optimal. On the cyclic worst
+	// case with K=2, w=3, OPT faults on at most every other request
+	// after warmup.
+	seq := core.Sequence{}
+	for i := 0; i < 12; i++ {
+		seq = append(seq, core.PageID(i%3))
+	}
+	res, err := sim.Run(inst(2, 0, seq), policy.NewShared(fitf()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lruRes, _ := sim.Run(inst(2, 0, seq), policy.NewShared(lru()), nil)
+	if res.TotalFaults() >= lruRes.TotalFaults() {
+		t.Fatalf("FITF (%d) should beat LRU (%d) on cyclic workload",
+			res.TotalFaults(), lruRes.TotalFaults())
+	}
+	if res.TotalFaults() != 7 {
+		t.Fatalf("FITF faults = %d, want 7 (3 cold + ceil(9/2))", res.TotalFaults())
+	}
+}
+
+// TestLemma3Equivalence checks Lemma 3: the dynamic partition with
+// global-LRU donor selection is exactly equivalent to shared LRU on
+// disjoint request sets — same faults, hits, and timing, request by
+// request.
+func TestLemma3Equivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(4)
+		k := p + rng.Intn(8)
+		tau := rng.Intn(4)
+		rs := randomDisjoint(rng, p, 40, 6)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+
+		var evS, evD []sim.Event
+		rS, err := sim.Run(in, policy.NewShared(lru()), func(e sim.Event) { evS = append(evS, e) })
+		if err != nil {
+			return false
+		}
+		rD, err := sim.Run(in, policy.NewDynamicLRU(), func(e sim.Event) { evD = append(evD, e) })
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(rS.Faults, rD.Faults) || rS.Makespan != rD.Makespan {
+			return false
+		}
+		if len(evS) != len(evD) {
+			return false
+		}
+		for i := range evS {
+			// Identical service pattern: same page at same time with the
+			// same hit/fault outcome. (Victims coincide too, since both
+			// evict the globally least recent resident page.)
+			if evS[i].Time != evD[i].Time || evS[i].Page != evD[i].Page ||
+				evS[i].Fault != evD[i].Fault || evS[i].Victim != evD[i].Victim {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaticIsolation checks the independence property that makes static
+// partitions analysable: core j's fault count under sP^B_A equals its
+// fault count running alone with a cache of size B[j].
+func TestStaticIsolation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(3)
+		rs := randomDisjoint(rng, p, 50, 5)
+		sizes := make([]int, p)
+		k := 0
+		for j := range sizes {
+			sizes[j] = 1 + rng.Intn(4)
+			k += sizes[j]
+		}
+		tau := rng.Intn(3)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+		res, err := sim.Run(in, policy.NewStatic(sizes, lru()), nil)
+		if err != nil {
+			return false
+		}
+		for j := range rs {
+			solo := core.Instance{
+				R: core.RequestSet{rs[j]},
+				P: core.Params{K: sizes[j], Tau: tau},
+			}
+			soloRes, err := sim.Run(solo, policy.NewShared(lru()), nil)
+			if err != nil {
+				return false
+			}
+			if res.Faults[j] != soloRes.Faults[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticValidation(t *testing.T) {
+	in := inst(4, 0, core.Sequence{1}, core.Sequence{2})
+	cases := []struct {
+		name  string
+		sizes []int
+	}{
+		{"wrong length", []int{4}},
+		{"over K", []int{3, 2}},
+		{"zero for active", []int{4, 0}},
+		{"negative", []int{5, -1}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := sim.Run(in, policy.NewStatic(c.sizes, lru()), nil); err == nil {
+				t.Fatalf("sizes %v should be rejected", c.sizes)
+			}
+		})
+	}
+	// Inactive core may have size 0.
+	in2 := inst(4, 0, core.Sequence{1}, core.Sequence{})
+	if _, err := sim.Run(in2, policy.NewStatic([]int{4, 0}, lru()), nil); err != nil {
+		t.Fatalf("inactive core with 0 cells should be fine: %v", err)
+	}
+}
+
+func TestEvenSizes(t *testing.T) {
+	cases := []struct {
+		k, p int
+		want []int
+	}{
+		{8, 4, []int{2, 2, 2, 2}},
+		{7, 3, []int{3, 2, 2}},
+		{3, 4, []int{1, 1, 1, 0}},
+	}
+	for _, c := range cases {
+		if got := policy.EvenSizes(c.k, c.p); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("EvenSizes(%d,%d) = %v, want %v", c.k, c.p, got, c.want)
+		}
+	}
+}
+
+func TestDynamicLRUPartSizes(t *testing.T) {
+	// The dynamic partition's part sizes track which cores hold cells.
+	in := inst(2, 0,
+		core.Sequence{1, 2},
+		core.Sequence{9},
+	)
+	d := policy.NewDynamicLRU()
+	if _, err := sim.Run(in, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	sizes := d.PartSizes()
+	if sizes[0]+sizes[1] != 2 {
+		t.Fatalf("part sizes %v should sum to cells in use (2)", sizes)
+	}
+}
+
+func TestStagedBehavesStaticWithOneStage(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(2)
+		rs := randomDisjoint(rng, p, 40, 5)
+		sizes := make([]int, p)
+		k := 0
+		for j := range sizes {
+			sizes[j] = 1 + rng.Intn(3)
+			k += sizes[j]
+		}
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: rng.Intn(3)}}
+		a, err := sim.Run(in, policy.NewStatic(sizes, lru()), nil)
+		if err != nil {
+			return false
+		}
+		b, err := sim.Run(in, policy.NewStaged([]policy.Stage{{At: 0, Sizes: sizes}}, lru()), nil)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(a.Faults, b.Faults) && a.Makespan == b.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStagedShrinkEvicts(t *testing.T) {
+	// Core 0 starts with 3 cells and is squeezed to 1 at t=10; its
+	// working set of 3 pages then thrashes.
+	warm := core.Sequence{1, 2, 3}
+	var loop core.Sequence
+	for i := 0; i < 30; i++ {
+		loop = append(loop, core.PageID(1+i%3))
+	}
+	seq0 := append(warm, loop...)
+	seq1 := make(core.Sequence, 40)
+	for i := range seq1 {
+		seq1[i] = 100 + core.PageID(i%1) // single page
+	}
+	in := inst(4, 0, seq0, seq1)
+	stages := []policy.Stage{
+		{At: 0, Sizes: []int{3, 1}},
+		{At: 10, Sizes: []int{1, 3}},
+	}
+	res, err := sim.Run(in, policy.NewStaged(stages, lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VoluntaryEvictions != 2 {
+		t.Fatalf("voluntary evictions = %d, want 2 (shrink 3→1)", res.VoluntaryEvictions)
+	}
+	// After the shrink core 0 faults on every request of its 3-page loop.
+	if res.Faults[0] < 20 {
+		t.Fatalf("core 0 faults = %d, want thrashing after shrink", res.Faults[0])
+	}
+}
+
+func TestStagedValidation(t *testing.T) {
+	in := inst(4, 0, core.Sequence{1}, core.Sequence{2})
+	bad := [][]policy.Stage{
+		{},                               // no stages
+		{{At: 5, Sizes: []int{2, 2}}},    // first stage not at 0
+		{{At: 0, Sizes: []int{2, 2, 2}}}, // wrong arity
+		{{At: 0, Sizes: []int{3, 3}}},    // over K
+	}
+	for i, st := range bad {
+		if _, err := sim.Run(in, policy.NewStaged(st, lru()), nil); err == nil {
+			t.Errorf("case %d: stages %v should be rejected", i, st)
+		}
+	}
+}
+
+func TestFuncValidation(t *testing.T) {
+	in := inst(1, 0, core.Sequence{1})
+	if _, err := sim.Run(in, &policy.Func{}, nil); err == nil {
+		t.Fatal("Func without Victim should be rejected")
+	}
+}
+
+func TestSharedPoliciesAllRun(t *testing.T) {
+	// Smoke test: every registered policy completes a mixed workload
+	// under the shared strategy with exactly n = hits+faults.
+	rng := rand.New(rand.NewSource(3))
+	rs := randomDisjoint(rng, 3, 60, 8)
+	in := core.Instance{R: rs, P: core.Params{K: 9, Tau: 2}}
+	for _, name := range cache.PolicyNames() {
+		mk, err := cache.NewFactory(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(in, policy.NewShared(mk), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalFaults()+res.TotalHits() != int64(in.R.TotalLen()) {
+			t.Fatalf("%s: faults+hits = %d, want %d", name,
+				res.TotalFaults()+res.TotalHits(), in.R.TotalLen())
+		}
+	}
+}
+
+func TestStaticPoliciesAllRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	rs := randomDisjoint(rng, 3, 60, 8)
+	in := core.Instance{R: rs, P: core.Params{K: 9, Tau: 1}}
+	for _, name := range cache.PolicyNames() {
+		mk, _ := cache.NewFactory(name, 7)
+		res, err := sim.Run(in, policy.NewStatic([]int{3, 3, 3}, mk), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.TotalFaults()+res.TotalHits() != int64(in.R.TotalLen()) {
+			t.Fatalf("%s: wrong event count", name)
+		}
+	}
+}
+
+// TestStaticIsolationAllPolicies generalises TestStaticIsolation: for
+// EVERY eviction policy, core j's fault count under sP^B_A equals its
+// fault count running alone with cache B[j] — partitioned parts are
+// perfectly isolated replacement domains (capacity-aware policies like
+// ARC and SLRU must see the part size, not K).
+func TestStaticIsolationAllPolicies(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, name := range cache.PolicyNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 6; trial++ {
+				p := 2 + rng.Intn(2)
+				rs := randomDisjoint(rng, p, 60, 6)
+				sizes := make([]int, p)
+				k := 0
+				for j := range sizes {
+					sizes[j] = 2 + rng.Intn(3)
+					k += sizes[j]
+				}
+				tau := rng.Intn(3)
+				mk, err := cache.NewFactory(name, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+				res, err := sim.Run(in, policy.NewStatic(sizes, mk), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := range rs {
+					solo := core.Instance{
+						R: core.RequestSet{rs[j]},
+						P: core.Params{K: sizes[j], Tau: tau},
+					}
+					mkSolo, _ := cache.NewFactory(name, 42)
+					soloRes, err := sim.Run(solo, policy.NewShared(mkSolo), nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Faults[j] != soloRes.Faults[0] {
+						t.Fatalf("trial %d core %d: partitioned %d != solo %d",
+							trial, j, res.Faults[j], soloRes.Faults[0])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+package policy
+
+import (
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// quotaParts is the machinery shared by quota-driven dynamic partitions
+// (FairShare, UCP): per-core LRU parts, page ownership, occupancy, and a
+// quota vector that a surrounding strategy adjusts over time. Cells
+// drift toward their quotas: parts above quota shed pages at step
+// boundaries, and a faulting core whose own part is empty steals a cell
+// from the most over-quota donor.
+type quotaParts struct {
+	parts  []cache.Policy
+	partOf map[core.PageID]int
+	occ    []int
+	quota  []int
+}
+
+func (q *quotaParts) init(p, k int, active []bool) {
+	q.parts = make([]cache.Policy, p)
+	for j := range q.parts {
+		q.parts[j] = cache.NewLRU()
+	}
+	q.partOf = make(map[core.PageID]int)
+	q.occ = make([]int, p)
+	q.quota = EvenSizes(k, p)
+	// Inactive cores donate their quota to the first active core.
+	first := -1
+	for j, a := range active {
+		if a {
+			first = j
+			break
+		}
+	}
+	if first >= 0 {
+		for j := range q.quota {
+			if !active[j] && q.quota[j] > 0 {
+				q.quota[first] += q.quota[j]
+				q.quota[j] = 0
+			}
+		}
+	}
+}
+
+// touch refreshes metadata on a hit or in-flight join.
+func (q *quotaParts) touch(p core.PageID, at cache.Access) {
+	if j, ok := q.partOf[p]; ok {
+		q.parts[j].Touch(p, at)
+	}
+}
+
+// shed evicts pages from parts above quota; returned pages must be
+// handed to the simulator as voluntary evictions.
+func (q *quotaParts) shed(v sim.View) []core.PageID {
+	var out []core.PageID
+	for j := range q.occ {
+		for q.occ[j] > q.quota[j] {
+			w, ok := q.parts[j].Evict(residentOnly(v))
+			if !ok {
+				break // in-flight pages; retried next tick
+			}
+			delete(q.partOf, w)
+			q.occ[j]--
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// fault handles victim selection for core j faulting on page p.
+func (q *quotaParts) fault(j int, p core.PageID, at cache.Access, v sim.View) core.PageID {
+	var victim core.PageID = core.NoPage
+	switch {
+	case q.occ[j] < q.quota[j] && v.Free() > 0:
+		q.occ[j]++
+	default:
+		if w, ok := q.parts[j].Evict(residentOnly(v)); ok {
+			victim = w
+			delete(q.partOf, w)
+			break
+		}
+		// Own part empty or wholly in flight (possible right after a
+		// quota cut): steal a cell from the most over-quota donor.
+		donor := -1
+		for c := range q.occ {
+			if c == j || q.occ[c] == 0 {
+				continue
+			}
+			if donor == -1 || q.occ[c]-q.quota[c] > q.occ[donor]-q.quota[donor] {
+				donor = c
+			}
+		}
+		if donor == -1 {
+			return core.NoPage // protocol error surfaces in the simulator
+		}
+		w, ok := q.parts[donor].Evict(residentOnly(v))
+		if !ok {
+			return core.NoPage
+		}
+		victim = w
+		delete(q.partOf, w)
+		q.occ[donor]--
+		q.occ[j]++
+	}
+	q.parts[j].Insert(p, at)
+	q.partOf[p] = j
+	return victim
+}

@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"fmt"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// UCP is utility-based cache partitioning in the style of Qureshi & Patt
+// (MICRO 2006) — the practice-side dynamic-partition heuristic the
+// paper's related work surveys: each core carries a lightweight utility
+// monitor (a shadow LRU stack with per-depth hit counters, i.e. an
+// online Mattson sampler over the recent past), and every Window
+// timesteps the K cells are redistributed greedily by marginal utility —
+// each next cell goes to the core whose hit count at its current
+// allocation depth is largest. Counters decay geometrically so the
+// partition tracks phase changes.
+//
+// UCP chases total hits where FairShare chases equal faults; experiment
+// E13/E16 put both against the shared and static baselines.
+type UCP struct {
+	// Window is the repartitioning period in timesteps (default 128).
+	Window int64
+	// Decay divides the monitor counters at each repartition (default 2).
+	Decay int64
+
+	k      int
+	q      quotaParts
+	mons   []*umon
+	nextAt int64
+	active []bool
+}
+
+// umon is a per-core utility monitor: a shadow LRU stack of up to k
+// pages with hit counters per stack depth.
+type umon struct {
+	stack []core.PageID
+	hits  []int64 // hits[d] = hits at depth d (0-based), needing d+1 cells
+}
+
+func newUmon(k int) *umon {
+	return &umon{stack: make([]core.PageID, 0, k), hits: make([]int64, k)}
+}
+
+// access records one request in the shadow stack.
+func (m *umon) access(p core.PageID) {
+	for i, q := range m.stack {
+		if q == p {
+			m.hits[i]++
+			copy(m.stack[1:i+1], m.stack[:i])
+			m.stack[0] = p
+			return
+		}
+	}
+	if len(m.stack) < cap(m.stack) {
+		m.stack = append(m.stack, 0)
+	}
+	copy(m.stack[1:], m.stack[:len(m.stack)-1])
+	m.stack[0] = p
+}
+
+func (m *umon) decay(d int64) {
+	for i := range m.hits {
+		m.hits[i] /= d
+	}
+}
+
+// NewUCP returns a UCP partition with the given window (0 = default).
+func NewUCP(window int64) *UCP {
+	if window <= 0 {
+		window = 128
+	}
+	return &UCP{Window: window, Decay: 2}
+}
+
+// Name implements sim.Strategy.
+func (u *UCP) Name() string { return fmt.Sprintf("dP[ucp/%d](LRU)", u.Window) }
+
+// Init implements sim.Strategy.
+func (u *UCP) Init(inst core.Instance) error {
+	p := inst.R.NumCores()
+	if inst.P.K < p {
+		return fmt.Errorf("policy: UCP needs K >= p (K=%d, p=%d)", inst.P.K, p)
+	}
+	u.k = inst.P.K
+	u.active = make([]bool, p)
+	for j := range u.active {
+		u.active[j] = len(inst.R[j]) > 0
+	}
+	u.q.init(p, u.k, u.active)
+	u.mons = make([]*umon, p)
+	for j := range u.mons {
+		u.mons[j] = newUmon(u.k)
+	}
+	u.nextAt = u.Window
+	if u.Decay < 2 {
+		u.Decay = 2
+	}
+	return nil
+}
+
+// Quota returns the current per-core cell targets.
+func (u *UCP) Quota() []int { return append([]int(nil), u.q.quota...) }
+
+// repartition reassigns the K cells greedily by marginal utility.
+func (u *UCP) repartition() {
+	p := len(u.q.quota)
+	alloc := make([]int, p)
+	remaining := u.k
+	for j := 0; j < p; j++ {
+		if u.active[j] {
+			alloc[j] = 1
+			remaining--
+		}
+	}
+	for ; remaining > 0; remaining-- {
+		best, bestGain := -1, int64(-1)
+		for j := 0; j < p; j++ {
+			if !u.active[j] || alloc[j] >= u.k {
+				continue
+			}
+			gain := u.mons[j].hits[alloc[j]] // hits needing alloc[j]+1 cells
+			if gain > bestGain {
+				best, bestGain = j, gain
+			}
+		}
+		if best == -1 {
+			break
+		}
+		alloc[best]++
+	}
+	copy(u.q.quota, alloc)
+	for _, m := range u.mons {
+		m.decay(u.Decay)
+	}
+}
+
+// OnTick implements sim.Ticker.
+func (u *UCP) OnTick(t int64, v sim.View) []core.PageID {
+	if t >= u.nextAt {
+		u.nextAt = t + u.Window
+		u.repartition()
+	}
+	return u.q.shed(v)
+}
+
+// OnHit implements sim.Strategy.
+func (u *UCP) OnHit(p core.PageID, at cache.Access) {
+	u.mons[at.Core].access(p)
+	u.q.touch(p, at)
+}
+
+// OnJoin implements sim.Strategy.
+func (u *UCP) OnJoin(p core.PageID, at cache.Access) {
+	u.mons[at.Core].access(p)
+	u.q.touch(p, at)
+}
+
+// OnFault implements sim.Strategy.
+func (u *UCP) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	u.mons[at.Core].access(p)
+	return u.q.fault(at.Core, p, at, v)
+}

@@ -1,0 +1,116 @@
+package policy_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func TestUCPRuns(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(3)
+		k := p + rng.Intn(8)
+		rs := randomDisjoint(rng, p, 100, 6)
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: rng.Intn(3)}}
+		res, err := sim.Run(in, policy.NewUCP(32), nil)
+		if err != nil {
+			return false
+		}
+		return res.TotalFaults()+res.TotalHits() == int64(rs.TotalLen())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUCPLearnsWorkingSets: with one core needing many cells and others
+// needing few, UCP's quotas should converge toward the heavy core, and
+// its fault count should beat the even static split.
+func TestUCPLearnsWorkingSets(t *testing.T) {
+	var rs core.RequestSet
+	big := make(core.Sequence, 4000)
+	for i := range big {
+		big[i] = core.PageID(i % 10) // needs 10 cells
+	}
+	rs = append(rs, big)
+	for j := 1; j < 4; j++ {
+		small := make(core.Sequence, 4000)
+		for i := range small {
+			small[i] = core.PageID(1000*j + i%2) // needs 2 cells
+		}
+		rs = append(rs, small)
+	}
+	in := core.Instance{R: rs, P: core.Params{K: 16, Tau: 1}}
+	ucp := policy.NewUCP(64)
+	res, err := sim.Run(in, ucp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, err := sim.Run(in, policy.NewStatic(policy.EvenSizes(16, 4), lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults() >= even.TotalFaults() {
+		t.Fatalf("UCP (%d) should beat the even split (%d) on skewed demand",
+			res.TotalFaults(), even.TotalFaults())
+	}
+	q := ucp.Quota()
+	if q[0] < 8 {
+		t.Fatalf("UCP quota for the heavy core = %d, want most of the cache (%v)", q[0], q)
+	}
+	sum := 0
+	for _, c := range q {
+		sum += c
+	}
+	if sum != 16 {
+		t.Fatalf("quotas sum to %d, want K (%v)", sum, q)
+	}
+}
+
+// TestUCPTracksPhaseChange: when the heavy and light roles swap halfway,
+// the decaying monitors let the partition follow.
+func TestUCPTracksPhaseChange(t *testing.T) {
+	mk := func(heavyFirst bool) core.Sequence {
+		s := make(core.Sequence, 6000)
+		for i := range s {
+			heavy := i < 3000 == heavyFirst
+			if heavy {
+				s[i] = core.PageID(i % 8)
+			} else {
+				s[i] = core.PageID(i % 2)
+			}
+		}
+		return s
+	}
+	rs := core.RequestSet{mk(true), nil}
+	second := mk(false)
+	for i := range second {
+		second[i] += 1000
+	}
+	rs[1] = second
+	in := core.Instance{R: rs, P: core.Params{K: 10, Tau: 1}}
+	ucp, err := sim.Run(in, policy.NewUCP(64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := sim.Run(in, policy.NewStatic([]int{5, 5}, lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ucp.TotalFaults() >= static.TotalFaults() {
+		t.Fatalf("UCP (%d) should beat the static split (%d) across the phase change",
+			ucp.TotalFaults(), static.TotalFaults())
+	}
+}
+
+func TestUCPRejectsTinyCache(t *testing.T) {
+	in := core.Instance{R: core.RequestSet{{1}, {2}, {3}}, P: core.Params{K: 2, Tau: 0}}
+	if _, err := sim.Run(in, policy.NewUCP(8), nil); err == nil {
+		t.Fatal("K < p should be rejected")
+	}
+}

@@ -1,0 +1,171 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// Property tests for the non-disjoint (shared-page) regime, where the
+// paper's theorems do not apply but the simulator still must keep its
+// invariants: accounting, join semantics, and single-cell occupancy per
+// page.
+
+func sharedWorkload(rng *rand.Rand, p, length, private, shared int) core.RequestSet {
+	rs := make(core.RequestSet, p)
+	for j := range rs {
+		s := make(core.Sequence, length)
+		for i := range s {
+			if rng.Intn(2) == 0 {
+				s[i] = core.PageID(1<<20) + core.PageID(rng.Intn(shared))
+			} else {
+				s[i] = core.PageID(1000*j + rng.Intn(private))
+			}
+		}
+		rs[j] = s
+	}
+	return rs
+}
+
+func TestNonDisjointAccounting(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 2 + rng.Intn(3)
+		rs := sharedWorkload(rng, p, 1+rng.Intn(60), 5, 4)
+		in := core.Instance{R: rs, P: core.Params{K: p + 2 + rng.Intn(6), Tau: rng.Intn(4)}}
+		joins := 0
+		res, err := sim.Run(in, policy.NewShared(lru()), func(e sim.Event) {
+			if e.Join {
+				joins++
+			}
+		})
+		if err != nil {
+			return false
+		}
+		if res.TotalFaults()+res.TotalHits() != int64(rs.TotalLen()) {
+			return false
+		}
+		// Joins only occur on non-disjoint inputs and never carry a
+		// victim.
+		if joins > 0 && rs.Disjoint() {
+			return false
+		}
+		// Each core still satisfies the finish identity: joins count as
+		// faults with the full τ delay.
+		for j := range rs {
+			if res.Finish[j] != int64(len(rs[j]))+res.Faults[j]*int64(in.P.Tau) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonDisjointCellConservation: the number of distinct cached pages
+// never exceeds K, even when cores share pages and join fetches. The
+// strategy view's Free() exposes the ground truth; we probe it at every
+// fault.
+func TestNonDisjointCellConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := sharedWorkload(rng, 3, 50, 4, 3)
+		k := 5
+		in := core.Instance{R: rs, P: core.Params{K: k, Tau: 2}}
+		ok := true
+		probe := &freeProbe{inner: policy.NewShared(lru()), ok: &ok}
+		if _, err := sim.Run(in, probe, nil); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type freeProbe struct {
+	inner sim.Strategy
+	ok    *bool
+}
+
+func (f *freeProbe) Name() string                          { return "free-probe" }
+func (f *freeProbe) Init(in core.Instance) error           { return f.inner.Init(in) }
+func (f *freeProbe) OnHit(p core.PageID, at cache.Access)  { f.inner.OnHit(p, at) }
+func (f *freeProbe) OnJoin(p core.PageID, at cache.Access) { f.inner.OnJoin(p, at) }
+func (f *freeProbe) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	if v.Free() < 0 || v.Free() > v.K() {
+		*f.ok = false
+	}
+	return f.inner.OnFault(p, at, v)
+}
+
+// TestSharedPagesReduceFaults: sharing pages across cores can only be
+// served from one cell, so a fully shared workload with a hot set that
+// fits never faults after warmup.
+func TestSharedPagesReduceFaults(t *testing.T) {
+	rs := make(core.RequestSet, 3)
+	for j := range rs {
+		s := make(core.Sequence, 60)
+		for i := range s {
+			s[i] = core.PageID(i % 4) // all cores share 4 pages
+		}
+		rs[j] = s
+	}
+	in := core.Instance{R: rs, P: core.Params{K: 6, Tau: 1}}
+	res, err := sim.Run(in, policy.NewShared(lru()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 compulsory fetches; simultaneous first-round requests join them
+	// (2 extra joins per page at most). Everything after is hits.
+	if res.TotalFaults() > 12 {
+		t.Fatalf("faults = %d, want ≤ 12 (4 fetches + joins)", res.TotalFaults())
+	}
+}
+
+// TestRenumberingInvariance: strategies treat pages as opaque IDs, so
+// renumbering a request set must not change fault counts, finish times
+// or makespan (for policies whose tie-breaks do not involve page IDs).
+func TestRenumberingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 1 + rng.Intn(3)
+		rs := sharedWorkload(rng, p, 1+rng.Intn(50), 5, 3)
+		renamed, _ := core.Renumber(rs)
+		k := p + 1 + rng.Intn(5)
+		tau := rng.Intn(3)
+		for _, mk := range []func() sim.Strategy{
+			func() sim.Strategy { return policy.NewShared(lru()) },
+			func() sim.Strategy { return policy.NewDynamicLRU() },
+		} {
+			a, err := sim.Run(core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}, mk(), nil)
+			if err != nil {
+				return false
+			}
+			b, err := sim.Run(core.Instance{R: renamed, P: core.Params{K: k, Tau: tau}}, mk(), nil)
+			if err != nil {
+				return false
+			}
+			if a.TotalFaults() != b.TotalFaults() || a.Makespan != b.Makespan {
+				return false
+			}
+			for j := range a.Faults {
+				if a.Faults[j] != b.Faults[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,374 @@
+// Package sim implements the multicore shared-cache paging model of
+// Section 3 of López-Ortiz & Salinger as a deterministic discrete-time
+// simulator.
+//
+// Timing model (normative):
+//
+//   - Time is discrete, starting at 0.
+//   - Each core j has a clock next[j]: the earliest time its next request
+//     may be served. Requests of a core are served strictly in order.
+//   - Requests whose core clocks coincide are served "logically in a
+//     fixed order": increasing core index. Each request observes the
+//     cache effects of lower-numbered cores in the same step.
+//   - A hit is served instantly: next[j] becomes t+1.
+//   - A fault evicts its victim at time t; the cell then holds the
+//     incoming page in a fetching state during [t, t+τ] and the page is
+//     usable from t+τ+1. The faulting core's clock becomes t+τ+1 — the
+//     paper's additive-τ delay on the remainder of the sequence.
+//   - Pages being fetched cannot be evicted (the paper's convention that
+//     the evicted cell stays unused until the fetch completes).
+//   - If a core requests a page that is currently being fetched for
+//     another core (possible only for non-disjoint request sets), the
+//     request counts as a fault, the core is delayed the full τ, and the
+//     in-flight cell is shared — no second cell is allocated. This case
+//     is outside the paper's disjoint-sequence theorems and the choice is
+//     documented in DESIGN.md.
+//
+// The only degree of freedom a paging strategy has is victim choice on a
+// fault, plus (for strategies modelling the paper's "forcing" and
+// repartitioning behaviours) voluntary evictions at step boundaries.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+)
+
+// Strategy is a cache-management strategy in the paper's sense: a
+// combination of a (possibly trivial) partition policy and an eviction
+// policy. The simulator owns ground truth (residency, fetch state, free
+// cells); the strategy owns replacement metadata and decides victims.
+type Strategy interface {
+	// Name identifies the strategy in tables, e.g. "S(LRU)" or
+	// "sP[4 4](LRU)".
+	Name() string
+	// Init prepares the strategy for a fresh run of the given instance.
+	// Strategies that need future knowledge receive the full instance.
+	Init(inst core.Instance) error
+	// OnHit reports that page p hit at the given access.
+	OnHit(p core.PageID, at cache.Access)
+	// OnFault reports a miss that needs a cell and returns the eviction
+	// victim, or core.NoPage to place the fetched page in a free cell.
+	// The returned victim must be resident and evictable (not in
+	// flight); violations abort the run with an error.
+	OnFault(p core.PageID, at cache.Access, v View) core.PageID
+	// OnJoin reports a miss on a page already in flight (shared cell,
+	// no victim needed).
+	OnJoin(p core.PageID, at cache.Access)
+}
+
+// Ticker is an optional Strategy extension for voluntary evictions: pages
+// evicted without a fault, before any request of the current step is
+// served. This models the paper's "forcing" algorithms (Theorem 4) and
+// dynamic partitions that shrink a part on a schedule (Theorem 1(3)).
+// The strategy must have already dropped the returned pages from its own
+// metadata; the simulator removes them from the cache ground truth.
+type Ticker interface {
+	OnTick(t int64, v View) []core.PageID
+}
+
+// View is the read-only window a strategy gets on simulator ground truth.
+type View interface {
+	// Resident reports whether p is in cache with its fetch complete.
+	Resident(p core.PageID) bool
+	// InFlight reports whether p occupies a cell but is still fetching.
+	InFlight(p core.PageID) bool
+	// Cached reports Resident or InFlight.
+	Cached(p core.PageID) bool
+	// Free returns the number of unoccupied cells.
+	Free() int
+	// K returns the cache size.
+	K() int
+	// Tau returns the fetch delay τ.
+	Tau() int
+	// Now returns the current simulation time.
+	Now() int64
+	// NextUse returns a lower bound on the absolute time at which page p
+	// is next requested under the current alignment, or cache.NeverUsed
+	// if p has no future request. This is the oracle used by FITF.
+	NextUse(p core.PageID) int64
+}
+
+// Event describes one served request, for observers and tests.
+type Event struct {
+	Time   int64
+	Core   int
+	Index  int
+	Page   core.PageID
+	Fault  bool
+	Join   bool        // fault that joined an in-flight fetch
+	Victim core.PageID // NoPage if none (hit, join, or free cell)
+}
+
+// Observer receives every service event in order. Passing a nil observer
+// to Run disables event delivery.
+type Observer func(Event)
+
+// Result summarises one simulation run.
+type Result struct {
+	// Faults[j] counts core j's misses (including in-flight joins).
+	Faults []int64
+	// Hits[j] counts core j's cache hits.
+	Hits []int64
+	// Finish[j] is the completion time of core j's last request (0 for
+	// an empty sequence): the time at which the core could issue a
+	// further request.
+	Finish []int64
+	// Makespan is the maximum finish time across cores.
+	Makespan int64
+	// VoluntaryEvictions counts pages evicted via OnTick.
+	VoluntaryEvictions int64
+}
+
+// TotalFaults returns the sum of per-core fault counts — the paper's FTF
+// objective.
+func (r Result) TotalFaults() int64 {
+	var s int64
+	for _, f := range r.Faults {
+		s += f
+	}
+	return s
+}
+
+// TotalHits returns the sum of per-core hit counts.
+func (r Result) TotalHits() int64 {
+	var s int64
+	for _, h := range r.Hits {
+		s += h
+	}
+	return s
+}
+
+// engine is the simulator state for one run.
+type engine struct {
+	inst core.Instance
+	k    int
+	tau  int64
+
+	next []int64 // per-core clock
+	idx  []int   // per-core next request index
+
+	readyAt map[core.PageID]int64 // cached pages: time the fetch completes (≤ current time ⇒ resident)
+	used    int
+
+	now int64
+
+	// occurrence lists for the oracle, one entry per (page, core) pair
+	// that requests it; flat slices keep NextUse allocation-free.
+	occ map[core.PageID]*occInfo
+}
+
+// occInfo indexes a page's occurrences per referencing core.
+type occInfo struct {
+	cores []int32
+	lists [][]int32
+	ptrs  []int
+}
+
+var _ View = (*engine)(nil)
+var _ cache.Oracle = (*engine)(nil)
+
+func (e *engine) Resident(p core.PageID) bool {
+	r, ok := e.readyAt[p]
+	return ok && r <= e.now
+}
+
+func (e *engine) InFlight(p core.PageID) bool {
+	r, ok := e.readyAt[p]
+	return ok && r > e.now
+}
+
+func (e *engine) Cached(p core.PageID) bool {
+	_, ok := e.readyAt[p]
+	return ok
+}
+
+func (e *engine) Free() int  { return e.k - e.used }
+func (e *engine) K() int     { return e.k }
+func (e *engine) Tau() int   { return int(e.tau) }
+func (e *engine) Now() int64 { return e.now }
+
+// NextUse implements the FITF oracle: a lower bound on the absolute time
+// of p's next request. For core c whose next unserved request has index
+// idx[c], the occurrence of p at index i ≥ idx[c] can be served no
+// earlier than next[c] + (i - idx[c]), since each intervening request
+// takes at least one step.
+func (e *engine) NextUse(p core.PageID) int64 {
+	info, ok := e.occ[p]
+	if !ok {
+		return cache.NeverUsed
+	}
+	best := cache.NeverUsed
+	for i, c := range info.cores {
+		// Advance this core's pointer past already-served occurrences.
+		list := info.lists[i]
+		j := info.ptrs[i]
+		idx := int32(e.idx[c])
+		for j < len(list) && list[j] < idx {
+			j++
+		}
+		info.ptrs[i] = j
+		if j == len(list) {
+			continue
+		}
+		t := e.next[c] + int64(list[j]-idx)
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Run simulates strategy s on the instance and returns the result. The
+// strategy is Init-ed first, so a single strategy value can be reused
+// across runs. obs may be nil.
+func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := s.Init(inst); err != nil {
+		return Result{}, fmt.Errorf("sim: strategy %s init: %w", s.Name(), err)
+	}
+	p := inst.R.NumCores()
+	e := &engine{
+		inst:    inst,
+		k:       inst.P.K,
+		tau:     int64(inst.P.Tau),
+		next:    make([]int64, p),
+		idx:     make([]int, p),
+		readyAt: make(map[core.PageID]int64),
+		occ:     make(map[core.PageID]*occInfo),
+	}
+	for c, seq := range inst.R {
+		for i, pg := range seq {
+			info := e.occ[pg]
+			if info == nil {
+				info = &occInfo{}
+				e.occ[pg] = info
+			}
+			slot := -1
+			for s, cc := range info.cores {
+				if cc == int32(c) {
+					slot = s
+					break
+				}
+			}
+			if slot == -1 {
+				info.cores = append(info.cores, int32(c))
+				info.lists = append(info.lists, nil)
+				info.ptrs = append(info.ptrs, 0)
+				slot = len(info.cores) - 1
+			}
+			info.lists[slot] = append(info.lists[slot], int32(i))
+		}
+	}
+
+	res := Result{
+		Faults: make([]int64, p),
+		Hits:   make([]int64, p),
+		Finish: make([]int64, p),
+	}
+	ticker, _ := s.(Ticker)
+
+	for {
+		// Next service time: min clock over unfinished cores.
+		t := int64(math.MaxInt64)
+		for c := 0; c < p; c++ {
+			if e.idx[c] < len(inst.R[c]) && e.next[c] < t {
+				t = e.next[c]
+			}
+		}
+		if t == int64(math.MaxInt64) {
+			break
+		}
+		e.now = t
+
+		if ticker != nil {
+			for _, v := range ticker.OnTick(t, e) {
+				if err := e.evict(v, t); err != nil {
+					return res, fmt.Errorf("sim: strategy %s voluntary eviction: %w", s.Name(), err)
+				}
+				res.VoluntaryEvictions++
+			}
+		}
+
+		for c := 0; c < p; c++ {
+			if e.idx[c] >= len(inst.R[c]) || e.next[c] != t {
+				continue
+			}
+			pg := inst.R[c][e.idx[c]]
+			at := cache.Access{Core: c, Time: t, Index: e.idx[c]}
+			ev := Event{Time: t, Core: c, Index: e.idx[c], Page: pg, Victim: core.NoPage}
+
+			switch {
+			case e.Resident(pg):
+				res.Hits[c]++
+				e.idx[c]++
+				e.next[c] = t + 1
+				s.OnHit(pg, at)
+			case e.InFlight(pg):
+				res.Faults[c]++
+				ev.Fault, ev.Join = true, true
+				e.idx[c]++
+				e.next[c] = t + e.tau + 1
+				s.OnJoin(pg, at)
+			default:
+				res.Faults[c]++
+				ev.Fault = true
+				// Advance this core's position before consulting the
+				// strategy so the oracle sees the post-service state.
+				e.idx[c]++
+				e.next[c] = t + e.tau + 1
+				victim := s.OnFault(pg, at, e)
+				if victim == core.NoPage {
+					if e.used >= e.k {
+						return res, fmt.Errorf("sim: strategy %s requested a free cell but cache is full (t=%d core=%d page=%d)", s.Name(), t, c, pg)
+					}
+				} else {
+					if err := e.evict(victim, t); err != nil {
+						return res, fmt.Errorf("sim: strategy %s: %w", s.Name(), err)
+					}
+					ev.Victim = victim
+				}
+				e.readyAt[pg] = t + e.tau + 1
+				e.used++
+			}
+			if e.idx[c] == len(inst.R[c]) {
+				res.Finish[c] = e.next[c]
+			}
+			if obs != nil {
+				obs(ev)
+			}
+		}
+	}
+
+	for c := 0; c < p; c++ {
+		if res.Finish[c] > res.Makespan {
+			res.Makespan = res.Finish[c]
+		}
+	}
+	return res, nil
+}
+
+// evict removes a resident page from ground truth, validating the
+// paper's eviction rules.
+func (e *engine) evict(v core.PageID, t int64) error {
+	r, ok := e.readyAt[v]
+	if !ok {
+		return fmt.Errorf("evict of non-cached page %d at t=%d", v, t)
+	}
+	if r > t {
+		return fmt.Errorf("evict of in-flight page %d at t=%d (ready at %d)", v, t, r)
+	}
+	delete(e.readyAt, v)
+	e.used--
+	return nil
+}
+
+// ErrNotDisjoint is returned by strategies that require disjoint request
+// sets when given overlapping sequences.
+var ErrNotDisjoint = errors.New("sim: request set is not disjoint")

@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almost(s.StdDev, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEvenMedian(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2})
+	if s.Median != 2.5 {
+		t.Fatalf("median = %v, want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.CI95() != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.StdDev != 0 || s.CI95() != 0 || s.Median != 7 {
+		t.Fatalf("single summary: %+v", s)
+	}
+}
+
+func TestSummarizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4, 16}); !almost(g, 4, 1e-12) {
+		t.Fatalf("geomean = %v", g)
+	}
+	if !math.IsNaN(GeoMean(nil)) || !math.IsNaN(GeoMean([]float64{1, 0})) {
+		t.Fatal("degenerate geomean should be NaN")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 2, 1e-12) || !almost(f.Intercept, 3, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitFlat(t *testing.T) {
+	f := LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if f.Slope != 0 || f.R2 != 1 {
+		t.Fatalf("flat fit = %+v", f)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if f := LinearFit([]float64{2, 2}, []float64{1, 3}); f.Slope != 0 {
+		t.Fatalf("vertical data should give zero fit, got %+v", f)
+	}
+	if f := LinearFit([]float64{1}, []float64{2}); f != (Fit{}) {
+		t.Fatalf("single point should give zero fit, got %+v", f)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched lengths should panic")
+		}
+	}()
+	LinearFit([]float64{1, 2}, []float64{1})
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Fatal("ratio wrong")
+	}
+	if !math.IsNaN(Ratio(1, 0)) {
+		t.Fatal("division by zero should be NaN")
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mk := func(n int) []float64 {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		return xs
+	}
+	small := Summarize(mk(10))
+	large := Summarize(mk(1000))
+	if large.CI95() >= small.CI95() {
+		t.Fatalf("CI should shrink with n: %v vs %v", large.CI95(), small.CI95())
+	}
+}

@@ -1,0 +1,86 @@
+// Package strategyspec parses the strategy mini-language shared by the
+// command-line tools:
+//
+//	S(<policy>)           shared cache, e.g. S(LRU), S(ARC)
+//	sP[even](<policy>)    static partition, K split evenly
+//	sP[opt](<policy>)     offline-optimal static partition (LRU curves,
+//	                      or Belady curves when the policy is FITF)
+//	dP(LRU)               the Lemma 3 global-LRU dynamic partition
+//	dP[fair](LRU)         the FairShare fairness-oriented partition
+//	dP[ucp](LRU)          utility-based cache partitioning
+//
+// Policies are the names accepted by cache.NewFactory.
+package strategyspec
+
+import (
+	"fmt"
+	"strings"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/mattson"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// Build parses a spec and constructs the strategy for the given request
+// set and cache size. The request set is needed because sP[opt] computes
+// its partition from the workload's miss curves; seed drives RAND.
+func Build(spec string, rs core.RequestSet, k int, seed int64) (sim.Strategy, error) {
+	spec = strings.TrimSpace(spec)
+	open := strings.Index(spec, "(")
+	if open < 0 || !strings.HasSuffix(spec, ")") {
+		return nil, fmt.Errorf("strategyspec: bad spec %q (want family(policy))", spec)
+	}
+	head, pol := spec[:open], spec[open+1:len(spec)-1]
+	if head == "S" && pol == "FWF" {
+		// Flush-when-full lives at the strategy level (it needs
+		// voluntary evictions), not in the policy registry.
+		return policy.NewFWF(), nil
+	}
+	mk, err := cache.NewFactory(pol, seed)
+	if err != nil {
+		return nil, err
+	}
+	switch head {
+	case "S":
+		return policy.NewShared(mk), nil
+	case "sP[even]":
+		return policy.NewStatic(policy.EvenSizes(k, rs.NumCores()), mk), nil
+	case "sP[opt]":
+		var part mattson.Partition
+		if pol == "FITF" {
+			part, err = mattson.OptimalOPT(rs, k)
+		} else {
+			part, err = mattson.OptimalLRU(rs, k)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return policy.NewStatic(part.Sizes, mk), nil
+	case "dP":
+		if pol != "LRU" {
+			return nil, fmt.Errorf("strategyspec: dP supports only LRU, got %q", pol)
+		}
+		return policy.NewDynamicLRU(), nil
+	case "dP[fair]":
+		if pol != "LRU" {
+			return nil, fmt.Errorf("strategyspec: dP[fair] supports only LRU, got %q", pol)
+		}
+		return policy.NewFairShare(0), nil
+	case "dP[ucp]":
+		if pol != "LRU" {
+			return nil, fmt.Errorf("strategyspec: dP[ucp] supports only LRU, got %q", pol)
+		}
+		return policy.NewUCP(0), nil
+	}
+	return nil, fmt.Errorf("strategyspec: unknown family %q", head)
+}
+
+// Portfolio returns the standard strategy portfolio run by `mcsim -all`.
+func Portfolio() []string {
+	return []string{
+		"S(LRU)", "S(FIFO)", "S(CLOCK)", "S(LFU)", "S(MARK)", "S(RMARK)", "S(FWF)", "S(ARC)", "S(SLRU)", "S(LRU2)", "S(TINYLFU)",
+		"sP[even](LRU)", "sP[opt](LRU)", "dP(LRU)", "dP[fair](LRU)", "dP[ucp](LRU)", "S(FITF)", "sP[opt](FITF)",
+	}
+}

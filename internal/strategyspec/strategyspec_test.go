@@ -1,0 +1,72 @@
+package strategyspec_test
+
+import (
+	"strings"
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/strategyspec"
+)
+
+func testSet() core.RequestSet {
+	return core.RequestSet{
+		{1, 2, 3, 1, 2, 3, 1, 2},
+		{100, 101, 100, 101, 100},
+	}
+}
+
+func TestBuildPortfolio(t *testing.T) {
+	rs := testSet()
+	in := core.Instance{R: rs, P: core.Params{K: 4, Tau: 1}}
+	for _, spec := range strategyspec.Portfolio() {
+		s, err := strategyspec.Build(spec, rs, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		res, err := sim.Run(in, s, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if res.TotalFaults()+res.TotalHits() != int64(rs.TotalLen()) {
+			t.Fatalf("%s: accounting broken", spec)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	rs := testSet()
+	cases := []string{
+		"",
+		"LRU",
+		"S(LRU",
+		"S(NOPE)",
+		"xx(LRU)",
+		"dP(FIFO)",
+		"dP[fair](FIFO)",
+	}
+	for _, spec := range cases {
+		if _, err := strategyspec.Build(spec, rs, 4, 1); err == nil {
+			t.Errorf("%q should fail", spec)
+		}
+	}
+}
+
+func TestBuildTrimsWhitespace(t *testing.T) {
+	if _, err := strategyspec.Build("  S(LRU)  ", testSet(), 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildOptPartitionUsesWorkload(t *testing.T) {
+	// sP[opt] must produce a strategy whose name embeds a partition that
+	// depends on the request set.
+	rs := testSet()
+	s, err := strategyspec.Build("sP[opt](LRU)", rs, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s.Name(), "sP[") {
+		t.Fatalf("unexpected name %q", s.Name())
+	}
+}

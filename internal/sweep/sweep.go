@@ -1,0 +1,186 @@
+// Package sweep runs strategy × parameter grids over a workload in
+// parallel — the batch-experiment harness behind cmd/mcsweep. A sweep
+// takes one request set, a list of cache sizes, fetch delays and
+// strategy specs, simulates every combination (fanning out over worker
+// goroutines), and returns the results in deterministic grid order.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/metrics"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/strategyspec"
+)
+
+// Grid describes a sweep.
+type Grid struct {
+	// R is the workload all points share.
+	R core.RequestSet
+	// Ks are the cache sizes to sweep.
+	Ks []int
+	// Taus are the fetch delays to sweep.
+	Taus []int
+	// Specs are strategy specs in the strategyspec mini-language.
+	Specs []string
+	// Seed drives RAND policies.
+	Seed int64
+	// Workers bounds concurrency (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Validate checks the grid is non-empty and structurally sound.
+func (g Grid) Validate() error {
+	if err := g.R.Validate(); err != nil {
+		return err
+	}
+	if len(g.Ks) == 0 || len(g.Taus) == 0 || len(g.Specs) == 0 {
+		return fmt.Errorf("sweep: empty grid dimension (K×τ×spec = %d×%d×%d)",
+			len(g.Ks), len(g.Taus), len(g.Specs))
+	}
+	for _, k := range g.Ks {
+		if k < g.R.NumCores() {
+			return fmt.Errorf("sweep: K=%d below core count %d", k, g.R.NumCores())
+		}
+	}
+	for _, tau := range g.Taus {
+		if tau < 0 {
+			return fmt.Errorf("sweep: negative tau %d", tau)
+		}
+	}
+	return nil
+}
+
+// Point is one grid cell's result.
+type Point struct {
+	K, Tau   int
+	Spec     string
+	Strategy string
+	Faults   int64
+	Rate     float64
+	Jain     float64
+	Makespan int64
+	Err      error
+}
+
+// Run executes the grid. Points come back in deterministic order
+// (K-major, then τ, then spec) regardless of scheduling. Per-point
+// simulation errors are recorded on the point, not returned.
+func Run(g Grid) ([]Point, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	points := make([]Point, 0, len(g.Ks)*len(g.Taus)*len(g.Specs))
+	for _, k := range g.Ks {
+		for _, tau := range g.Taus {
+			for _, spec := range g.Specs {
+				points = append(points, Point{K: k, Tau: tau, Spec: spec})
+			}
+		}
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range points {
+		wg.Add(1)
+		go func(pt *Point) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			st, err := strategyspec.Build(pt.Spec, g.R, pt.K, g.Seed)
+			if err != nil {
+				pt.Err = err
+				return
+			}
+			pt.Strategy = st.Name()
+			in := core.Instance{R: g.R, P: core.Params{K: pt.K, Tau: pt.Tau}}
+			res, err := sim.Run(in, st, nil)
+			if err != nil {
+				pt.Err = err
+				return
+			}
+			pt.Faults = res.TotalFaults()
+			pt.Rate = float64(res.TotalFaults()) / float64(g.R.TotalLen())
+			pt.Jain = metrics.JainIndex(res.Faults)
+			pt.Makespan = res.Makespan
+		}(&points[i])
+	}
+	wg.Wait()
+	return points, nil
+}
+
+// Table renders sweep points as a metrics table.
+func Table(title string, pts []Point) *metrics.Table {
+	t := metrics.NewTable(title, "K", "tau", "strategy", "faults", "fault_rate", "jain", "makespan", "err")
+	for _, p := range pts {
+		errStr := ""
+		if p.Err != nil {
+			errStr = p.Err.Error()
+		}
+		name := p.Strategy
+		if name == "" {
+			name = p.Spec
+		}
+		t.AddRow(p.K, p.Tau, name, p.Faults, p.Rate, p.Jain, p.Makespan, errStr)
+	}
+	return t
+}
+
+// Heatmap renders one strategy's metric over the K × τ grid as a table
+// with one row per K and one column per τ — the quick-look view behind
+// `mcsweep -heatmap`.
+func Heatmap(title, spec, metric string, pts []Point) (*metrics.Table, error) {
+	var ks, taus []int
+	seenK := map[int]bool{}
+	seenT := map[int]bool{}
+	val := make(map[[2]int]float64)
+	for _, p := range pts {
+		if p.Spec != spec || p.Err != nil {
+			continue
+		}
+		var v float64
+		switch metric {
+		case "faults":
+			v = float64(p.Faults)
+		case "rate":
+			v = p.Rate
+		case "jain":
+			v = p.Jain
+		case "makespan":
+			v = float64(p.Makespan)
+		default:
+			return nil, fmt.Errorf("sweep: unknown metric %q (want faults|rate|jain|makespan)", metric)
+		}
+		if !seenK[p.K] {
+			seenK[p.K] = true
+			ks = append(ks, p.K)
+		}
+		if !seenT[p.Tau] {
+			seenT[p.Tau] = true
+			taus = append(taus, p.Tau)
+		}
+		val[[2]int{p.K, p.Tau}] = v
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("sweep: no points for spec %q", spec)
+	}
+	headers := []string{"K \\ tau"}
+	for _, t := range taus {
+		headers = append(headers, fmt.Sprintf("%d", t))
+	}
+	tbl := metrics.NewTable(fmt.Sprintf("%s — %s(%s)", title, metric, spec), headers...)
+	for _, k := range ks {
+		row := []interface{}{k}
+		for _, t := range taus {
+			row = append(row, val[[2]int{k, t}])
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}

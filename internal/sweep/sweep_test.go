@@ -1,0 +1,155 @@
+package sweep_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sweep"
+)
+
+func workload() core.RequestSet {
+	rng := rand.New(rand.NewSource(1))
+	rs := make(core.RequestSet, 3)
+	for j := range rs {
+		s := make(core.Sequence, 200)
+		for i := range s {
+			s[i] = core.PageID(100*j + rng.Intn(8))
+		}
+		rs[j] = s
+	}
+	return rs
+}
+
+func TestSweepGrid(t *testing.T) {
+	g := sweep.Grid{
+		R:     workload(),
+		Ks:    []int{6, 12},
+		Taus:  []int{0, 2},
+		Specs: []string{"S(LRU)", "sP[even](LRU)", "dP(LRU)"},
+		Seed:  1,
+	}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2*2*3 {
+		t.Fatalf("got %d points, want 12", len(pts))
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatalf("point %+v errored: %v", p, p.Err)
+		}
+		if p.Faults <= 0 || p.Rate <= 0 || p.Makespan <= 0 {
+			t.Fatalf("implausible point %+v", p)
+		}
+	}
+	// Grid order: K-major, then τ, then spec.
+	if pts[0].K != 6 || pts[0].Tau != 0 || pts[0].Spec != "S(LRU)" {
+		t.Fatalf("wrong first point %+v", pts[0])
+	}
+	if pts[len(pts)-1].K != 12 || pts[len(pts)-1].Tau != 2 {
+		t.Fatalf("wrong last point %+v", pts[len(pts)-1])
+	}
+	// Lemma 3 holds inside the sweep too: dP(LRU) == S(LRU) pointwise.
+	for i := 0; i < len(pts); i += 3 {
+		if pts[i].Faults != pts[i+2].Faults {
+			t.Fatalf("dP(LRU) diverged from S(LRU) at %+v", pts[i+2])
+		}
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := sweep.Grid{
+		R:     workload(),
+		Ks:    []int{6, 9},
+		Taus:  []int{1},
+		Specs: []string{"S(LRU)", "S(FIFO)", "S(ARC)", "dP[ucp](LRU)"},
+		Seed:  3,
+	}
+	g1, g2 := base, base
+	g1.Workers = 1
+	g2.Workers = 8
+	a, err := sweep.Run(g1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sweep.Run(g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sweep results depend on worker count")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	bad := []sweep.Grid{
+		{R: workload(), Ks: nil, Taus: []int{0}, Specs: []string{"S(LRU)"}},
+		{R: workload(), Ks: []int{4}, Taus: nil, Specs: []string{"S(LRU)"}},
+		{R: workload(), Ks: []int{4}, Taus: []int{0}, Specs: nil},
+		{R: workload(), Ks: []int{2}, Taus: []int{0}, Specs: []string{"S(LRU)"}}, // K < p
+		{R: workload(), Ks: []int{4}, Taus: []int{-1}, Specs: []string{"S(LRU)"}},
+	}
+	for i, g := range bad {
+		if _, err := sweep.Run(g); err == nil {
+			t.Errorf("grid %d should fail validation", i)
+		}
+	}
+}
+
+func TestSweepBadSpecRecordedPerPoint(t *testing.T) {
+	g := sweep.Grid{
+		R:     workload(),
+		Ks:    []int{6},
+		Taus:  []int{0},
+		Specs: []string{"S(LRU)", "S(NOPE)"},
+	}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Err != nil || pts[1].Err == nil {
+		t.Fatalf("per-point error handling wrong: %+v", pts)
+	}
+}
+
+func TestSweepTable(t *testing.T) {
+	g := sweep.Grid{R: workload(), Ks: []int{6}, Taus: []int{0}, Specs: []string{"S(LRU)"}}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := sweep.Table("t", pts)
+	if tbl.NumRows() != 1 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	g := sweep.Grid{
+		R:     workload(),
+		Ks:    []int{6, 12},
+		Taus:  []int{0, 2, 4},
+		Specs: []string{"S(LRU)", "S(FIFO)"},
+		Seed:  1,
+	}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := sweep.Heatmap("t", "S(LRU)", "faults", pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumRows() != 2 {
+		t.Fatalf("rows = %d, want one per K", tbl.NumRows())
+	}
+	if _, err := sweep.Heatmap("t", "S(LRU)", "bogus", pts); err == nil {
+		t.Fatal("unknown metric should fail")
+	}
+	if _, err := sweep.Heatmap("t", "S(NOPE)", "faults", pts); err == nil {
+		t.Fatal("unknown spec should fail")
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mcpaging/internal/core"
+)
+
+// ReadAddressTrace parses a raw memory-access trace into a request set:
+// one access per line, "<core> <address>", where the address is decimal
+// or 0x-prefixed hex. Addresses are mapped to pages by shifting right
+// pageShift bits (12 for 4 KiB pages) and the resulting page numbers are
+// renumbered onto dense IDs. Lines starting with '#' and blank lines are
+// skipped. This is the bridge from externally collected traces (e.g.
+// pin/valgrind-style logs) into the simulator.
+func ReadAddressTrace(r io.Reader, pageShift uint) (core.RequestSet, error) {
+	if pageShift > 48 {
+		return nil, fmt.Errorf("trace: implausible page shift %d", pageShift)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	var rs core.RequestSet
+	pageIDs := make(map[uint64]core.PageID)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: line %d: want '<core> <address>', got %q", lineNo, line)
+		}
+		c, err := strconv.Atoi(fields[0])
+		if err != nil || c < 0 || c > 1<<16 {
+			return nil, fmt.Errorf("trace: line %d: bad core %q", lineNo, fields[0])
+		}
+		raw, base := fields[1], 10
+		if strings.HasPrefix(raw, "0x") || strings.HasPrefix(raw, "0X") {
+			raw, base = raw[2:], 16
+		}
+		addr, err := strconv.ParseUint(raw, base, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address %q", lineNo, fields[1])
+		}
+		page := addr >> pageShift
+		id, ok := pageIDs[page]
+		if !ok {
+			if len(pageIDs) >= 1<<30 {
+				return nil, fmt.Errorf("trace: too many distinct pages")
+			}
+			id = core.PageID(len(pageIDs))
+			pageIDs[page] = id
+		}
+		for c >= len(rs) {
+			rs = append(rs, core.Sequence{})
+		}
+		rs[c] = append(rs[c], id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("trace: empty address trace")
+	}
+	return rs, nil
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadAddressTrace(t *testing.T) {
+	in := `
+# comment line
+0 0x1000
+1 0x2000
+0 4097
+0 0x3000
+1 0x2FFF
+`
+	rs, err := ReadAddressTrace(strings.NewReader(in), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.NumCores() != 2 {
+		t.Fatalf("cores = %d", rs.NumCores())
+	}
+	// 0x1000>>12 = 1, 0x2000>>12 = 2, 4097>>12 = 1, 0x3000>>12 = 3,
+	// 0x2FFF>>12 = 2 — dense IDs in first-appearance order: 1→0, 2→1, 3→2.
+	if got := rs[0]; len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 2 {
+		t.Fatalf("core 0 = %v", got)
+	}
+	if got := rs[1]; len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Fatalf("core 1 = %v", got)
+	}
+}
+
+func TestReadAddressTracePageShiftZero(t *testing.T) {
+	rs, err := ReadAddressTrace(strings.NewReader("0 5\n0 5\n0 6\n"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs[0]) != 3 || rs[0][0] != rs[0][1] || rs[0][0] == rs[0][2] {
+		t.Fatalf("got %v", rs[0])
+	}
+}
+
+func TestReadAddressTraceErrors(t *testing.T) {
+	cases := []string{
+		"",               // empty
+		"0\n",            // missing field
+		"x 0x10\n",       // bad core
+		"0 zz\n",         // bad address
+		"-1 0x10\n",      // negative core
+		"0 0x10 extra\n", // too many fields
+	}
+	for i, c := range cases {
+		if _, err := ReadAddressTrace(strings.NewReader(c), 12); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	if _, err := ReadAddressTrace(strings.NewReader("0 1\n"), 60); err == nil {
+		t.Error("silly page shift should fail")
+	}
+}

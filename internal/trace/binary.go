@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mcpaging/internal/core"
+)
+
+// Binary format: a compact varint encoding for large traces.
+//
+//	magic "MCPT" + version byte 1
+//	uvarint p
+//	per core: uvarint length, then delta-zigzag varint page IDs
+//
+// Delta encoding exploits the locality of generated workloads; loop and
+// markov traces compress to ~1 byte per request.
+
+var binaryMagic = []byte{'M', 'C', 'P', 'T', 1}
+
+// WriteBinary serialises a request set in the binary format.
+func WriteBinary(w io.Writer, r core.RequestSet) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(r.NumCores())); err != nil {
+		return err
+	}
+	for _, seq := range r {
+		if err := putUvarint(uint64(len(seq))); err != nil {
+			return err
+		}
+		prev := int64(0)
+		for _, pg := range seq {
+			if err := putVarint(int64(pg) - prev); err != nil {
+				return err
+			}
+			prev = int64(pg)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (core.RequestSet, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short binary header: %w", err)
+	}
+	for i, b := range binaryMagic {
+		if head[i] != b {
+			return nil, fmt.Errorf("trace: bad binary magic")
+		}
+	}
+	p, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if p < 1 || p > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible core count %d", p)
+	}
+	rs := make(core.RequestSet, p)
+	for j := range rs {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<28 {
+			return nil, fmt.Errorf("trace: implausible sequence length %d", n)
+		}
+		seq := make(core.Sequence, n)
+		prev := int64(0)
+		for i := range seq {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			if prev < 0 || prev > 1<<31-1 {
+				return nil, fmt.Errorf("trace: page %d out of range", prev)
+			}
+			seq[i] = core.PageID(prev)
+		}
+		rs[j] = seq
+	}
+	return rs, nil
+}
+
+// ReadAuto detects the format (text or binary) from the leading bytes
+// and parses accordingly.
+func ReadAuto(r io.Reader) (core.RequestSet, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trace: cannot peek header: %w", err)
+	}
+	if string(head) == "MCPT" {
+		return ReadBinary(br)
+	}
+	return Read(br)
+}

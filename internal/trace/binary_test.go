@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mcpaging/internal/core"
+)
+
+func randomSet(rng *rand.Rand) core.RequestSet {
+	rs := make(core.RequestSet, 1+rng.Intn(4))
+	for j := range rs {
+		s := make(core.Sequence, rng.Intn(80))
+		for i := range s {
+			s[i] = core.PageID(rng.Intn(1 << 18))
+		}
+		rs[j] = s
+	}
+	return rs
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomSet(rng)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, rs); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, rs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryCompact(t *testing.T) {
+	// A loop trace delta-encodes to ~1 byte per request; the text format
+	// needs several.
+	seq := make(core.Sequence, 10000)
+	for i := range seq {
+		seq[i] = core.PageID(i % 64)
+	}
+	rs := core.RequestSet{seq}
+	var txt, bin bytes.Buffer
+	if err := Write(&txt, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, rs); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= txt.Len()/2 {
+		t.Fatalf("binary %d bytes vs text %d: expected at least 2x compaction", bin.Len(), txt.Len())
+	}
+}
+
+func TestReadAutoDetects(t *testing.T) {
+	rs := core.RequestSet{{1, 2, 3}, {7}}
+	var txt, bin bytes.Buffer
+	if err := Write(&txt, rs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, rs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAuto(&txt)
+	if err != nil || !reflect.DeepEqual(got, rs) {
+		t.Fatalf("auto text: %v %v", got, err)
+	}
+	got, err = ReadAuto(&bin)
+	if err != nil || !reflect.DeepEqual(got, rs) {
+		t.Fatalf("auto binary: %v %v", got, err)
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},
+		[]byte("MCP"),
+		[]byte("MCPT\x02"),             // wrong version
+		[]byte("MCPT\x01"),             // missing body
+		[]byte("MCPT\x01\x00"),         // zero cores
+		[]byte("MCPT\x01\x01\x05\x02"), // truncated payload
+	}
+	for i, c := range cases {
+		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+// FuzzReadAuto ensures arbitrary input never panics the parsers.
+func FuzzReadAuto(f *testing.F) {
+	rs := core.RequestSet{{1, 2, 3}, {9, 9}}
+	var txt, bin bytes.Buffer
+	Write(&txt, rs)
+	WriteBinary(&bin, rs)
+	f.Add(txt.Bytes())
+	f.Add(bin.Bytes())
+	f.Add([]byte("mcpaging-trace v1 cores 1 core 0 1 7"))
+	f.Add([]byte("MCPT\x01\x01\x01\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := ReadAuto(bytes.NewReader(data))
+		if err == nil {
+			// Whatever parsed must re-serialise cleanly.
+			var buf bytes.Buffer
+			if err := Write(&buf, rs); err != nil {
+				t.Fatalf("re-serialise failed: %v", err)
+			}
+		}
+	})
+}

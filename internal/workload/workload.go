@@ -1,0 +1,252 @@
+// Package workload generates synthetic multicore request sets. The
+// paper's evaluation is purely analytic, so these generators play the
+// role its motivating workloads describe informally: independent
+// processes with private working sets, looping scans, phase-changing
+// programs, and mixes that share pages across cores. All generators are
+// deterministic given the spec's seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mcpaging/internal/core"
+)
+
+// Kind selects a generator family.
+type Kind string
+
+// Generator families.
+const (
+	// Uniform draws each request uniformly from the core's page range.
+	Uniform Kind = "uniform"
+	// Zipf draws from a Zipf distribution over the core's page range —
+	// heavy-tailed popularity, the classic cache-friendly skew.
+	Zipf Kind = "zipf"
+	// Loop cycles sequentially through the core's page range — the
+	// LRU-adversarial scan pattern.
+	Loop Kind = "loop"
+	// Phased partitions the sequence into phases, each confined to a
+	// small working set drawn from the core's range; working sets
+	// change abruptly at phase boundaries.
+	Phased Kind = "phased"
+	// Markov walks a ring over the core's page range: with high
+	// probability the next request is a neighbour of the current page,
+	// otherwise it jumps uniformly (an access-graph-style workload in
+	// the spirit of Fiat–Karlin's multi-pointer model).
+	Markov Kind = "markov"
+)
+
+// Kinds lists all generator families in a stable order.
+func Kinds() []Kind { return []Kind{Uniform, Zipf, Loop, Phased, Markov} }
+
+// Spec describes one request-set generation.
+type Spec struct {
+	// Cores is p, the number of sequences.
+	Cores int
+	// Length is the per-core sequence length.
+	Length int
+	// Pages is the number of distinct private pages per core.
+	Pages int
+	// Kind selects the generator family.
+	Kind Kind
+	// ZipfS and ZipfV parameterise the Zipf distribution (s > 1, v ≥ 1);
+	// zero values default to s=1.2, v=1.
+	ZipfS, ZipfV float64
+	// Phases (Phased only) is the number of phases; zero defaults to 8.
+	Phases int
+	// WorkingSet (Phased only) is the pages per phase; zero defaults to
+	// max(2, Pages/4).
+	WorkingSet int
+	// JumpProb (Markov only) is the probability of a uniform jump
+	// instead of a neighbour step; zero defaults to 0.05.
+	JumpProb float64
+	// SharedFrac, if positive, replaces that fraction of requests (in
+	// expectation) with requests to a pool of SharedPages pages common
+	// to all cores, producing a non-disjoint request set.
+	SharedFrac float64
+	// SharedPages is the size of the shared pool; zero defaults to
+	// Pages when SharedFrac > 0.
+	SharedPages int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// sharedBase places shared pages in a namespace no private page uses.
+const sharedBase = 1 << 24
+
+// privateStride spaces per-core private namespaces.
+const privateStride = 1 << 16
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.Cores < 1 {
+		return fmt.Errorf("workload: cores = %d, want >= 1", s.Cores)
+	}
+	if s.Length < 0 {
+		return fmt.Errorf("workload: negative length %d", s.Length)
+	}
+	if s.Pages < 1 {
+		return fmt.Errorf("workload: pages = %d, want >= 1", s.Pages)
+	}
+	if s.Pages >= privateStride {
+		return fmt.Errorf("workload: pages = %d exceeds per-core namespace", s.Pages)
+	}
+	if s.SharedFrac < 0 || s.SharedFrac > 1 {
+		return fmt.Errorf("workload: shared fraction %v outside [0,1]", s.SharedFrac)
+	}
+	switch s.Kind {
+	case Uniform, Zipf, Loop, Phased, Markov:
+	default:
+		return fmt.Errorf("workload: unknown kind %q", s.Kind)
+	}
+	return nil
+}
+
+// Generate builds the request set for the spec.
+func Generate(s Spec) (core.RequestSet, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	rs := make(core.RequestSet, s.Cores)
+	sharedPages := s.SharedPages
+	if sharedPages == 0 {
+		sharedPages = s.Pages
+	}
+	for j := 0; j < s.Cores; j++ {
+		base := core.PageID(j * privateStride)
+		local := s.generateCore(rng, j)
+		if s.SharedFrac > 0 {
+			for i := range local {
+				if rng.Float64() < s.SharedFrac {
+					local[i] = core.PageID(sharedBase + rng.Intn(sharedPages))
+					continue
+				}
+				local[i] += base
+			}
+		} else {
+			for i := range local {
+				local[i] += base
+			}
+		}
+		rs[j] = local
+	}
+	return rs, nil
+}
+
+// generateCore produces one core's sequence over pages 0..Pages-1.
+func (s Spec) generateCore(rng *rand.Rand, j int) core.Sequence {
+	seq := make(core.Sequence, s.Length)
+	switch s.Kind {
+	case Uniform:
+		for i := range seq {
+			seq[i] = core.PageID(rng.Intn(s.Pages))
+		}
+	case Zipf:
+		zs, zv := s.ZipfS, s.ZipfV
+		if zs <= 1 {
+			zs = 1.2
+		}
+		if zv < 1 {
+			zv = 1
+		}
+		z := rand.NewZipf(rng, zs, zv, uint64(s.Pages-1))
+		perm := rng.Perm(s.Pages) // decouple popularity rank from page ID
+		for i := range seq {
+			seq[i] = core.PageID(perm[int(z.Uint64())])
+		}
+	case Loop:
+		off := rng.Intn(s.Pages)
+		for i := range seq {
+			seq[i] = core.PageID((off + i) % s.Pages)
+		}
+	case Phased:
+		phases := s.Phases
+		if phases <= 0 {
+			phases = 8
+		}
+		ws := s.WorkingSet
+		if ws <= 0 {
+			ws = s.Pages / 4
+		}
+		if ws < 2 {
+			ws = 2
+		}
+		if ws > s.Pages {
+			ws = s.Pages
+		}
+		perPhase := (s.Length + phases - 1) / phases
+		for i := 0; i < s.Length; {
+			set := rng.Perm(s.Pages)[:ws]
+			for k := 0; k < perPhase && i < s.Length; k++ {
+				seq[i] = core.PageID(set[rng.Intn(ws)])
+				i++
+			}
+		}
+	case Markov:
+		jump := s.JumpProb
+		if jump <= 0 {
+			jump = 0.05
+		}
+		cur := rng.Intn(s.Pages)
+		for i := range seq {
+			seq[i] = core.PageID(cur)
+			if rng.Float64() < jump {
+				cur = rng.Intn(s.Pages)
+			} else if rng.Intn(2) == 0 {
+				cur = (cur + 1) % s.Pages
+			} else {
+				cur = (cur - 1 + s.Pages) % s.Pages
+			}
+		}
+	}
+	return seq
+}
+
+// Mix generates one request set per kind with otherwise identical
+// parameters — the standard sweep used by the E13 policy matrix.
+func Mix(base Spec) (map[Kind]core.RequestSet, error) {
+	out := make(map[Kind]core.RequestSet, len(Kinds()))
+	for i, k := range Kinds() {
+		s := base
+		s.Kind = k
+		s.Seed = base.Seed + int64(i)*1000003
+		rs, err := Generate(s)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = rs
+	}
+	return out, nil
+}
+
+// Compose builds a heterogeneous request set: one spec per core (each
+// spec's Cores field is ignored), with every core placed in its own
+// private page namespace. It is the generator behind mixed workloads
+// like "one scanning core plus three zipf cores".
+func Compose(specs []Spec) (core.RequestSet, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("workload: Compose needs at least one spec")
+	}
+	rs := make(core.RequestSet, len(specs))
+	for j, s := range specs {
+		s.Cores = 1
+		if s.SharedFrac != 0 {
+			return nil, fmt.Errorf("workload: Compose does not support shared pools (core %d)", j)
+		}
+		one, err := Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("workload: core %d: %w", j, err)
+		}
+		seq := one[0]
+		base := core.PageID(j * privateStride)
+		for i := range seq {
+			// Generate already placed core 0 in the base namespace;
+			// shift into this core's.
+			seq[i] += base
+		}
+		rs[j] = seq
+	}
+	return rs, nil
+}

@@ -1,0 +1,133 @@
+package mcpaging_test
+
+import (
+	"testing"
+
+	"mcpaging"
+)
+
+// The root package is a façade; these tests exercise the public API end
+// to end the way a downstream user would.
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	rs, err := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+		Cores: 4, Length: 500, Pages: 32, Kind: mcpaging.WorkloadZipf, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := mcpaging.Instance{R: rs, P: mcpaging.Params{K: 16, Tau: 2}}
+	res, err := mcpaging.Simulate(inst, mcpaging.SharedLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults()+res.TotalHits() != int64(rs.TotalLen()) {
+		t.Fatal("accounting broken")
+	}
+	if res.Makespan <= 0 {
+		t.Fatal("makespan missing")
+	}
+}
+
+func TestPublicStrategyConstructors(t *testing.T) {
+	rs, _ := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+		Cores: 2, Length: 200, Pages: 8, Kind: mcpaging.WorkloadUniform, Seed: 2,
+	})
+	inst := mcpaging.Instance{R: rs, P: mcpaging.Params{K: 8, Tau: 1}}
+	for _, name := range mcpaging.EvictionPolicies() {
+		s, err := mcpaging.Shared(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mcpaging.Simulate(inst, s); err != nil {
+			t.Fatalf("shared %s: %v", name, err)
+		}
+	}
+	if _, err := mcpaging.Shared("nope", 0); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+	sp, err := mcpaging.StaticPartition(mcpaging.EvenPartition(8, 2), "LRU", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mcpaging.Simulate(inst, sp); err != nil {
+		t.Fatal(err)
+	}
+	dyn := mcpaging.DynamicLRUPartition()
+	if _, err := mcpaging.Simulate(inst, dyn); err != nil {
+		t.Fatal(err)
+	}
+	st, err := mcpaging.StagedPartition([]mcpaging.Stage{
+		{At: 0, Sizes: []int{4, 4}},
+		{At: 100, Sizes: []int{6, 2}},
+	}, "LRU", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mcpaging.Simulate(inst, st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicPartitionOptimizer(t *testing.T) {
+	rs, _ := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+		Cores: 3, Length: 400, Pages: 12, Kind: mcpaging.WorkloadPhased, Seed: 3,
+	})
+	part, err := mcpaging.OptimalStaticLRU(rs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := mcpaging.StaticPartition(part.Sizes, "LRU", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mcpaging.Simulate(mcpaging.Instance{R: rs, P: mcpaging.Params{K: 12, Tau: 0}}, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults() != part.Faults {
+		t.Fatalf("prediction %d, simulated %d", part.Faults, res.TotalFaults())
+	}
+	curve := mcpaging.LRUMissCurve(rs[0], 12)
+	optCurve := mcpaging.OPTMissCurve(rs[0], 12)
+	for k := 1; k <= 12; k++ {
+		if optCurve[k] > curve[k] {
+			t.Fatal("OPT curve above LRU curve")
+		}
+	}
+}
+
+func TestPublicOfflineSolvers(t *testing.T) {
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{{0, 1, 0, 1}, {10, 11, 10}},
+		P: mcpaging.Params{K: 3, Tau: 1},
+	}
+	sol, err := mcpaging.MinTotalFaults(inst, mcpaging.OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Faults < 4 { // at least one fault per distinct page
+		t.Fatalf("implausible optimum %d", sol.Faults)
+	}
+	yes, _, err := mcpaging.DecidePIF(mcpaging.PIFInstance{
+		Inst: inst, T: 100, Bounds: []int64{10, 10},
+	}, mcpaging.OfflineOptions{})
+	if err != nil || !yes {
+		t.Fatalf("generous PIF should be yes (err=%v)", err)
+	}
+}
+
+func TestPublicObserver(t *testing.T) {
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{{1, 2, 1}},
+		P: mcpaging.Params{K: 2, Tau: 0},
+	}
+	var events int
+	_, err := mcpaging.Observe(inst, mcpaging.SharedLRU(), func(mcpaging.Event) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 3 {
+		t.Fatalf("observed %d events, want 3", events)
+	}
+}

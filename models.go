@@ -1,0 +1,115 @@
+package mcpaging
+
+import (
+	"mcpaging/internal/advsearch"
+	"mcpaging/internal/hassidim"
+	"mcpaging/internal/multiapp"
+	"mcpaging/internal/offline"
+	"mcpaging/internal/policy"
+)
+
+// This file exposes the comparison models the paper positions itself
+// against (Section 2) and the fairness machinery its conclusions propose
+// (Section 6).
+
+// MinTotalFaultsExact computes the exact offline minimum total faults
+// under the model's logical-order semantics. It can be strictly below
+// MinTotalFaults (the paper's Algorithm 1): the paper's successor rule
+// forbids a fault from evicting a page requested by another core in the
+// same timestep, which the model itself permits. See the documentation
+// of the offline package for the worked counterexample.
+func MinTotalFaultsExact(inst Instance, opts OfflineOptions) (FTFSolution, error) {
+	return offline.SolveFTFSeq(inst, opts)
+}
+
+// MinUniformFaultBound returns the smallest uniform per-core fault
+// budget b such that the instance can be served with every sequence at
+// most b faults at time T (binary search over Algorithm 2) — the offline
+// fairness yardstick.
+func MinUniformFaultBound(inst Instance, t int64, opts OfflineOptions) (int64, error) {
+	return offline.MinUniformBound(inst, t, opts)
+}
+
+// UCPPartition returns the utility-based dynamic partition (Qureshi &
+// Patt's UCP adapted to this model): shadow-stack utility monitors per
+// core, with the K cells reassigned greedily by marginal utility every
+// window timesteps (0 = default window).
+func UCPPartition(window int64) Strategy { return policy.NewUCP(window) }
+
+// FairSharePartition returns the fairness-oriented online dynamic
+// partition: every window timesteps one cache cell moves from the core
+// with the fewest recent faults to the core with the most (0 = default
+// window). It trades total faults for a flatter per-core distribution —
+// the online counterpart of a PIF budget vector.
+func FairSharePartition(window int64) Strategy { return policy.NewFairShare(window) }
+
+// Hassidim's scheduler-empowered model (the paper's foil).
+type (
+	// HassidimOptions tunes the scheduler-model makespan search.
+	HassidimOptions = hassidim.Options
+	// HassidimStats reports its search effort.
+	HassidimStats = hassidim.Stats
+	// HassidimGreedyResult is the result of the never-delay greedy run.
+	HassidimGreedyResult = hassidim.GreedyResult
+)
+
+// HassidimMinMakespan computes the optimal makespan in Hassidim's model,
+// where the algorithm may delay ready cores (set Options.NoDelay to
+// recover the paper's model). Exhaustive; small instances only.
+func HassidimMinMakespan(inst Instance, opts HassidimOptions) (int64, HassidimStats, error) {
+	return hassidim.MinMakespan(inst, opts)
+}
+
+// HassidimGreedyLRU runs the never-delay LRU schedule in Hassidim's
+// model; on disjoint inputs it coincides exactly with SharedLRU under
+// Simulate.
+func HassidimGreedyLRU(inst Instance) (HassidimGreedyResult, error) {
+	return hassidim.GreedyLRU(inst)
+}
+
+// The Barve–Grove–Vitter multiapplication model (fixed interleaving).
+type (
+	// MultiAppRequest is one tagged request of a fixed interleaving.
+	MultiAppRequest = multiapp.Request
+	// MultiAppResult holds per-application fault counts.
+	MultiAppResult = multiapp.Result
+)
+
+// MultiAppInterleave flattens a request set into the round-robin
+// interleaving used by the multiapplication model.
+func MultiAppInterleave(r RequestSet) []MultiAppRequest { return multiapp.Interleave(r) }
+
+// MultiAppLRU serves a fixed interleaving with one shared LRU cache; at
+// τ=0 it coincides exactly with SharedLRU under Simulate.
+func MultiAppLRU(reqs []MultiAppRequest, apps, k int) (MultiAppResult, error) {
+	return multiapp.ServeLRU(reqs, apps, k)
+}
+
+// MultiAppOPT serves a fixed interleaving with Belady's algorithm — the
+// fault-optimal policy of the multiapplication model and a lower bound
+// on the paper model's τ=0 optimum.
+func MultiAppOPT(reqs []MultiAppRequest, apps, k int) (MultiAppResult, error) {
+	return multiapp.ServeOPT(reqs, apps, k)
+}
+
+// Adversary synthesis (the lower-bound method, mechanised).
+type (
+	// AdversarySearchConfig configures a synthesis run.
+	AdversarySearchConfig = advsearch.Config
+	// AdversaryFound is a synthesised worst-case witness.
+	AdversaryFound = advsearch.Found
+)
+
+// SynthesizeAdversary hill-climbs over tiny instances, scored against
+// the exact offline optimum, to find inputs on which the configured
+// strategy performs worst. Deterministic given the config's seed.
+func SynthesizeAdversary(cfg AdversarySearchConfig) (AdversaryFound, error) {
+	return advsearch.Search(cfg)
+}
+
+// FaultBudgetFrontier returns the Pareto-minimal feasible per-core fault
+// budget pairs at time T for a two-core instance (Algorithm 2 swept over
+// budget space) — the exact fairness trade-off curve.
+func FaultBudgetFrontier(inst Instance, t int64, opts OfflineOptions) ([][2]int64, error) {
+	return offline.ParetoFrontier(inst, t, opts)
+}

@@ -1,0 +1,140 @@
+package mcpaging_test
+
+import (
+	"testing"
+
+	"mcpaging"
+)
+
+func TestPublicExactOptimumAndGap(t *testing.T) {
+	// The documented instance where the paper's Algorithm 1 overshoots
+	// the exact logical-order optimum.
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{{2, 2}, {100, 101, 101, 100}},
+		P: mcpaging.Params{K: 2, Tau: 0},
+	}
+	pinned, err := mcpaging.MinTotalFaults(inst, mcpaging.OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := mcpaging.MinTotalFaultsExact(inst, mcpaging.OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Faults != 3 || pinned.Faults != 4 {
+		t.Fatalf("exact=%d pinned=%d, want 3 and 4", exact.Faults, pinned.Faults)
+	}
+}
+
+func TestPublicHassidim(t *testing.T) {
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{{2, 1, 2, 0}, {102, 102}},
+		P: mcpaging.Params{K: 2, Tau: 2},
+	}
+	g, err := mcpaging.HassidimGreedyLRU(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := mcpaging.Simulate(inst, mcpaging.SharedLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Makespan != simRes.Makespan || g.TotalFaults() != simRes.TotalFaults() {
+		t.Fatal("greedy embedding diverged from the simulator")
+	}
+	free, _, err := mcpaging.HassidimMinMakespan(inst, mcpaging.HassidimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, _, err := mcpaging.HassidimMinMakespan(inst, mcpaging.HassidimOptions{NoDelay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(free < strict && strict <= g.Makespan) {
+		t.Fatalf("ordering violated: free=%d strict=%d greedy=%d", free, strict, g.Makespan)
+	}
+}
+
+func TestPublicMultiApp(t *testing.T) {
+	rs := mcpaging.RequestSet{{1, 2, 1}, {10, 11, 10}}
+	reqs := mcpaging.MultiAppInterleave(rs)
+	if len(reqs) != 6 {
+		t.Fatalf("interleaving length %d", len(reqs))
+	}
+	lruRes, err := mcpaging.MultiAppLRU(reqs, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRes, err := mcpaging.MultiAppOPT(reqs, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if optRes.TotalFaults() > lruRes.TotalFaults() {
+		t.Fatal("OPT above LRU")
+	}
+	// τ=0 LRU equivalence through the public API.
+	simRes, err := mcpaging.Simulate(mcpaging.Instance{R: rs, P: mcpaging.Params{K: 3, Tau: 0}},
+		mcpaging.SharedLRU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simRes.TotalFaults() != lruRes.TotalFaults() {
+		t.Fatal("τ=0 equivalence failed via public API")
+	}
+}
+
+func TestPublicFairness(t *testing.T) {
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{
+			{0, 1, 0, 1, 0, 1},
+			{100, 101, 102, 100, 101, 102},
+		},
+		P: mcpaging.Params{K: 4, Tau: 1},
+	}
+	b, err := mcpaging.MinUniformFaultBound(inst, 14, mcpaging.OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < 2 || b > 6 {
+		t.Fatalf("implausible uniform bound %d", b)
+	}
+	fs := mcpaging.FairSharePartition(8)
+	res, err := mcpaging.Simulate(inst, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalFaults()+res.TotalHits() != int64(inst.R.TotalLen()) {
+		t.Fatal("accounting broken")
+	}
+}
+
+func TestPublicAdversarySynthesis(t *testing.T) {
+	found, err := mcpaging.SynthesizeAdversary(mcpaging.AdversarySearchConfig{
+		Build: mcpaging.SharedLRU,
+		P:     2, K: 3, Tau: 1,
+		Seed: 2, Iters: 50, Restarts: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found.Ratio <= 1 {
+		t.Fatalf("ratio %.2f should exceed 1", found.Ratio)
+	}
+}
+
+func TestPublicFaultBudgetFrontier(t *testing.T) {
+	inst := mcpaging.Instance{
+		R: mcpaging.RequestSet{
+			{0, 1, 0, 1},
+			{100, 101, 100, 101},
+		},
+		P: mcpaging.Params{K: 3, Tau: 1},
+	}
+	frontier, err := mcpaging.FaultBudgetFrontier(inst, 10, mcpaging.OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+}

@@ -1,0 +1,42 @@
+#!/bin/sh
+# End-to-end smoke test of every CLI tool. Exercises the full pipeline:
+# generate → profile → simulate → sweep → offline-solve → synthesise →
+# experiments. Exits non-zero on the first failure.
+set -eu
+
+dir="$(mktemp -d)"
+trap 'rm -rf "$dir"' EXIT
+cd "$(dirname "$0")/.."
+
+echo "== mcgen (text + binary) =="
+go run ./cmd/mcgen -kind phased -cores 4 -length 2000 -pages 32 -seed 7 -o "$dir/t.txt"
+go run ./cmd/mcgen -kind markov -cores 2 -length 1000 -pages 16 -seed 7 -binary -o "$dir/t.bin"
+go run ./cmd/mcgen -kind lemma4 -cores 2 -k 4 -length 500 -o "$dir/adv.txt"
+
+echo "== mcstat =="
+go run ./cmd/mcstat -trace "$dir/t.txt" -k 16 > /dev/null
+
+echo "== mcsim (portfolio, binary input, events) =="
+go run ./cmd/mcsim -trace "$dir/t.txt" -k 16 -tau 4 -all > /dev/null
+go run ./cmd/mcsim -trace "$dir/t.bin" -k 8 -tau 2 -strategy 'dP[ucp](LRU)' -events "$dir/ev.csv" > /dev/null
+test -s "$dir/ev.csv"
+
+echo "== mcsweep =="
+go run ./cmd/mcsweep -trace "$dir/t.txt" -k 8,16 -tau 0,4 \
+    -strategies 'S(LRU),S(ARC),dP[fair](LRU)' -csv > "$dir/sweep.csv"
+test "$(wc -l < "$dir/sweep.csv")" -eq 13   # header + 2*2*3 rows
+
+echo "== mcopt (FTF + PIF) =="
+go run ./cmd/mcgen -kind uniform -cores 2 -length 5 -pages 3 -seed 3 -o "$dir/tiny.txt" 2> /dev/null
+go run ./cmd/mcopt -trace "$dir/tiny.txt" -k 3 -tau 1 > /dev/null
+go run ./cmd/mcopt -trace "$dir/tiny.txt" -k 3 -tau 1 -pif -t 10 -b 3,3 > /dev/null
+
+echo "== mcadv =="
+go run ./cmd/mcadv -strategy 'S(LRU)' -p 2 -k 3 -tau 1 -iters 60 -restarts 2 -o "$dir/witness.txt" > /dev/null
+go run ./cmd/mcsim -trace "$dir/witness.txt" -k 3 -tau 1 > /dev/null
+
+echo "== mcexp (quick, parallel, markdown) =="
+go run ./cmd/mcexp -quick -parallel 4 > /dev/null
+go run ./cmd/mcexp -exp E7 -quick -format md > /dev/null
+
+echo "smoke: all tools OK"

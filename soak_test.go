@@ -1,0 +1,103 @@
+package mcpaging_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mcpaging"
+	"mcpaging/internal/strategyspec"
+	"mcpaging/internal/sweep"
+)
+
+// TestSoakPortfolio drives the full strategy portfolio through larger
+// workloads — including non-disjoint ones — and checks the global
+// invariants on every run. Skipped under -short.
+func TestSoakPortfolio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rng := rand.New(rand.NewSource(99))
+	kinds := []mcpaging.WorkloadKind{
+		mcpaging.WorkloadUniform, mcpaging.WorkloadZipf, mcpaging.WorkloadLoop,
+		mcpaging.WorkloadPhased, mcpaging.WorkloadMarkov,
+	}
+	for _, kind := range kinds {
+		for _, sharedFrac := range []float64{0, 0.3} {
+			p := 2 + rng.Intn(7)
+			k := p * (2 + rng.Intn(6))
+			tau := rng.Intn(12)
+			rs, err := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+				Cores: p, Length: 5000, Pages: 64, Kind: kind,
+				SharedFrac: sharedFrac, Seed: rng.Int63(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := mcpaging.Instance{R: rs, P: mcpaging.Params{K: k, Tau: tau}}
+			for _, spec := range strategyspec.Portfolio() {
+				name := fmt.Sprintf("%s/shared=%.1f/%s", kind, sharedFrac, spec)
+				st, err := strategyspec.Build(spec, rs, k, 1)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				res, err := mcpaging.Simulate(in, st)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if res.TotalFaults()+res.TotalHits() != int64(rs.TotalLen()) {
+					t.Fatalf("%s: accounting broken", name)
+				}
+				for j := range rs {
+					if res.Hits[j]+res.Faults[j] != int64(len(rs[j])) {
+						t.Fatalf("%s: per-core accounting broken", name)
+					}
+					if res.Finish[j] != int64(len(rs[j]))+res.Faults[j]*int64(tau) {
+						t.Fatalf("%s: finish identity broken", name)
+					}
+				}
+				// The universe lower-bounds faults (cold misses).
+				if res.TotalFaults() < int64(len(rs.Universe())) {
+					t.Fatalf("%s: fewer faults than distinct pages", name)
+				}
+			}
+		}
+	}
+}
+
+// TestSoakSweep runs a moderately large grid through the parallel sweep
+// harness. Skipped under -short.
+func TestSoakSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	rs, err := mcpaging.GenerateWorkload(mcpaging.WorkloadSpec{
+		Cores: 4, Length: 3000, Pages: 48, Kind: mcpaging.WorkloadPhased, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := sweep.Run(sweep.Grid{
+		R:     rs,
+		Ks:    []int{8, 16, 32},
+		Taus:  []int{0, 2, 8},
+		Specs: strategyspec.Portfolio(),
+		Seed:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.Err != nil {
+			t.Fatalf("%+v", p)
+		}
+	}
+	// Sanity: more cache never hurts the *static* partitions on the same
+	// τ for stack policies... not guaranteed in the multicore model (see
+	// E17), so only check that fault counts are positive and bounded.
+	for _, p := range pts {
+		if p.Faults <= 0 || p.Faults > int64(rs.TotalLen()) {
+			t.Fatalf("implausible faults: %+v", p)
+		}
+	}
+}
