@@ -250,14 +250,11 @@ func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
 				info = &occInfo{}
 				e.occ[pg] = info
 			}
-			slot := -1
-			for s, cc := range info.cores {
-				if cc == int32(c) {
-					slot = s
-					break
-				}
-			}
-			if slot == -1 {
+			// Cores are scanned in increasing order, so if this page
+			// already has a slot for core c it is necessarily the last
+			// one appended — no need to search the whole slot list.
+			slot := len(info.cores) - 1
+			if slot < 0 || info.cores[slot] != int32(c) {
 				info.cores = append(info.cores, int32(c))
 				info.lists = append(info.lists, nil)
 				info.ptrs = append(info.ptrs, 0)
