@@ -1,0 +1,75 @@
+package sim_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// BenchmarkSimServe isolates the three serve paths of the engine. Each
+// sub-benchmark replays a workload engineered so one path dominates,
+// through a reused Runner, so the numbers track the per-request cost of
+// that path (hit ≈ array lookup + Touch; fault ≈ eviction + table
+// update; join ≈ in-flight check + Touch) with steady-state allocations.
+func BenchmarkSimServe(b *testing.B) {
+	const perCore = 50000
+
+	bench := func(b *testing.B, rs core.RequestSet, params core.Params) {
+		b.Helper()
+		rn, err := sim.NewRunner(rs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := float64(rs.TotalLen())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := rn.Run(params, policy.NewShared(lru()), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(n*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+
+	b.Run("hit", func(b *testing.B) {
+		// 4 cores cycling disjoint 16-page working sets inside K=128:
+		// everything past the first 64 requests is a hit.
+		rs := make(core.RequestSet, 4)
+		for c := range rs {
+			seq := make(core.Sequence, perCore)
+			for i := range seq {
+				seq[i] = core.PageID(c*16 + i%16)
+			}
+			rs[c] = seq
+		}
+		bench(b, rs, core.Params{K: 128, Tau: 8})
+	})
+
+	b.Run("fault", func(b *testing.B) {
+		// 4 cores scanning disjoint 512-page loops with K=128 under LRU:
+		// the classic sequential-flooding pattern, every request faults.
+		rs := make(core.RequestSet, 4)
+		for c := range rs {
+			seq := make(core.Sequence, perCore)
+			for i := range seq {
+				seq[i] = core.PageID(c*512 + i%512)
+			}
+			rs[c] = seq
+		}
+		bench(b, rs, core.Params{K: 128, Tau: 8})
+	})
+
+	b.Run("join", func(b *testing.B) {
+		// 4 cores issuing the same 512-page scan in lockstep with τ=8:
+		// core 0 faults and the rest join the in-flight fetch, so ~3/4 of
+		// all requests take the join path.
+		seq := make(core.Sequence, perCore)
+		for i := range seq {
+			seq[i] = core.PageID(i % 512)
+		}
+		rs := core.RequestSet{seq, seq, seq, seq}
+		bench(b, rs, core.Params{K: 128, Tau: 8})
+	})
+}

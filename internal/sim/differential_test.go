@@ -1,0 +1,161 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+func fitf() cache.Factory { return func() cache.Policy { return cache.NewFITF() } }
+
+// diffStrategies builds the strategy set exercised by the differential
+// tests: one recency-based shared strategy, one static partition, and the
+// oracle-driven FITF (which stresses NextUse and the ID-visibility
+// contract — its tie-break depends on raw page IDs).
+func diffStrategies(k, p int) []func() sim.Strategy {
+	return []func() sim.Strategy{
+		func() sim.Strategy { return policy.NewShared(lru()) },
+		func() sim.Strategy { return policy.NewStatic(policy.EvenSizes(k, p), lru()) },
+		func() sim.Strategy { return policy.NewShared(fitf()) },
+	}
+}
+
+// randomInstance generates instance i of the differential corpus. The
+// corpus mixes core counts 1..3, disjoint and shared page pools, τ∈0..5,
+// and — every third instance — huge sparse page IDs that force the
+// renumbering path of the dense engine.
+func randomInstance(rng *rand.Rand, i int) core.Instance {
+	p := 1 + rng.Intn(3)
+	tau := rng.Intn(6)
+	k := p + rng.Intn(12)
+	pages := 2 + rng.Intn(20)
+	shared := rng.Intn(2) == 0
+	sparse := i%3 == 0
+
+	remap := func(id core.PageID) core.PageID {
+		if sparse {
+			return 50000000 + id*1000003
+		}
+		return id
+	}
+	rs := make(core.RequestSet, p)
+	for c := range rs {
+		n := 1 + rng.Intn(40)
+		seq := make(core.Sequence, n)
+		for j := range seq {
+			id := core.PageID(rng.Intn(pages))
+			if !shared {
+				// Disjoint pools: offset each core's pages.
+				id += core.PageID(c) * core.PageID(pages)
+			}
+			seq[j] = remap(id)
+		}
+		rs[c] = seq
+	}
+	return core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
+}
+
+// TestDenseMatchesReference replays randomized instances through both the
+// dense-ID engine (sim.Run) and the retained map-based reference engine
+// (sim.RunReference) and requires identical results and identical event
+// streams — same times, cores, pages, fault/join flags, and victims, in
+// the same order. This is the event-for-event proof that renumbering and
+// the flat ground-truth tables are invisible to strategies and observers.
+func TestDenseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		in := randomInstance(rng, i)
+		p := in.R.NumCores()
+		for si, mk := range diffStrategies(in.P.K, p) {
+			label := fmt.Sprintf("inst=%d strat=%d (p=%d K=%d tau=%d)", i, si, p, in.P.K, in.P.Tau)
+
+			var gotEv, wantEv []sim.Event
+			got, err := sim.Run(in, mk(), func(e sim.Event) { gotEv = append(gotEv, e) })
+			if err != nil {
+				t.Fatalf("%s: dense: %v", label, err)
+			}
+			want, err := sim.RunReference(in, mk(), func(e sim.Event) { wantEv = append(wantEv, e) })
+			if err != nil {
+				t.Fatalf("%s: reference: %v", label, err)
+			}
+
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: results differ:\ndense     %+v\nreference %+v", label, got, want)
+			}
+			if len(gotEv) != len(wantEv) {
+				t.Fatalf("%s: %d events vs %d in reference", label, len(gotEv), len(wantEv))
+			}
+			for j := range gotEv {
+				if gotEv[j] != wantEv[j] {
+					t.Fatalf("%s: event %d differs:\ndense     %+v\nreference %+v",
+						label, j, gotEv[j], wantEv[j])
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerReuse checks that a Runner replayed over the same instance
+// with fresh strategies produces identical results every time — i.e. the
+// per-run reset fully clears ground truth, clocks, and oracle pointers.
+func TestRunnerReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		in := randomInstance(rng, i)
+		p := in.R.NumCores()
+		rn, err := sim.NewRunner(in.R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, mk := range diffStrategies(in.P.K, p) {
+			var first sim.Result
+			for rep := 0; rep < 3; rep++ {
+				res, err := rn.Run(in.P, mk(), nil)
+				if err != nil {
+					t.Fatalf("inst=%d strat=%d rep=%d: %v", i, si, rep, err)
+				}
+				if rep == 0 {
+					first = res
+				} else if !reflect.DeepEqual(res, first) {
+					t.Fatalf("inst=%d strat=%d rep=%d: result drifted:\nfirst %+v\nnow   %+v",
+						i, si, rep, first, res)
+				}
+			}
+		}
+	}
+}
+
+// TestRunnerRebindParams checks that one Runner can sweep parameters:
+// running (K,τ) grids through a single Runner must match fresh sim.Run
+// calls point for point.
+func TestRunnerRebindParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	in := randomInstance(rng, 1) // non-sparse, p∈1..3
+	rn, err := sim.NewRunner(in.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := in.R.NumCores()
+	for k := p; k < p+6; k++ {
+		for tau := 0; tau < 4; tau++ {
+			params := core.Params{K: k, Tau: tau}
+			got, err := rn.Run(params, policy.NewShared(lru()), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := sim.Run(core.Instance{R: in.R, P: params}, policy.NewShared(lru()), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("K=%d tau=%d: runner %+v vs fresh %+v", k, tau, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+)
+
+// RunReference simulates strategy s on the instance using the original
+// map-based engine. It is semantically identical to Run but keeps all
+// ground truth in hash maps keyed by the instance's own page IDs, with no
+// renumbering and no state reuse.
+//
+// It exists as an executable specification: the dense-ID fast path of Run
+// is checked against it event for event by TestDenseMatchesReference, and
+// it is deliberately kept simple rather than fast. Use Run everywhere
+// else.
+func RunReference(inst core.Instance, s Strategy, obs Observer) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := s.Init(inst); err != nil {
+		return Result{}, fmt.Errorf("sim: strategy %s init: %w", s.Name(), err)
+	}
+	p := inst.R.NumCores()
+	e := &refEngine{
+		k:       inst.P.K,
+		tau:     int64(inst.P.Tau),
+		next:    make([]int64, p),
+		idx:     make([]int, p),
+		readyAt: make(map[core.PageID]int64),
+		occ:     make(map[core.PageID]*refOccInfo),
+	}
+	for c, seq := range inst.R {
+		for i, pg := range seq {
+			info := e.occ[pg]
+			if info == nil {
+				info = &refOccInfo{}
+				e.occ[pg] = info
+			}
+			// Cores are scanned in increasing order, so if this page
+			// already has a slot for core c it is necessarily the last
+			// one appended — no need to search the whole slot list.
+			slot := len(info.cores) - 1
+			if slot < 0 || info.cores[slot] != int32(c) {
+				info.cores = append(info.cores, int32(c))
+				info.lists = append(info.lists, nil)
+				info.ptrs = append(info.ptrs, 0)
+				slot = len(info.cores) - 1
+			}
+			info.lists[slot] = append(info.lists[slot], int32(i))
+		}
+	}
+
+	res := Result{
+		Faults: make([]int64, p),
+		Hits:   make([]int64, p),
+		Finish: make([]int64, p),
+	}
+	ticker, _ := s.(Ticker)
+
+	for {
+		// Next service time: min clock over unfinished cores.
+		t := int64(math.MaxInt64)
+		for c := 0; c < p; c++ {
+			if e.idx[c] < len(inst.R[c]) && e.next[c] < t {
+				t = e.next[c]
+			}
+		}
+		if t == int64(math.MaxInt64) {
+			break
+		}
+		e.now = t
+
+		if ticker != nil {
+			for _, v := range ticker.OnTick(t, e) {
+				if err := e.evict(v, t); err != nil {
+					return res, fmt.Errorf("sim: strategy %s voluntary eviction: %w", s.Name(), err)
+				}
+				res.VoluntaryEvictions++
+			}
+		}
+
+		for c := 0; c < p; c++ {
+			if e.idx[c] >= len(inst.R[c]) || e.next[c] != t {
+				continue
+			}
+			pg := inst.R[c][e.idx[c]]
+			at := cache.Access{Core: c, Time: t, Index: e.idx[c]}
+			ev := Event{Time: t, Core: c, Index: e.idx[c], Page: pg, Victim: core.NoPage}
+
+			switch {
+			case e.Resident(pg):
+				res.Hits[c]++
+				e.idx[c]++
+				e.next[c] = t + 1
+				s.OnHit(pg, at)
+			case e.InFlight(pg):
+				res.Faults[c]++
+				ev.Fault, ev.Join = true, true
+				e.idx[c]++
+				e.next[c] = t + e.tau + 1
+				s.OnJoin(pg, at)
+			default:
+				res.Faults[c]++
+				ev.Fault = true
+				// Advance this core's position before consulting the
+				// strategy so the oracle sees the post-service state.
+				e.idx[c]++
+				e.next[c] = t + e.tau + 1
+				victim := s.OnFault(pg, at, e)
+				if victim == core.NoPage {
+					if e.used >= e.k {
+						return res, fmt.Errorf("sim: strategy %s requested a free cell but cache is full (t=%d core=%d page=%d)", s.Name(), t, c, pg)
+					}
+				} else {
+					if err := e.evict(victim, t); err != nil {
+						return res, fmt.Errorf("sim: strategy %s: %w", s.Name(), err)
+					}
+					ev.Victim = victim
+				}
+				e.readyAt[pg] = t + e.tau + 1
+				e.used++
+			}
+			if e.idx[c] == len(inst.R[c]) {
+				res.Finish[c] = e.next[c]
+			}
+			if obs != nil {
+				obs(ev)
+			}
+		}
+	}
+
+	for c := 0; c < p; c++ {
+		if res.Finish[c] > res.Makespan {
+			res.Makespan = res.Finish[c]
+		}
+	}
+	return res, nil
+}
+
+// refEngine is the map-based simulator state behind RunReference.
+type refEngine struct {
+	k   int
+	tau int64
+
+	next []int64 // per-core clock
+	idx  []int   // per-core next request index
+
+	readyAt map[core.PageID]int64 // cached pages: time the fetch completes (≤ current time ⇒ resident)
+	used    int
+
+	now int64
+
+	// occurrence lists for the oracle, one entry per (page, core) pair
+	// that requests it.
+	occ map[core.PageID]*refOccInfo
+}
+
+// refOccInfo indexes a page's occurrences per referencing core.
+type refOccInfo struct {
+	cores []int32
+	lists [][]int32
+	ptrs  []int
+}
+
+var _ View = (*refEngine)(nil)
+var _ cache.Oracle = (*refEngine)(nil)
+
+func (e *refEngine) Resident(p core.PageID) bool {
+	r, ok := e.readyAt[p]
+	return ok && r <= e.now
+}
+
+func (e *refEngine) InFlight(p core.PageID) bool {
+	r, ok := e.readyAt[p]
+	return ok && r > e.now
+}
+
+func (e *refEngine) Cached(p core.PageID) bool {
+	_, ok := e.readyAt[p]
+	return ok
+}
+
+func (e *refEngine) Free() int  { return e.k - e.used }
+func (e *refEngine) K() int     { return e.k }
+func (e *refEngine) Tau() int   { return int(e.tau) }
+func (e *refEngine) Now() int64 { return e.now }
+
+// NextUse implements the FITF oracle exactly as documented on
+// engine.NextUse, over the map-backed occurrence index.
+func (e *refEngine) NextUse(p core.PageID) int64 {
+	info, ok := e.occ[p]
+	if !ok {
+		return cache.NeverUsed
+	}
+	best := cache.NeverUsed
+	for i, c := range info.cores {
+		// Advance this core's pointer past already-served occurrences.
+		list := info.lists[i]
+		j := info.ptrs[i]
+		idx := int32(e.idx[c])
+		for j < len(list) && list[j] < idx {
+			j++
+		}
+		info.ptrs[i] = j
+		if j == len(list) {
+			continue
+		}
+		t := e.next[c] + int64(list[j]-idx)
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// evict removes a resident page from ground truth, validating the
+// paper's eviction rules.
+func (e *refEngine) evict(v core.PageID, t int64) error {
+	r, ok := e.readyAt[v]
+	if !ok {
+		return fmt.Errorf("evict of non-cached page %d at t=%d", v, t)
+	}
+	if r > t {
+		return fmt.Errorf("evict of in-flight page %d at t=%d (ready at %d)", v, t, r)
+	}
+	delete(e.readyAt, v)
+	e.used--
+	return nil
+}

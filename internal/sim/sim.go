@@ -27,12 +27,27 @@
 // The only degree of freedom a paging strategy has is victim choice on a
 // fault, plus (for strategies modelling the paper's "forcing" and
 // repartitioning behaviours) voluntary evictions at step boundaries.
+//
+// # Implementation: the dense-ID fast path
+//
+// The engine keeps all ground truth in flat arrays indexed by page ID:
+// residency is a single []int64 of fetch-completion times and the FITF
+// oracle reads a flat occurrence table built in one pass over the input.
+// Inputs whose page IDs are already dense (bounded by a small multiple of
+// the total request count — every generated workload and every renumbered
+// trace) are used as-is. Sparser inputs are transparently renumbered on
+// entry; the engine then translates IDs at the strategy and observer
+// boundary, so strategies and observers always see the instance's
+// original page IDs and behave identically either way. RunReference
+// retains the original map-based engine as an executable specification
+// for differential tests.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
@@ -72,6 +87,8 @@ type Ticker interface {
 }
 
 // View is the read-only window a strategy gets on simulator ground truth.
+// All page IDs cross this interface in the instance's original ID space,
+// even when the engine has renumbered internally.
 type View interface {
 	// Resident reports whether p is in cache with its fetch complete.
 	Resident(p core.PageID) bool
@@ -93,7 +110,8 @@ type View interface {
 	NextUse(p core.PageID) int64
 }
 
-// Event describes one served request, for observers and tests.
+// Event describes one served request, for observers and tests. Page and
+// Victim are always in the instance's original ID space.
 type Event struct {
 	Time   int64
 	Core   int
@@ -143,48 +161,98 @@ func (r Result) TotalHits() int64 {
 	return s
 }
 
-// engine is the simulator state for one run.
+// notCached is the readyAt sentinel for an absent page. Real
+// fetch-completion times are t+τ+1 ≥ 1, so zero is never ambiguous and
+// the array can be cleared with a memclr.
+const notCached int64 = 0
+
+// engine is the dense-ID simulator state for one run. Ground truth is
+// indexed by dense page IDs 0..w-1; fwd/inv translate to and from the
+// instance's original IDs when the input needed renumbering (both are nil
+// on the direct path, where dense IDs are the original IDs).
 type engine struct {
-	inst core.Instance
 	k    int
 	tau  int64
+	now  int64
+	used int
+	w    int // dense universe size
 
-	next []int64 // per-core clock
-	idx  []int   // per-core next request index
+	seqs []core.Sequence // dense sequences (alias the input when direct)
+	next []int64         // per-core clock
+	idx  []int           // per-core next request index
 
-	readyAt map[core.PageID]int64 // cached pages: time the fetch completes (≤ current time ⇒ resident)
-	used    int
+	readyAt []int64 // per dense page: fetch completion time, notCached if absent
 
-	now int64
+	fwd map[core.PageID]core.PageID // original → dense (nil when direct)
+	inv []core.PageID               // dense → original (nil when direct)
 
-	// occurrence lists for the oracle, one entry per (page, core) pair
-	// that requests it; flat slices keep NextUse allocation-free.
-	occ map[core.PageID]*occInfo
-}
+	// Flat occurrence table for the oracle. The pairs of page pg occupy
+	// slotStart[pg]..slotStart[pg+1]-1, one per core that requests pg, in
+	// core order; pair s owns the contiguous range pos[pairStart[s]:
+	// pairEnd[s]] of ascending within-sequence indices. pairPtr is the
+	// per-pair cursor advanced lazily past served occurrences.
+	//
+	// The table is built lazily on the first NextUse of a bind (occBuilt),
+	// so strategies that never consult the oracle skip the build entirely.
+	// Laziness is safe mid-run: pairPtr only ever catches up to idx, so a
+	// cursor starting from pairStart gives the same answers as one that
+	// tracked the run from the beginning.
+	occBuilt  bool
+	occN      int // total request count, for the lazy build
+	slotStart []int32
+	pairCore  []int32
+	pairStart []int32
+	pairEnd   []int32
+	pairPtr   []int32
+	pos       []int32
 
-// occInfo indexes a page's occurrences per referencing core.
-type occInfo struct {
-	cores []int32
-	lists [][]int32
-	ptrs  []int
+	// scratch for table builds, reused across binds
+	cnt      []int32
+	pairCnt  []int32
+	lastCore []int32
+	slotCur  []int32
+	posCur   []int32
+
+	denseSeqs []core.Sequence // backing store for renumbered sequences
 }
 
 var _ View = (*engine)(nil)
 var _ cache.Oracle = (*engine)(nil)
 
+// denseID maps an original page ID to the engine's dense ID space. ok is
+// false for pages outside the instance's universe.
+func (e *engine) denseID(p core.PageID) (core.PageID, bool) {
+	if e.fwd != nil {
+		dp, ok := e.fwd[p]
+		return dp, ok
+	}
+	if p < 0 || int(p) >= e.w {
+		return 0, false
+	}
+	return p, true
+}
+
 func (e *engine) Resident(p core.PageID) bool {
-	r, ok := e.readyAt[p]
-	return ok && r <= e.now
+	dp, ok := e.denseID(p)
+	if !ok {
+		return false
+	}
+	r := e.readyAt[dp]
+	return r != notCached && r <= e.now
 }
 
 func (e *engine) InFlight(p core.PageID) bool {
-	r, ok := e.readyAt[p]
-	return ok && r > e.now
+	dp, ok := e.denseID(p)
+	if !ok {
+		return false
+	}
+	// notCached is 0 and now ≥ 0, so absent pages never satisfy this.
+	return e.readyAt[dp] > e.now
 }
 
 func (e *engine) Cached(p core.PageID) bool {
-	_, ok := e.readyAt[p]
-	return ok
+	dp, ok := e.denseID(p)
+	return ok && e.readyAt[dp] != notCached
 }
 
 func (e *engine) Free() int  { return e.k - e.used }
@@ -198,24 +266,28 @@ func (e *engine) Now() int64 { return e.now }
 // earlier than next[c] + (i - idx[c]), since each intervening request
 // takes at least one step.
 func (e *engine) NextUse(p core.PageID) int64 {
-	info, ok := e.occ[p]
+	dp, ok := e.denseID(p)
 	if !ok {
 		return cache.NeverUsed
 	}
+	if !e.occBuilt {
+		e.buildOcc(e.occN)
+		e.occBuilt = true
+	}
 	best := cache.NeverUsed
-	for i, c := range info.cores {
-		// Advance this core's pointer past already-served occurrences.
-		list := info.lists[i]
-		j := info.ptrs[i]
+	for s := e.slotStart[dp]; s < e.slotStart[dp+1]; s++ {
+		c := e.pairCore[s]
 		idx := int32(e.idx[c])
-		for j < len(list) && list[j] < idx {
+		// Advance this pair's cursor past already-served occurrences.
+		j, end := e.pairPtr[s], e.pairEnd[s]
+		for j < end && e.pos[j] < idx {
 			j++
 		}
-		info.ptrs[i] = j
-		if j == len(list) {
+		e.pairPtr[s] = j
+		if j == end {
 			continue
 		}
-		t := e.next[c] + int64(list[j]-idx)
+		t := e.next[c] + int64(e.pos[j]-idx)
 		if t < best {
 			best = t
 		}
@@ -223,59 +295,229 @@ func (e *engine) NextUse(p core.PageID) int64 {
 	return best
 }
 
-// Run simulates strategy s on the instance and returns the result. The
-// strategy is Init-ed first, so a single strategy value can be reused
-// across runs. obs may be nil.
-func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
-	if err := inst.Validate(); err != nil {
-		return Result{}, err
+// evictOriginal removes a resident page (named by its original ID) from
+// ground truth, validating the paper's eviction rules.
+func (e *engine) evictOriginal(v core.PageID, t int64) error {
+	dv, ok := e.denseID(v)
+	if ok && e.readyAt[dv] == notCached {
+		ok = false
 	}
-	if err := s.Init(inst); err != nil {
-		return Result{}, fmt.Errorf("sim: strategy %s init: %w", s.Name(), err)
+	if !ok {
+		return fmt.Errorf("evict of non-cached page %d at t=%d", v, t)
 	}
-	p := inst.R.NumCores()
-	e := &engine{
-		inst:    inst,
-		k:       inst.P.K,
-		tau:     int64(inst.P.Tau),
-		next:    make([]int64, p),
-		idx:     make([]int, p),
-		readyAt: make(map[core.PageID]int64),
-		occ:     make(map[core.PageID]*occInfo),
+	if r := e.readyAt[dv]; r > t {
+		return fmt.Errorf("evict of in-flight page %d at t=%d (ready at %d)", v, t, r)
 	}
-	for c, seq := range inst.R {
-		for i, pg := range seq {
-			info := e.occ[pg]
-			if info == nil {
-				info = &occInfo{}
-				e.occ[pg] = info
+	e.readyAt[dv] = notCached
+	e.used--
+	return nil
+}
+
+// reset prepares the engine for one run with the given parameters. All
+// run state is length-preserving, so a Runner's arrays are recycled.
+func (e *engine) reset(p core.Params) {
+	e.k = p.K
+	e.tau = int64(p.Tau)
+	e.now = 0
+	e.used = 0
+	for i := range e.next {
+		e.next[i] = 0
+	}
+	for i := range e.idx {
+		e.idx[i] = 0
+	}
+	clear(e.readyAt)
+	if e.occBuilt {
+		copy(e.pairPtr, e.pairStart)
+	}
+}
+
+// densePageLimit is the bound on max page ID below which an input is used
+// without renumbering: a small multiple of the request count so that the
+// flat arrays stay proportional to the input size.
+func densePageLimit(n int) int {
+	limit := 2 * n
+	if limit < 1024 {
+		limit = 1024
+	}
+	return limit
+}
+
+// Runner owns reusable simulation state for one request set: the dense
+// page numbering, the occurrence table for the oracle, and every per-run
+// array. Building a Runner costs one pass over the request set; each
+// subsequent Run only resets O(w + pairs + p) state, so sweeping a K × τ
+// × strategy grid over one workload amortizes all table building. A
+// Runner is not safe for concurrent use — give each worker its own. The
+// request set must not be mutated while the Runner is in use.
+type Runner struct {
+	rs core.RequestSet
+	e  engine
+}
+
+// NewRunner validates the request set and builds the reusable engine
+// state for it.
+func NewRunner(rs core.RequestSet) (*Runner, error) {
+	r := &Runner{}
+	if err := r.bind(rs); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// bind points the runner at a request set, rebuilding the dense tables
+// while reusing array capacity from previous binds.
+func (r *Runner) bind(rs core.RequestSet) error {
+	if err := rs.Validate(); err != nil {
+		return err
+	}
+	r.rs = rs
+	e := &r.e
+	n := rs.TotalLen()
+	maxID := core.PageID(-1)
+	for _, seq := range rs {
+		for _, pg := range seq {
+			if pg > maxID {
+				maxID = pg
 			}
-			// Cores are scanned in increasing order, so if this page
-			// already has a slot for core c it is necessarily the last
-			// one appended — no need to search the whole slot list.
-			slot := len(info.cores) - 1
-			if slot < 0 || info.cores[slot] != int32(c) {
-				info.cores = append(info.cores, int32(c))
-				info.lists = append(info.lists, nil)
-				info.ptrs = append(info.ptrs, 0)
-				slot = len(info.cores) - 1
-			}
-			info.lists[slot] = append(info.lists[slot], int32(i))
 		}
 	}
+	if int(maxID) < densePageLimit(n) {
+		// Direct path: the input's own IDs index the flat arrays.
+		e.fwd, e.inv = nil, nil
+		e.seqs = rs
+		e.w = int(maxID) + 1
+	} else {
+		// Renumber on entry: first appearance order, like core.Renumber.
+		e.fwd = make(map[core.PageID]core.PageID, 64)
+		inv := e.inv[:0]
+		e.denseSeqs = e.denseSeqs[:0]
+		for _, seq := range rs {
+			ds := make(core.Sequence, len(seq))
+			for i, pg := range seq {
+				dp, ok := e.fwd[pg]
+				if !ok {
+					dp = core.PageID(len(inv))
+					inv = append(inv, pg)
+					e.fwd[pg] = dp
+				}
+				ds[i] = dp
+			}
+			e.denseSeqs = append(e.denseSeqs, ds)
+		}
+		e.inv = inv
+		e.seqs = e.denseSeqs
+		e.w = len(inv)
+	}
+	p := len(rs)
+	e.next = growSlice(e.next, p)
+	e.idx = growSlice(e.idx, p)
+	e.readyAt = growSlice(e.readyAt, e.w)
+	e.occBuilt = false
+	e.occN = n
+	return nil
+}
 
+// buildOcc builds the flat occurrence table in two O(n) passes (counting
+// sort by page, then by (page, core) pair).
+func (e *engine) buildOcc(n int) {
+	w := e.w
+	e.cnt = growSlice(e.cnt, w)
+	e.pairCnt = growSlice(e.pairCnt, w)
+	clear(e.cnt)
+	clear(e.pairCnt)
+	e.lastCore = growSlice(e.lastCore, w)
+	for i := range e.lastCore {
+		e.lastCore[i] = -1
+	}
+	for c, seq := range e.seqs {
+		cc := int32(c)
+		for _, pg := range seq {
+			e.cnt[pg]++
+			if e.lastCore[pg] != cc {
+				e.lastCore[pg] = cc
+				e.pairCnt[pg]++
+			}
+		}
+	}
+	e.slotStart = growSlice(e.slotStart, w+1)
+	e.posCur = growSlice(e.posCur, w)
+	var slots, positions int32
+	for pg := 0; pg < w; pg++ {
+		e.slotStart[pg] = slots
+		slots += e.pairCnt[pg]
+		e.posCur[pg] = positions
+		positions += e.cnt[pg]
+	}
+	e.slotStart[w] = slots
+	pairs := int(slots)
+	e.pairCore = growSlice(e.pairCore, pairs)
+	e.pairStart = growSlice(e.pairStart, pairs)
+	e.pairEnd = growSlice(e.pairEnd, pairs)
+	e.pairPtr = growSlice(e.pairPtr, pairs)
+	e.pos = growSlice(e.pos, n)
+	e.slotCur = growSlice(e.slotCur, w)
+	copy(e.slotCur, e.slotStart[:w])
+	for i := range e.lastCore {
+		e.lastCore[i] = -1
+	}
+	for c, seq := range e.seqs {
+		cc := int32(c)
+		for i, pg := range seq {
+			if e.lastCore[pg] != cc {
+				// First occurrence of pg in core c: open its pair. Cores
+				// are scanned in order, so the pair's positions fill a
+				// contiguous range of pos.
+				e.lastCore[pg] = cc
+				s := e.slotCur[pg]
+				e.slotCur[pg] = s + 1
+				e.pairCore[s] = cc
+				e.pairStart[s] = e.posCur[pg]
+			}
+			s := e.slotCur[pg] - 1
+			e.pos[e.posCur[pg]] = int32(i)
+			e.posCur[pg]++
+			e.pairEnd[s] = e.posCur[pg]
+		}
+	}
+	copy(e.pairPtr, e.pairStart)
+}
+
+// growSlice reslices s to length n, reallocating only when the capacity
+// is insufficient. Contents are unspecified; callers reset what they use.
+func growSlice[T int32 | int64 | int](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// Run simulates strategy s with the given parameters on the runner's
+// request set. The strategy is Init-ed first, so a single strategy value
+// can be reused across runs. obs may be nil.
+func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, error) {
+	if err := params.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := s.Init(core.Instance{R: r.rs, P: params}); err != nil {
+		return Result{}, fmt.Errorf("sim: strategy %s init: %w", s.Name(), err)
+	}
+	e := &r.e
+	e.reset(params)
+	p := len(r.rs)
 	res := Result{
 		Faults: make([]int64, p),
 		Hits:   make([]int64, p),
 		Finish: make([]int64, p),
 	}
 	ticker, _ := s.(Ticker)
+	seqs := e.seqs
 
 	for {
 		// Next service time: min clock over unfinished cores.
 		t := int64(math.MaxInt64)
 		for c := 0; c < p; c++ {
-			if e.idx[c] < len(inst.R[c]) && e.next[c] < t {
+			if e.idx[c] < len(seqs[c]) && e.next[c] < t {
 				t = e.next[c]
 			}
 		}
@@ -286,7 +528,7 @@ func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
 
 		if ticker != nil {
 			for _, v := range ticker.OnTick(t, e) {
-				if err := e.evict(v, t); err != nil {
+				if err := e.evictOriginal(v, t); err != nil {
 					return res, fmt.Errorf("sim: strategy %s voluntary eviction: %w", s.Name(), err)
 				}
 				res.VoluntaryEvictions++
@@ -294,39 +536,45 @@ func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
 		}
 
 		for c := 0; c < p; c++ {
-			if e.idx[c] >= len(inst.R[c]) || e.next[c] != t {
+			if e.idx[c] >= len(seqs[c]) || e.next[c] != t {
 				continue
 			}
-			pg := inst.R[c][e.idx[c]]
-			at := cache.Access{Core: c, Time: t, Index: e.idx[c]}
-			ev := Event{Time: t, Core: c, Index: e.idx[c], Page: pg, Victim: core.NoPage}
+			i := e.idx[c]
+			pg := seqs[c][i]
+			op := pg // original ID for strategies and observers
+			if e.inv != nil {
+				op = e.inv[pg]
+			}
+			at := cache.Access{Core: c, Time: t, Index: i}
+			ev := Event{Time: t, Core: c, Index: i, Page: op, Victim: core.NoPage}
 
+			ready := e.readyAt[pg]
 			switch {
-			case e.Resident(pg):
+			case ready != notCached && ready <= t: // hit
 				res.Hits[c]++
-				e.idx[c]++
+				e.idx[c] = i + 1
 				e.next[c] = t + 1
-				s.OnHit(pg, at)
-			case e.InFlight(pg):
+				s.OnHit(op, at)
+			case ready != notCached: // in-flight join
 				res.Faults[c]++
 				ev.Fault, ev.Join = true, true
-				e.idx[c]++
+				e.idx[c] = i + 1
 				e.next[c] = t + e.tau + 1
-				s.OnJoin(pg, at)
-			default:
+				s.OnJoin(op, at)
+			default: // fault
 				res.Faults[c]++
 				ev.Fault = true
 				// Advance this core's position before consulting the
 				// strategy so the oracle sees the post-service state.
-				e.idx[c]++
+				e.idx[c] = i + 1
 				e.next[c] = t + e.tau + 1
-				victim := s.OnFault(pg, at, e)
+				victim := s.OnFault(op, at, e)
 				if victim == core.NoPage {
 					if e.used >= e.k {
-						return res, fmt.Errorf("sim: strategy %s requested a free cell but cache is full (t=%d core=%d page=%d)", s.Name(), t, c, pg)
+						return res, fmt.Errorf("sim: strategy %s requested a free cell but cache is full (t=%d core=%d page=%d)", s.Name(), t, c, op)
 					}
 				} else {
-					if err := e.evict(victim, t); err != nil {
+					if err := e.evictOriginal(victim, t); err != nil {
 						return res, fmt.Errorf("sim: strategy %s: %w", s.Name(), err)
 					}
 					ev.Victim = victim
@@ -334,7 +582,7 @@ func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
 				e.readyAt[pg] = t + e.tau + 1
 				e.used++
 			}
-			if e.idx[c] == len(inst.R[c]) {
+			if e.idx[c] == len(seqs[c]) {
 				res.Finish[c] = e.next[c]
 			}
 			if obs != nil {
@@ -351,19 +599,42 @@ func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
 	return res, nil
 }
 
-// evict removes a resident page from ground truth, validating the
-// paper's eviction rules.
-func (e *engine) evict(v core.PageID, t int64) error {
-	r, ok := e.readyAt[v]
-	if !ok {
-		return fmt.Errorf("evict of non-cached page %d at t=%d", v, t)
+// release drops references to the caller's request set (and renumbered
+// copies of it) while keeping array capacity for the next bind.
+func (r *Runner) release() {
+	r.rs = nil
+	r.e.seqs = nil
+	r.e.fwd = nil
+	for i := range r.e.denseSeqs {
+		r.e.denseSeqs[i] = nil
 	}
-	if r > t {
-		return fmt.Errorf("evict of in-flight page %d at t=%d (ready at %d)", v, t, r)
+}
+
+// runnerPool recycles Runner state across Run calls so one-shot runs
+// (experiments, tests, solvers) also amortize table allocations.
+var runnerPool = sync.Pool{New: func() interface{} { return new(Runner) }}
+
+// Run simulates strategy s on the instance and returns the result. The
+// strategy is Init-ed first, so a single strategy value can be reused
+// across runs. obs may be nil.
+//
+// Run rebuilds the dense tables for inst.R on every call (into pooled
+// arrays, so steady-state allocation is near zero). Callers that sweep
+// many parameter or strategy combinations over one request set should
+// hold a Runner instead.
+func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
+	if err := inst.Validate(); err != nil {
+		return Result{}, err
 	}
-	delete(e.readyAt, v)
-	e.used--
-	return nil
+	r := runnerPool.Get().(*Runner)
+	defer func() {
+		r.release()
+		runnerPool.Put(r)
+	}()
+	if err := r.bind(inst.R); err != nil {
+		return Result{}, err
+	}
+	return r.Run(inst.P, s, obs)
 }
 
 // ErrNotDisjoint is returned by strategies that require disjoint request
