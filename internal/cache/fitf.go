@@ -18,14 +18,21 @@ import (
 // because a core's own requests are never reordered relative to each
 // other; this is the sP_OPT per-part eviction rule used by Lemma 1's
 // baseline.
+//
+// The domain is a flat slice with an array-backed position index, so the
+// per-eviction scan touches contiguous memory and no map buckets. The
+// victim choice (max NextUse, then min page ID) is order-independent, so
+// the scan order does not affect behaviour.
 type FITF struct {
-	pages  map[core.PageID]struct{}
+	pages  []core.PageID
+	pos    []int32               // dense IDs: index+1 into pages; 0 = absent
+	bigPos map[core.PageID]int32 // position index for IDs ≥ denseListCap
 	oracle Oracle
 }
 
 // NewFITF returns an empty FITF policy. An Oracle must be attached via
 // SetOracle before the first eviction.
-func NewFITF() *FITF { return &FITF{pages: make(map[core.PageID]struct{})} }
+func NewFITF() *FITF { return &FITF{} }
 
 // Name implements Policy.
 func (f *FITF) Name() string { return "FITF" }
@@ -33,57 +40,116 @@ func (f *FITF) Name() string { return "FITF" }
 // SetOracle implements OracleUser.
 func (f *FITF) SetOracle(o Oracle) { f.oracle = o }
 
+// position returns the index+1 of p in pages, or 0 if absent.
+func (f *FITF) position(p core.PageID) int32 {
+	if p >= 0 && p < denseListCap {
+		if int(p) < len(f.pos) {
+			return f.pos[p]
+		}
+		return 0
+	}
+	return f.bigPos[p]
+}
+
+func (f *FITF) setPosition(p core.PageID, idx int32) {
+	if p >= 0 && p < denseListCap {
+		if int(p) >= len(f.pos) {
+			n := 2 * len(f.pos)
+			if n <= int(p) {
+				n = int(p) + 1
+			}
+			if n < 16 {
+				n = 16
+			}
+			if n > denseListCap {
+				n = denseListCap
+			}
+			pos := make([]int32, n)
+			copy(pos, f.pos)
+			f.pos = pos
+		}
+		f.pos[p] = idx
+		return
+	}
+	if idx == 0 {
+		delete(f.bigPos, p)
+		return
+	}
+	if f.bigPos == nil {
+		f.bigPos = make(map[core.PageID]int32)
+	}
+	f.bigPos[p] = idx
+}
+
 // Insert implements Policy.
 func (f *FITF) Insert(p core.PageID, _ Access) {
-	if _, ok := f.pages[p]; ok {
+	if f.position(p) != 0 {
 		panic("cache: duplicate insert of page in FITF domain")
 	}
-	f.pages[p] = struct{}{}
+	f.pages = append(f.pages, p)
+	f.setPosition(p, int32(len(f.pages)))
 }
 
 // Touch implements Policy. FITF keeps no recency state.
 func (f *FITF) Touch(core.PageID, Access) {}
+
+// removeAt swap-removes the page at slice index i.
+func (f *FITF) removeAt(i int) {
+	p := f.pages[i]
+	last := len(f.pages) - 1
+	if i != last {
+		moved := f.pages[last]
+		f.pages[i] = moved
+		f.setPosition(moved, int32(i+1))
+	}
+	f.pages = f.pages[:last]
+	f.setPosition(p, 0)
+}
 
 // Evict implements Policy.
 func (f *FITF) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	if f.oracle == nil {
 		panic("cache: FITF policy used without an oracle")
 	}
-	best := core.NoPage
+	best := -1
+	var bestPage core.PageID = core.NoPage
 	var bestNext int64 = -1
-	for p := range f.pages {
+	for i, p := range f.pages {
 		if evictable != nil && !evictable(p) {
 			continue
 		}
 		next := f.oracle.NextUse(p)
-		if next > bestNext || (next == bestNext && (best == core.NoPage || p < best)) {
-			best, bestNext = p, next
+		if next > bestNext || (next == bestNext && (bestPage == core.NoPage || p < bestPage)) {
+			best, bestPage, bestNext = i, p, next
 		}
 	}
-	if best == core.NoPage {
+	if best < 0 {
 		return core.NoPage, false
 	}
-	delete(f.pages, best)
-	return best, true
+	f.removeAt(best)
+	return bestPage, true
 }
 
 // Remove implements Policy.
 func (f *FITF) Remove(p core.PageID) bool {
-	if _, ok := f.pages[p]; !ok {
+	idx := f.position(p)
+	if idx == 0 {
 		return false
 	}
-	delete(f.pages, p)
+	f.removeAt(int(idx - 1))
 	return true
 }
 
 // Contains implements Policy.
-func (f *FITF) Contains(p core.PageID) bool {
-	_, ok := f.pages[p]
-	return ok
-}
+func (f *FITF) Contains(p core.PageID) bool { return f.position(p) != 0 }
 
 // Len implements Policy.
 func (f *FITF) Len() int { return len(f.pages) }
 
 // Reset implements Policy. The oracle attachment is preserved.
-func (f *FITF) Reset() { f.pages = make(map[core.PageID]struct{}) }
+func (f *FITF) Reset() {
+	for _, p := range f.pages {
+		f.setPosition(p, 0)
+	}
+	f.pages = f.pages[:0]
+}

@@ -1,68 +1,199 @@
 package cache
 
 import (
-	"container/list"
-
 	"mcpaging/internal/core"
 )
 
+// denseListCap bounds the intrusive array backing the recency-ordered
+// policies: page IDs below it index the node array directly (one array
+// slot per possible ID, allocation-free after warm-up); IDs at or above
+// it are kept in an overflow map. The simulator renumbers sparse inputs
+// before they reach a policy, so the overflow path only triggers for
+// strategies fed raw sparse IDs directly.
+const denseListCap = 1 << 20
+
+// absentNode marks a dense node slot whose page is not in the list.
+// core.NoPage (-1) doubles as the list-end sentinel.
+const absentNode core.PageID = -2
+
+// rnode is one intrusive list node; prev and next hold page IDs.
+type rnode struct{ prev, next core.PageID }
+
 // recencyList is the shared machinery of the recency-ordered policies
-// (LRU, MRU, FIFO): a doubly linked list from least to most recently
-// used/inserted plus a page → element index.
+// (LRU, MRU, FIFO): an intrusive doubly linked list from least to most
+// recently used/inserted, with nodes indexed by page ID instead of
+// heap-allocated list elements.
 type recencyList struct {
-	ll  *list.List // front = least recent
-	pos map[core.PageID]*list.Element
+	nodes []rnode                // dense nodes, index = page ID
+	big   map[core.PageID]*rnode // overflow nodes for IDs ≥ denseListCap
+	head  core.PageID            // least recent; core.NoPage when empty
+	tail  core.PageID            // most recent; core.NoPage when empty
+	n     int
 }
 
 func newRecencyList() recencyList {
-	return recencyList{ll: list.New(), pos: make(map[core.PageID]*list.Element)}
+	return recencyList{head: core.NoPage, tail: core.NoPage}
+}
+
+// node returns the in-list node for p, or nil if p is not in the list.
+func (r *recencyList) node(p core.PageID) *rnode {
+	if p >= 0 && int(p) < len(r.nodes) {
+		nd := &r.nodes[p]
+		if nd.prev == absentNode {
+			return nil
+		}
+		return nd
+	}
+	return r.big[p]
+}
+
+// mustNode returns the node of a page known to be in the list.
+func (r *recencyList) mustNode(p core.PageID) *rnode {
+	if int(p) < len(r.nodes) {
+		return &r.nodes[p]
+	}
+	return r.big[p]
+}
+
+// grow extends the dense node array to cover page p.
+func (r *recencyList) grow(p core.PageID) {
+	n := 2 * len(r.nodes)
+	if n <= int(p) {
+		n = int(p) + 1
+	}
+	if n < 16 {
+		n = 16
+	}
+	if n > denseListCap {
+		n = denseListCap
+	}
+	nodes := make([]rnode, n)
+	copy(nodes, r.nodes)
+	for i := len(r.nodes); i < n; i++ {
+		nodes[i].prev = absentNode
+	}
+	r.nodes = nodes
 }
 
 func (r *recencyList) insert(p core.PageID) {
-	if _, ok := r.pos[p]; ok {
-		panic("cache: duplicate insert of page in replacement domain")
+	var nd *rnode
+	if p >= 0 && p < denseListCap {
+		if int(p) >= len(r.nodes) {
+			r.grow(p)
+		}
+		nd = &r.nodes[p]
+		if nd.prev != absentNode {
+			panic("cache: duplicate insert of page in replacement domain")
+		}
+	} else {
+		if r.big == nil {
+			r.big = make(map[core.PageID]*rnode)
+		}
+		if r.big[p] != nil {
+			panic("cache: duplicate insert of page in replacement domain")
+		}
+		nd = &rnode{}
+		r.big[p] = nd
 	}
-	r.pos[p] = r.ll.PushBack(p)
+	nd.prev, nd.next = r.tail, core.NoPage
+	if r.tail != core.NoPage {
+		r.mustNode(r.tail).next = p
+	} else {
+		r.head = p
+	}
+	r.tail = p
+	r.n++
 }
 
 func (r *recencyList) moveToBack(p core.PageID) {
-	if e, ok := r.pos[p]; ok {
-		r.ll.MoveToBack(e)
+	nd := r.node(p)
+	if nd == nil || r.tail == p {
+		return
 	}
+	// Detach: p is not the tail, so nd.next is a real page.
+	if nd.prev != core.NoPage {
+		r.mustNode(nd.prev).next = nd.next
+	} else {
+		r.head = nd.next
+	}
+	r.mustNode(nd.next).prev = nd.prev
+	// Reattach at the tail (non-empty: p itself is in the list).
+	nd.prev, nd.next = r.tail, core.NoPage
+	r.mustNode(r.tail).next = p
+	r.tail = p
 }
 
 func (r *recencyList) remove(p core.PageID) bool {
-	e, ok := r.pos[p]
-	if !ok {
+	nd := r.node(p)
+	if nd == nil {
 		return false
 	}
-	r.ll.Remove(e)
-	delete(r.pos, p)
+	r.unlink(p, nd)
 	return true
 }
 
-func (r *recencyList) contains(p core.PageID) bool {
-	_, ok := r.pos[p]
-	return ok
+// unlink detaches an in-list node and marks it absent.
+func (r *recencyList) unlink(p core.PageID, nd *rnode) {
+	if nd.prev != core.NoPage {
+		r.mustNode(nd.prev).next = nd.next
+	} else {
+		r.head = nd.next
+	}
+	if nd.next != core.NoPage {
+		r.mustNode(nd.next).prev = nd.prev
+	} else {
+		r.tail = nd.prev
+	}
+	if int(p) < len(r.nodes) {
+		nd.prev = absentNode
+	} else {
+		delete(r.big, p)
+	}
+	r.n--
 }
 
-func (r *recencyList) len() int { return r.ll.Len() }
+func (r *recencyList) contains(p core.PageID) bool { return r.node(p) != nil }
+
+func (r *recencyList) len() int { return r.n }
+
+// front returns the least recent page, or core.NoPage if empty.
+func (r *recencyList) front() core.PageID { return r.head }
+
+// back returns the most recent page, or core.NoPage if empty.
+func (r *recencyList) back() core.PageID { return r.tail }
+
+// nextOf returns the page after p (toward most recent).
+func (r *recencyList) nextOf(p core.PageID) core.PageID { return r.mustNode(p).next }
+
+// prevOf returns the page before p (toward least recent).
+func (r *recencyList) prevOf(p core.PageID) core.PageID { return r.mustNode(p).prev }
 
 func (r *recencyList) reset() {
-	r.ll.Init()
-	r.pos = make(map[core.PageID]*list.Element)
+	for p := r.head; p != core.NoPage; {
+		nd := r.mustNode(p)
+		next := nd.next
+		if int(p) < len(r.nodes) {
+			nd.prev = absentNode
+		}
+		p = next
+	}
+	if r.big != nil {
+		clear(r.big)
+	}
+	r.head, r.tail = core.NoPage, core.NoPage
+	r.n = 0
 }
 
 // evictFront removes and returns the first evictable page scanning from
 // the front of the list.
 func (r *recencyList) evictFront(evictable func(core.PageID) bool) (core.PageID, bool) {
-	for e := r.ll.Front(); e != nil; e = e.Next() {
-		p := e.Value.(core.PageID)
+	for p := r.head; p != core.NoPage; {
+		nd := r.mustNode(p)
 		if evictable == nil || evictable(p) {
-			r.ll.Remove(e)
-			delete(r.pos, p)
+			r.unlink(p, nd)
 			return p, true
 		}
+		p = nd.next
 	}
 	return core.NoPage, false
 }
@@ -70,13 +201,13 @@ func (r *recencyList) evictFront(evictable func(core.PageID) bool) (core.PageID,
 // evictBack removes and returns the first evictable page scanning from
 // the back of the list.
 func (r *recencyList) evictBack(evictable func(core.PageID) bool) (core.PageID, bool) {
-	for e := r.ll.Back(); e != nil; e = e.Prev() {
-		p := e.Value.(core.PageID)
+	for p := r.tail; p != core.NoPage; {
+		nd := r.mustNode(p)
 		if evictable == nil || evictable(p) {
-			r.ll.Remove(e)
-			delete(r.pos, p)
+			r.unlink(p, nd)
 			return p, true
 		}
+		p = nd.prev
 	}
 	return core.NoPage, false
 }
@@ -120,8 +251,7 @@ func (l *LRU) Reset() { l.r.reset() }
 // partition, which must locate the globally least recent page across
 // parts. ok is false when the domain is empty or nothing is evictable.
 func (l *LRU) LeastRecent(evictable func(core.PageID) bool) (core.PageID, bool) {
-	for e := l.r.ll.Front(); e != nil; e = e.Next() {
-		p := e.Value.(core.PageID)
+	for p := l.r.front(); p != core.NoPage; p = l.r.nextOf(p) {
 		if evictable == nil || evictable(p) {
 			return p, true
 		}

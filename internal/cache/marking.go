@@ -1,8 +1,6 @@
 package cache
 
 import (
-	"container/list"
-
 	"mcpaging/internal/core"
 )
 
@@ -12,41 +10,79 @@ import (
 // phase begins and all marks are cleared. On a single replacement domain
 // this has the K-competitiveness guarantee of marking algorithms, so
 // Lemma 1's upper bound applies to it.
+//
+// Marks are epoch-stamped: page p is marked iff epoch[p] equals the
+// current phase counter, so a phase change is a counter increment rather
+// than a map sweep, and the recency order reuses the intrusive
+// array-backed list of the LRU family.
 type Marking struct {
-	ll     *list.List // recency order, front = least recent
-	pos    map[core.PageID]*list.Element
-	marked map[core.PageID]bool
+	r         recencyList
+	epoch     []uint64             // dense marks: epoch[p] == cur ⇒ marked
+	cur       uint64               // current phase stamp, starts at 1
+	bigMarked map[core.PageID]bool // marks for IDs ≥ denseListCap
 }
 
 // NewMarking returns an empty marking policy.
 func NewMarking() *Marking {
-	return &Marking{
-		ll:     list.New(),
-		pos:    make(map[core.PageID]*list.Element),
-		marked: make(map[core.PageID]bool),
-	}
+	return &Marking{r: newRecencyList(), cur: 1}
 }
 
 // Name implements Policy.
 func (m *Marking) Name() string { return "MARK" }
 
+func (m *Marking) marked(p core.PageID) bool {
+	if p >= 0 && p < denseListCap {
+		return int(p) < len(m.epoch) && m.epoch[p] == m.cur
+	}
+	return m.bigMarked[p]
+}
+
+func (m *Marking) mark(p core.PageID) {
+	if p >= 0 && p < denseListCap {
+		if int(p) >= len(m.epoch) {
+			n := 2 * len(m.epoch)
+			if n <= int(p) {
+				n = int(p) + 1
+			}
+			if n < 16 {
+				n = 16
+			}
+			if n > denseListCap {
+				n = denseListCap
+			}
+			epoch := make([]uint64, n)
+			copy(epoch, m.epoch)
+			m.epoch = epoch
+		}
+		m.epoch[p] = m.cur
+		return
+	}
+	if m.bigMarked == nil {
+		m.bigMarked = make(map[core.PageID]bool)
+	}
+	m.bigMarked[p] = true
+}
+
+func (m *Marking) clearMarks() {
+	m.cur++
+	if m.bigMarked != nil {
+		clear(m.bigMarked)
+	}
+}
+
 // Insert implements Policy. Newly inserted pages are marked.
 func (m *Marking) Insert(p core.PageID, _ Access) {
-	if _, ok := m.pos[p]; ok {
-		panic("cache: duplicate insert of page in marking domain")
-	}
-	m.pos[p] = m.ll.PushBack(p)
-	m.marked[p] = true
+	m.r.insert(p) // panics on duplicate insert, like every domain
+	m.mark(p)
 }
 
 // Touch implements Policy: hits mark the page and refresh recency.
 func (m *Marking) Touch(p core.PageID, _ Access) {
-	e, ok := m.pos[p]
-	if !ok {
+	if !m.r.contains(p) {
 		return
 	}
-	m.ll.MoveToBack(e)
-	m.marked[p] = true
+	m.r.moveToBack(p)
+	m.mark(p)
 }
 
 // Evict implements Policy. If no unmarked evictable page exists but some
@@ -59,8 +95,7 @@ func (m *Marking) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	// Check that at least one page is evictable before opening a new
 	// phase; otherwise report failure without disturbing marks.
 	any := false
-	for e := m.ll.Front(); e != nil; e = e.Next() {
-		p := e.Value.(core.PageID)
+	for p := m.r.front(); p != core.NoPage; p = m.r.nextOf(p) {
 		if evictable == nil || evictable(p) {
 			any = true
 			break
@@ -69,53 +104,42 @@ func (m *Marking) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	if !any {
 		return core.NoPage, false
 	}
-	for p := range m.marked {
-		delete(m.marked, p)
-	}
+	m.clearMarks()
 	return m.evictUnmarked(evictable)
 }
 
 func (m *Marking) evictUnmarked(evictable func(core.PageID) bool) (core.PageID, bool) {
-	for e := m.ll.Front(); e != nil; e = e.Next() {
-		p := e.Value.(core.PageID)
-		if m.marked[p] {
-			continue
+	for p := m.r.front(); p != core.NoPage; {
+		next := m.r.nextOf(p)
+		if !m.marked(p) && (evictable == nil || evictable(p)) {
+			m.r.remove(p)
+			return p, true
 		}
-		if evictable != nil && !evictable(p) {
-			continue
-		}
-		m.ll.Remove(e)
-		delete(m.pos, p)
-		delete(m.marked, p)
-		return p, true
+		p = next
 	}
 	return core.NoPage, false
 }
 
 // Remove implements Policy.
 func (m *Marking) Remove(p core.PageID) bool {
-	e, ok := m.pos[p]
-	if !ok {
+	if !m.r.remove(p) {
 		return false
 	}
-	m.ll.Remove(e)
-	delete(m.pos, p)
-	delete(m.marked, p)
+	if m.bigMarked != nil {
+		delete(m.bigMarked, p)
+	}
 	return true
 }
 
 // Contains implements Policy.
-func (m *Marking) Contains(p core.PageID) bool {
-	_, ok := m.pos[p]
-	return ok
-}
+func (m *Marking) Contains(p core.PageID) bool { return m.r.contains(p) }
 
 // Len implements Policy.
-func (m *Marking) Len() int { return m.ll.Len() }
+func (m *Marking) Len() int { return m.r.len() }
 
 // Reset implements Policy.
 func (m *Marking) Reset() {
-	m.ll.Init()
-	m.pos = make(map[core.PageID]*list.Element)
-	m.marked = make(map[core.PageID]bool)
+	m.r.reset()
+	// Opening a fresh epoch invalidates every dense mark in place.
+	m.clearMarks()
 }

@@ -2,7 +2,7 @@ package cache
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"mcpaging/internal/core"
 )
@@ -13,6 +13,7 @@ import (
 // map iteration order.
 type Random struct {
 	pages map[core.PageID]struct{}
+	buf   []core.PageID // candidate scratch, reused across evictions
 	rng   *rand.Rand
 	seed  int64
 }
@@ -42,16 +43,17 @@ func (r *Random) Touch(core.PageID, Access) {}
 
 // Evict implements Policy.
 func (r *Random) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
-	cands := make([]core.PageID, 0, len(r.pages))
+	cands := r.buf[:0]
 	for p := range r.pages {
 		if evictable == nil || evictable(p) {
 			cands = append(cands, p)
 		}
 	}
+	r.buf = cands
 	if len(cands) == 0 {
 		return core.NoPage, false
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	slices.Sort(cands)
 	v := cands[r.rng.Intn(len(cands))]
 	delete(r.pages, v)
 	return v, true
@@ -78,6 +80,6 @@ func (r *Random) Len() int { return len(r.pages) }
 // Reset implements Policy. The generator is re-seeded so a reset policy
 // replays identically.
 func (r *Random) Reset() {
-	r.pages = make(map[core.PageID]struct{})
+	clear(r.pages)
 	r.rng = rand.New(rand.NewSource(r.seed))
 }

@@ -24,6 +24,7 @@ type DynamicLRU struct {
 	global *cache.LRU
 	partOf map[core.PageID]int
 	occ    []int
+	vf     viewFuncs
 }
 
 // NewDynamicLRU returns the Lemma 3 dynamic partition dP^D_LRU.
@@ -34,9 +35,23 @@ func (d *DynamicLRU) Name() string { return "dP[lru-global](LRU)" }
 
 // Init implements sim.Strategy.
 func (d *DynamicLRU) Init(inst core.Instance) error {
-	d.global = cache.NewLRU()
-	d.partOf = make(map[core.PageID]int)
-	d.occ = make([]int, inst.R.NumCores())
+	if d.global == nil {
+		d.global = cache.NewLRU()
+	} else {
+		d.global.Reset()
+	}
+	if d.partOf == nil {
+		d.partOf = make(map[core.PageID]int)
+	} else {
+		clear(d.partOf)
+	}
+	p := inst.R.NumCores()
+	if len(d.occ) != p {
+		d.occ = make([]int, p)
+	} else {
+		clear(d.occ)
+	}
+	d.vf.reset()
 	return nil
 }
 
@@ -52,9 +67,10 @@ func (d *DynamicLRU) OnJoin(p core.PageID, at cache.Access) { d.global.Touch(p, 
 // OnFault implements sim.Strategy.
 func (d *DynamicLRU) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
 	j := at.Core
+	d.vf.use(v)
 	var victim core.PageID = core.NoPage
 	if v.Free() == 0 {
-		w, ok := d.global.Evict(residentOnly(v))
+		w, ok := d.global.Evict(d.vf.resident)
 		if !ok {
 			return core.NoPage
 		}
@@ -93,6 +109,7 @@ type Staged struct {
 	partOf map[core.PageID]int
 	occ    []int
 	sizes  []int
+	vf     viewFuncs
 	// debt[j] > 0 means part j still holds more cells than its size and
 	// sheds pages as they become evictable.
 	debt []int
@@ -134,15 +151,33 @@ func (s *Staged) Init(inst core.Instance) error {
 		}
 	}
 	s.cur = 0
-	s.sizes = append([]int(nil), s.stages[0].Sizes...)
-	s.parts = make([]cache.Policy, p)
+	s.sizes = append(s.sizes[:0], s.stages[0].Sizes...)
+	if len(s.parts) != p {
+		s.parts = make([]cache.Policy, p)
+		for j := range s.parts {
+			s.parts[j] = s.mk()
+		}
+	} else {
+		for j := range s.parts {
+			s.parts[j].Reset()
+		}
+	}
 	for j := range s.parts {
-		s.parts[j] = s.mk()
 		setCapacity(s.parts[j], s.sizes[j])
 	}
-	s.partOf = make(map[core.PageID]int)
-	s.occ = make([]int, p)
-	s.debt = make([]int, p)
+	if s.partOf == nil {
+		s.partOf = make(map[core.PageID]int)
+	} else {
+		clear(s.partOf)
+	}
+	if len(s.occ) != p {
+		s.occ = make([]int, p)
+		s.debt = make([]int, p)
+	} else {
+		clear(s.occ)
+		clear(s.debt)
+	}
+	s.vf.reset()
 	return nil
 }
 
@@ -159,9 +194,13 @@ func (s *Staged) OnTick(t int64, v sim.View) []core.PageID {
 		if over <= 0 {
 			continue
 		}
-		bindOracle(s.parts[j], v)
+		if s.vf.use(v) {
+			for _, part := range s.parts {
+				bindOracle(part, v)
+			}
+		}
 		for i := 0; i < over; i++ {
-			w, ok := s.parts[j].Evict(residentOnly(v))
+			w, ok := s.parts[j].Evict(s.vf.resident)
 			if !ok {
 				break // in-flight pages; retried next tick
 			}
@@ -190,12 +229,16 @@ func (s *Staged) OnJoin(p core.PageID, at cache.Access) {
 // OnFault implements sim.Strategy.
 func (s *Staged) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
 	j := at.Core
-	bindOracle(s.parts[j], v)
+	if s.vf.use(v) {
+		for _, part := range s.parts {
+			bindOracle(part, v)
+		}
+	}
 	var victim core.PageID = core.NoPage
 	if s.occ[j] < s.sizes[j] && v.Free() > 0 {
 		s.occ[j]++
 	} else {
-		w, ok := evictFor(s.parts[j], p, residentOnly(v))
+		w, ok := evictFor(s.parts[j], p, s.vf.resident)
 		if !ok {
 			return core.NoPage
 		}

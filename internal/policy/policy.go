@@ -39,6 +39,32 @@ func residentOnly(v sim.View) func(core.PageID) bool {
 	return func(p core.PageID) bool { return v.Resident(p) }
 }
 
+// viewFuncs caches the per-view adapters of a strategy — the
+// evictability predicate and whether oracles have been bound — so the
+// fault path does not allocate a closure (and box an oracle adapter) on
+// every fault. The simulator passes the same View for the whole run, so
+// the cache rebuilds exactly once per run.
+//
+// Strategies must call reset() in Init: a reused strategy may otherwise
+// hold a predicate over the previous run's view.
+type viewFuncs struct {
+	v        sim.View
+	resident func(core.PageID) bool
+}
+
+func (c *viewFuncs) reset() { c.v, c.resident = nil, nil }
+
+// use updates the cache for view v and reports whether v is new (the
+// first fault of a run), in which case the caller should rebind oracles.
+func (c *viewFuncs) use(v sim.View) bool {
+	if c.v == v {
+		return false
+	}
+	c.v = v
+	c.resident = residentOnly(v)
+	return true
+}
+
 // setCapacity informs capacity-aware policies (ARC, SLRU) of their
 // replacement-domain size.
 func setCapacity(p cache.Policy, c int) {
@@ -61,6 +87,7 @@ func evictFor(p cache.Policy, incoming core.PageID, evictable func(core.PageID) 
 type Shared struct {
 	pol  cache.Policy
 	mk   cache.Factory
+	vf   viewFuncs
 	name string
 }
 
@@ -73,10 +100,18 @@ func NewShared(mk cache.Factory) *Shared {
 // Name implements sim.Strategy.
 func (s *Shared) Name() string { return s.name }
 
-// Init implements sim.Strategy.
+// Init implements sim.Strategy. A reused strategy resets its policy in
+// place rather than rebuilding it, so replays keep the policy's warmed-up
+// internal arrays (that is the Policy.Reset contract: indistinguishable
+// from fresh).
 func (s *Shared) Init(inst core.Instance) error {
-	s.pol = s.mk()
+	if s.pol == nil {
+		s.pol = s.mk()
+	} else {
+		s.pol.Reset()
+	}
 	setCapacity(s.pol, inst.P.K)
+	s.vf.reset()
 	return nil
 }
 
@@ -95,10 +130,12 @@ func (s *Shared) RemoveMetadata(p core.PageID) { s.pol.Remove(p) }
 
 // OnFault implements sim.Strategy.
 func (s *Shared) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
-	bindOracle(s.pol, v)
+	if s.vf.use(v) {
+		bindOracle(s.pol, v)
+	}
 	var victim core.PageID = core.NoPage
 	if v.Free() == 0 {
-		w, ok := evictFor(s.pol, p, residentOnly(v))
+		w, ok := evictFor(s.pol, p, s.vf.resident)
 		if !ok {
 			// No resident page to evict; the simulator will report the
 			// protocol violation. Cannot happen when K ≥ p.
@@ -119,6 +156,7 @@ type Static struct {
 	parts  []cache.Policy
 	partOf map[core.PageID]int
 	occ    []int
+	vf     viewFuncs
 	name   string
 }
 
@@ -156,13 +194,30 @@ func (s *Static) Init(inst core.Instance) error {
 	if sum > inst.P.K {
 		return fmt.Errorf("policy: partition sizes sum to %d > K=%d", sum, inst.P.K)
 	}
-	s.parts = make([]cache.Policy, p)
+	if len(s.parts) != p {
+		s.parts = make([]cache.Policy, p)
+		for j := range s.parts {
+			s.parts[j] = s.mk()
+		}
+	} else {
+		for j := range s.parts {
+			s.parts[j].Reset()
+		}
+	}
 	for j := range s.parts {
-		s.parts[j] = s.mk()
 		setCapacity(s.parts[j], s.sizes[j])
 	}
-	s.partOf = make(map[core.PageID]int)
-	s.occ = make([]int, p)
+	if s.partOf == nil {
+		s.partOf = make(map[core.PageID]int)
+	} else {
+		clear(s.partOf)
+	}
+	if len(s.occ) != p {
+		s.occ = make([]int, p)
+	} else {
+		clear(s.occ)
+	}
+	s.vf.reset()
 	return nil
 }
 
@@ -185,12 +240,16 @@ func (s *Static) OnJoin(p core.PageID, at cache.Access) {
 // faulting core's own part.
 func (s *Static) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
 	j := at.Core
-	bindOracle(s.parts[j], v)
+	if s.vf.use(v) {
+		for _, part := range s.parts {
+			bindOracle(part, v)
+		}
+	}
 	var victim core.PageID = core.NoPage
 	if s.occ[j] < s.sizes[j] {
 		s.occ[j]++
 	} else {
-		w, ok := evictFor(s.parts[j], p, residentOnly(v))
+		w, ok := evictFor(s.parts[j], p, s.vf.resident)
 		if !ok {
 			return core.NoPage
 		}

@@ -17,16 +17,32 @@ type quotaParts struct {
 	partOf map[core.PageID]int
 	occ    []int
 	quota  []int
+	vf     viewFuncs
 }
 
 func (q *quotaParts) init(p, k int, active []bool) {
-	q.parts = make([]cache.Policy, p)
-	for j := range q.parts {
-		q.parts[j] = cache.NewLRU()
+	if len(q.parts) != p {
+		q.parts = make([]cache.Policy, p)
+		for j := range q.parts {
+			q.parts[j] = cache.NewLRU()
+		}
+	} else {
+		for j := range q.parts {
+			q.parts[j].Reset()
+		}
 	}
-	q.partOf = make(map[core.PageID]int)
-	q.occ = make([]int, p)
+	if q.partOf == nil {
+		q.partOf = make(map[core.PageID]int)
+	} else {
+		clear(q.partOf)
+	}
+	if len(q.occ) != p {
+		q.occ = make([]int, p)
+	} else {
+		clear(q.occ)
+	}
 	q.quota = EvenSizes(k, p)
+	q.vf.reset()
 	// Inactive cores donate their quota to the first active core.
 	first := -1
 	for j, a := range active {
@@ -55,10 +71,11 @@ func (q *quotaParts) touch(p core.PageID, at cache.Access) {
 // shed evicts pages from parts above quota; returned pages must be
 // handed to the simulator as voluntary evictions.
 func (q *quotaParts) shed(v sim.View) []core.PageID {
+	q.vf.use(v)
 	var out []core.PageID
 	for j := range q.occ {
 		for q.occ[j] > q.quota[j] {
-			w, ok := q.parts[j].Evict(residentOnly(v))
+			w, ok := q.parts[j].Evict(q.vf.resident)
 			if !ok {
 				break // in-flight pages; retried next tick
 			}
@@ -72,12 +89,13 @@ func (q *quotaParts) shed(v sim.View) []core.PageID {
 
 // fault handles victim selection for core j faulting on page p.
 func (q *quotaParts) fault(j int, p core.PageID, at cache.Access, v sim.View) core.PageID {
+	q.vf.use(v)
 	var victim core.PageID = core.NoPage
 	switch {
 	case q.occ[j] < q.quota[j] && v.Free() > 0:
 		q.occ[j]++
 	default:
-		if w, ok := q.parts[j].Evict(residentOnly(v)); ok {
+		if w, ok := q.parts[j].Evict(q.vf.resident); ok {
 			victim = w
 			delete(q.partOf, w)
 			break
@@ -96,7 +114,7 @@ func (q *quotaParts) fault(j int, p core.PageID, at cache.Access, v sim.View) co
 		if donor == -1 {
 			return core.NoPage // protocol error surfaces in the simulator
 		}
-		w, ok := q.parts[donor].Evict(residentOnly(v))
+		w, ok := q.parts[donor].Evict(q.vf.resident)
 		if !ok {
 			return core.NoPage
 		}
