@@ -16,20 +16,26 @@ func RunAllParallel(cfg Config, w io.Writer, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
 	results := make([]*Result, len(ids))
 	errs := make([]error, len(ids))
-	sem := make(chan struct{}, workers)
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for i, id := range ids {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int, id string) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := registry[id](cfg)
-			results[i], errs[i] = res, err
-		}(i, id)
+			for i := range jobs {
+				results[i], errs[i] = registry[ids[i]](cfg)
+			}
+		}()
 	}
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	for i, id := range ids {
 		if errs[i] != nil {

@@ -1,0 +1,39 @@
+package sweep
+
+import (
+	"testing"
+
+	"mcpaging/internal/workload"
+)
+
+// BenchmarkSweepGrid measures the batch harness end to end: a K × τ ×
+// spec grid over one Zipf workload, exercising the per-worker Runner
+// reuse (the occurrence index is built once per worker rather than once
+// per grid cell).
+func BenchmarkSweepGrid(b *testing.B) {
+	rs, err := workload.Generate(workload.Spec{
+		Cores: 4, Length: 5000, Pages: 128, Kind: workload.Zipf, Seed: 17,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := Grid{
+		R:     rs,
+		Ks:    []int{32, 64, 128},
+		Taus:  []int{0, 2, 8},
+		Specs: []string{"S(LRU)", "S(FIFO)", "sP[even](LRU)"},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := Run(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range pts {
+			if pt.Err != nil {
+				b.Fatal(pt.Err)
+			}
+		}
+	}
+}

@@ -69,6 +69,11 @@ type Point struct {
 // Run executes the grid. Points come back in deterministic order
 // (K-major, then τ, then spec) regardless of scheduling. Per-point
 // simulation errors are recorded on the point, not returned.
+//
+// Every worker owns one sim.Runner bound to the shared workload, so the
+// per-point cost is one engine reset plus the simulation itself: the
+// request set is validated and its occurrence index built once per
+// worker, not once per grid cell.
 func Run(g Grid) ([]Point, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -85,32 +90,45 @@ func Run(g Grid) ([]Point, error) {
 			}
 		}
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range points {
-		wg.Add(1)
-		go func(pt *Point) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			st, err := strategyspec.Build(pt.Spec, g.R, pt.K, g.Seed)
-			if err != nil {
-				pt.Err = err
-				return
-			}
-			pt.Strategy = st.Name()
-			in := core.Instance{R: g.R, P: core.Params{K: pt.K, Tau: pt.Tau}}
-			res, err := sim.Run(in, st, nil)
-			if err != nil {
-				pt.Err = err
-				return
-			}
-			pt.Faults = res.TotalFaults()
-			pt.Rate = float64(res.TotalFaults()) / float64(g.R.TotalLen())
-			pt.Jain = metrics.JainIndex(res.Faults)
-			pt.Makespan = res.Makespan
-		}(&points[i])
+	if workers > len(points) {
+		workers = len(points)
 	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	total := float64(g.R.TotalLen())
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rn, err := sim.NewRunner(g.R)
+			for i := range jobs {
+				pt := &points[i]
+				if err != nil {
+					pt.Err = err
+					continue
+				}
+				st, berr := strategyspec.Build(pt.Spec, g.R, pt.K, g.Seed)
+				if berr != nil {
+					pt.Err = berr
+					continue
+				}
+				pt.Strategy = st.Name()
+				res, rerr := rn.Run(core.Params{K: pt.K, Tau: pt.Tau}, st, nil)
+				if rerr != nil {
+					pt.Err = rerr
+					continue
+				}
+				pt.Faults = res.TotalFaults()
+				pt.Rate = float64(res.TotalFaults()) / total
+				pt.Jain = metrics.JainIndex(res.Faults)
+				pt.Makespan = res.Makespan
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
 	wg.Wait()
 	return points, nil
 }
