@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench soak experiments cover smoke clean
+.PHONY: all build test vet fmt bench bench-baseline benchstat soak experiments cover smoke clean
+
+# Benchmarks the comparison targets track: the simulator serve paths and
+# the batch harness, plus the root throughput benches.
+BENCH_PATTERN ?= BenchmarkSim|BenchmarkSweepGrid
+BENCH_PKGS ?= . ./internal/sim/ ./internal/sweep/
+BENCH_COUNT ?= 5
 
 all: build test vet
 
@@ -27,6 +33,16 @@ fmt:
 bench:
 	$(GO) test -run XXX -bench . -benchmem .
 
+# Save the current tree's numbers as the baseline for `make benchstat`.
+bench-baseline:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) | tee bench_old.txt
+
+# Re-measure and compare against the saved baseline (benchstat when
+# installed, a plain diff of means otherwise).
+benchstat:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchmem -count $(BENCH_COUNT) $(BENCH_PKGS) | tee bench_new.txt
+	./scripts/bench_compare.sh bench_old.txt bench_new.txt
+
 soak:
 	$(GO) test -run Soak -v .
 
@@ -42,4 +58,4 @@ cover:
 	$(GO) tool cover -func=cover.out | tail -1
 
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt bench_old.txt bench_new.txt

@@ -15,18 +15,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"mcpaging/internal/experiments"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "run a single experiment (e.g. E7); empty = all")
-		quick    = flag.Bool("quick", false, "reduced workload sizes")
-		seed     = flag.Int64("seed", 1, "random seed")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
-		parallel = flag.Int("parallel", 0, "run experiments concurrently on this many workers (0 = serial)")
-		format   = flag.String("format", "text", "output format: text or md (markdown)")
+		exp        = flag.String("exp", "", "run a single experiment (e.g. E7); empty = all")
+		quick      = flag.Bool("quick", false, "reduced workload sizes")
+		seed       = flag.Int64("seed", 1, "random seed")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		parallel   = flag.Int("parallel", 0, "run experiments concurrently on this many workers (0 = serial)")
+		format     = flag.String("format", "text", "output format: text or md (markdown)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -35,6 +39,29 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 	if *exp == "" {

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -21,20 +23,45 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "input trace (required)")
-		kList     = flag.String("k", "16", "comma-separated cache sizes")
-		tauList   = flag.String("tau", "0,4", "comma-separated fetch delays")
-		specList  = flag.String("strategies", "S(LRU),sP[even](LRU),dP(LRU)", "comma-separated strategy specs")
-		seed      = flag.Int64("seed", 1, "seed for RAND policies")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		csv       = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		heatmap   = flag.String("heatmap", "", "render a K×τ heatmap for this strategy spec instead of the flat table")
-		metric    = flag.String("metric", "faults", "heatmap metric: faults|rate|jain|makespan")
+		tracePath  = flag.String("trace", "", "input trace (required)")
+		kList      = flag.String("k", "16", "comma-separated cache sizes")
+		tauList    = flag.String("tau", "0,4", "comma-separated fetch delays")
+		specList   = flag.String("strategies", "S(LRU),sP[even](LRU),dP(LRU)", "comma-separated strategy specs")
+		seed       = flag.Int64("seed", 1, "seed for RAND policies")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		heatmap    = flag.String("heatmap", "", "render a K×τ heatmap for this strategy spec instead of the flat table")
+		metric     = flag.String("metric", "faults", "heatmap metric: faults|rate|jain|makespan")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "mcsweep: -trace is required")
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {

@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench_compare.sh OLD NEW — compare two `go test -bench` output files.
+#
+# Uses benchstat when it is on PATH (the statistically honest comparison:
+# run both sides with -count 5 or more). Otherwise falls back to an awk
+# table of per-benchmark mean ns/op, B/op, and allocs/op with the ratio
+# old/new, which is good enough for a quick local look.
+set -eu
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 old.txt new.txt" >&2
+    exit 2
+fi
+old=$1
+new=$2
+for f in "$old" "$new"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: missing $f (run 'make bench-baseline' first)" >&2
+        exit 2
+    fi
+done
+
+if command -v benchstat >/dev/null 2>&1; then
+    exec benchstat "$old" "$new"
+fi
+
+echo "benchstat not installed; falling back to mean comparison" >&2
+awk '
+# Benchmark result lines look like:
+#   BenchmarkName-8  100  123456 ns/op  789 B/op  12 allocs/op
+FNR == 1 { file++ }
+/^Benchmark/ {
+    name = $1
+    for (i = 2; i <= NF - 1; i++) {
+        if ($(i + 1) == "ns/op")     { ns[file, name] += $i;  cnt[file, name]++ }
+        if ($(i + 1) == "B/op")      { bops[file, name] += $i }
+        if ($(i + 1) == "allocs/op") { aops[file, name] += $i }
+    }
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+    printf "%-40s %14s %14s %8s %12s %12s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        c1 = cnt[1, name]; c2 = cnt[2, name]
+        if (!c1 || !c2) continue
+        o = ns[1, name] / c1; w = ns[2, name] / c2
+        printf "%-40s %14.0f %14.0f %7.2fx %12.1f %12.1f\n", name, o, w, o / w, aops[1, name] / c1, aops[2, name] / c2
+    }
+}' "$old" "$new"
