@@ -31,6 +31,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text or md (markdown)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telemDir   = flag.String("telemetry-dir", "", "when set, export windowed telemetry for every experiment simulation under this directory")
+		telemWin   = flag.Int64("telemetry-window", 0, "telemetry window width in time steps (0 = default)")
 	)
 	flag.Parse()
 
@@ -64,6 +66,9 @@ func main() {
 		}()
 	}
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *telemDir != "" {
+		cfg = cfg.WithTelemetry(*telemDir, *telemWin)
+	}
 	if *exp == "" {
 		if *format == "md" {
 			for _, id := range experiments.IDs() {

@@ -9,6 +9,7 @@
 //	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'sP[opt](LRU)'
 //	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'dP(LRU)'
 //	mcsim -trace trace.txt -k 16 -tau 4 -all
+//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'S(LRU)' -telemetry -telemetry-dir out/
 //
 // Strategy syntax: S(<policy>) shared; sP[even](<policy>) evenly
 // partitioned; sP[opt](<policy>) offline-optimal static partition
@@ -23,11 +24,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"mcpaging/internal/core"
 	"mcpaging/internal/metrics"
 	"mcpaging/internal/sim"
 	"mcpaging/internal/strategyspec"
+	"mcpaging/internal/telemetry"
 	"mcpaging/internal/trace"
 )
 
@@ -42,6 +45,9 @@ func main() {
 		perCore   = flag.Bool("per-core", false, "print per-core breakdown")
 		events    = flag.String("events", "", "write a CSV of every service event to this file (single-strategy runs)")
 		addrShift = flag.Int("addr-shift", -1, "treat the input as a raw address trace ('<core> <addr>' lines) with this page shift (e.g. 12); -1 = normal trace format")
+		telem     = flag.Bool("telemetry", false, "collect windowed per-core telemetry and export it under -telemetry-dir")
+		telemDir  = flag.String("telemetry-dir", "telemetry", "telemetry export directory (per-strategy subdirectories with -all)")
+		telemWin  = flag.Int64("telemetry-window", 0, "telemetry window width in time steps (0 = default)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -85,15 +91,56 @@ func main() {
 			}
 			w := bufio.NewWriter(evFile)
 			defer func() { w.Flush(); evFile.Close() }()
-			fmt.Fprintln(w, "time,core,index,page,fault,join,victim")
+			fmt.Fprintln(w, "time,core,index,page,fault,join,tick,victim")
 			obs = func(e sim.Event) {
-				fmt.Fprintf(w, "%d,%d,%d,%d,%v,%v,%d\n",
-					e.Time, e.Core, e.Index, e.Page, e.Fault, e.Join, e.Victim)
+				fmt.Fprintf(w, "%d,%d,%d,%d,%v,%v,%v,%d\n",
+					e.Time, e.Core, e.Index, e.Page, e.Fault, e.Join, e.Tick, e.Victim)
 			}
+		}
+		var sess *telemetry.Session
+		if *telem {
+			dir := *telemDir
+			if len(specs) > 1 {
+				dir = filepath.Join(dir, telemetry.SanitizeLabel(spec))
+			}
+			sess, err = telemetry.Start(telemetry.SessionConfig{
+				Dir: dir,
+				Collector: telemetry.Config{
+					Cores:  rs.NumCores(),
+					Params: in.P,
+					Window: *telemWin,
+				},
+				CaptureEvents: true,
+				Manifest: telemetry.Manifest{
+					Tool:         "mcsim",
+					Source:       *tracePath,
+					Strategy:     spec,
+					StrategyName: st.Name(),
+					Cores:        rs.NumCores(),
+					Requests:     rs.TotalLen(),
+					Pages:        len(rs.Universe()),
+					K:            *k,
+					Tau:          *tau,
+					Seed:         *seed,
+					Window:       *telemWin,
+				},
+			})
+			if err != nil {
+				fatal(err)
+			}
+			obs = sim.MultiObserver(obs, sess.Observer())
 		}
 		res, err := sim.Run(in, st, obs)
 		if err != nil {
+			if sess != nil {
+				sess.Abort()
+			}
 			fatal(err)
+		}
+		if sess != nil {
+			if err := sess.Close(res); err != nil {
+				fatal(err)
+			}
 		}
 		tbl.AddRow(st.Name(), res.TotalFaults(),
 			float64(res.TotalFaults())/float64(rs.TotalLen()),

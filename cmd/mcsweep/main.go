@@ -11,13 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
 
+	"mcpaging/internal/core"
 	"mcpaging/internal/metrics"
+	"mcpaging/internal/sim"
 	"mcpaging/internal/sweep"
+	"mcpaging/internal/telemetry"
 	"mcpaging/internal/trace"
 )
 
@@ -34,6 +38,9 @@ func main() {
 		metric     = flag.String("metric", "faults", "heatmap metric: faults|rate|jain|makespan")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		telem      = flag.Bool("telemetry", false, "export windowed telemetry for every grid point under -telemetry-dir/k<K>_tau<τ>_<spec>/")
+		telemDir   = flag.String("telemetry-dir", "telemetry", "telemetry export directory")
+		telemWin   = flag.Int64("telemetry-window", 0, "telemetry window width in time steps (0 = default)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
@@ -87,6 +94,38 @@ func main() {
 		Specs:   splitNonEmpty(*specList),
 		Seed:    *seed,
 		Workers: *workers,
+	}
+	if *telem {
+		pages := len(rs.Universe())
+		grid.Observe = func(pt sweep.Point) (sim.Observer, func(sim.Result) error) {
+			dir := filepath.Join(*telemDir,
+				fmt.Sprintf("k%d_tau%d_%s", pt.K, pt.Tau, telemetry.SanitizeLabel(pt.Spec)))
+			sess, err := telemetry.Start(telemetry.SessionConfig{
+				Dir: dir,
+				Collector: telemetry.Config{
+					Cores:  rs.NumCores(),
+					Params: core.Params{K: pt.K, Tau: pt.Tau},
+					Window: *telemWin,
+				},
+				Manifest: telemetry.Manifest{
+					Tool:         "mcsweep",
+					Source:       *tracePath,
+					Strategy:     pt.Spec,
+					StrategyName: pt.Strategy,
+					Cores:        rs.NumCores(),
+					Requests:     rs.TotalLen(),
+					Pages:        pages,
+					K:            pt.K,
+					Tau:          pt.Tau,
+					Seed:         *seed,
+					Window:       *telemWin,
+				},
+			})
+			if err != nil {
+				return nil, func(sim.Result) error { return err }
+			}
+			return sess.Observer(), sess.Close
+		}
 	}
 	pts, err := sweep.Run(grid)
 	if err != nil {

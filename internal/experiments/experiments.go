@@ -19,6 +19,9 @@ type Config struct {
 	// Seed drives all randomized workloads; experiments are
 	// deterministic given the seed.
 	Seed int64
+	// telem, when set via WithTelemetry, makes every mustRun simulation
+	// export its windowed timeline.
+	telem *telemetryState
 }
 
 // Result is an experiment's report.

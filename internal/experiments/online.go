@@ -24,11 +24,6 @@ func init() {
 	register("E8", runE8)
 }
 
-// mustRun simulates and fails the experiment on any protocol error.
-func mustRun(in core.Instance, s sim.Strategy) (sim.Result, error) {
-	return sim.Run(in, s, nil)
-}
-
 // runE1 — Lemma 1: with a fixed static partition, per-part LRU is
 // exactly max_j k_j-competitive against per-part OPT on the adversarial
 // sequence; the ratio grows linearly with the largest part and never
@@ -54,11 +49,11 @@ func runE1(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		in := core.Instance{R: rs, P: core.Params{K: k, Tau: 1}}
-		lruRes, err := mustRun(in, policy.NewStatic(sizes, lruF()))
+		lruRes, err := mustRun(cfg, "E1", in, policy.NewStatic(sizes, lruF()))
 		if err != nil {
 			return nil, err
 		}
-		optRes, err := mustRun(in, policy.NewStatic(sizes, fitfF()))
+		optRes, err := mustRun(cfg, "E1", in, policy.NewStatic(sizes, fitfF()))
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +95,7 @@ func runE2(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		in := core.Instance{R: rs, P: core.Params{K: k, Tau: 1}}
-		online, err := mustRun(in, policy.NewStatic(sizes, lruF()))
+		online, err := mustRun(cfg, "E2", in, policy.NewStatic(sizes, lruF()))
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +138,7 @@ func runE3(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
-		shared, err := mustRun(in, sharedLRU())
+		shared, err := mustRun(cfg, "E3", in, sharedLRU())
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +178,7 @@ func runE4(cfg Config) (*Result, error) {
 	worst := 0.0
 	check := func(name string, rs core.RequestSet) error {
 		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
-		shared, err := mustRun(in, sharedLRU())
+		shared, err := mustRun(cfg, "E4", in, sharedLRU())
 		if err != nil {
 			return err
 		}
@@ -191,7 +186,7 @@ func runE4(cfg Config) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		optRes, err := mustRun(in, policy.NewStatic(opt.Sizes, fitfF()))
+		optRes, err := mustRun(cfg, "E4", in, policy.NewStatic(opt.Sizes, fitfF()))
 		if err != nil {
 			return err
 		}
@@ -254,18 +249,18 @@ func runE5(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
-		shared, err := mustRun(in, sharedLRU())
+		shared, err := mustRun(cfg, "E5", in, sharedLRU())
 		if err != nil {
 			return nil, err
 		}
 		even := policy.EvenSizes(k, p)
-		static, err := mustRun(in, policy.NewStatic(even, lruF()))
+		static, err := mustRun(cfg, "E5", in, policy.NewStatic(even, lruF()))
 		if err != nil {
 			return nil, err
 		}
 		// Two stages: swap the bigger share halfway.
 		halftime := int64(rs.TotalLen()) * int64(tau+1) / int64(2*p)
-		staged2, err := mustRun(in, policy.NewStaged([]policy.Stage{
+		staged2, err := mustRun(cfg, "E5", in, policy.NewStaged([]policy.Stage{
 			{At: 0, Sizes: []int{3, 1}},
 			{At: halftime, Sizes: []int{1, 3}},
 		}, lruF()))
@@ -285,7 +280,7 @@ func runE5(cfg Config) (*Result, error) {
 			sizes[j] = k - (p - 1)
 			stages = append(stages, policy.Stage{At: int64(j) * turn, Sizes: sizes})
 		}
-		aligned, err := mustRun(in, policy.NewStaged(stages, lruF()))
+		aligned, err := mustRun(cfg, "E5", in, policy.NewStaged(stages, lruF()))
 		if err != nil {
 			return nil, err
 		}
@@ -389,11 +384,11 @@ func runE7(cfg Config) (*Result, error) {
 				return nil, err
 			}
 			in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
-			lruRes, err := mustRun(in, sharedLRU())
+			lruRes, err := mustRun(cfg, "E7", in, sharedLRU())
 			if err != nil {
 				return nil, err
 			}
-			soff, err := mustRun(in, adversary.NewSacrifice(p-1))
+			soff, err := mustRun(cfg, "E7", in, adversary.NewSacrifice(p-1))
 			if err != nil {
 				return nil, err
 			}
@@ -429,11 +424,11 @@ func runE8(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		in := core.Instance{R: rs, P: core.Params{K: k, Tau: tau}}
-		fitfRes, err := mustRun(in, adversary.SharedFITF())
+		fitfRes, err := mustRun(cfg, "E8", in, adversary.SharedFITF())
 		if err != nil {
 			return nil, err
 		}
-		soff, err := mustRun(in, adversary.NewSacrifice(p-1))
+		soff, err := mustRun(cfg, "E8", in, adversary.NewSacrifice(p-1))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWithTelemetryExports runs one quick experiment with telemetry
+// enabled and checks that every simulation produced a complete,
+// well-formed export directory.
+func TestWithTelemetryExports(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Quick: true, Seed: 7}.WithTelemetry(dir, 64)
+	r, err := Get("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r(cfg); err != nil {
+		t.Fatal(err)
+	}
+	runs, err := filepath.Glob(filepath.Join(dir, "E1", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) == 0 {
+		t.Fatal("no export directories under E1/")
+	}
+	for _, run := range runs {
+		for _, f := range []string{"manifest.json", "windows.jsonl", "summary.csv", "metrics.prom"} {
+			if _, err := os.Stat(filepath.Join(run, f)); err != nil {
+				t.Errorf("%s missing %s: %v", filepath.Base(run), f, err)
+			}
+		}
+	}
+	// Directory labels are sequential and the manifest pins the source
+	// experiment and window.
+	if base := filepath.Base(runs[0]); base[:3] != "00_" {
+		t.Fatalf("first run directory %q, want 00_ prefix", base)
+	}
+	raw, err := os.ReadFile(filepath.Join(runs[0], "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Tool   string `json:"tool"`
+		Source string `json:"source"`
+		Window int64  `json:"window"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Tool != "mcexp" || m.Source != "E1" || m.Window != 64 {
+		t.Fatalf("manifest = %+v, want tool=mcexp source=E1 window=64", m)
+	}
+}
+
+// TestWithTelemetryOff checks the zero-config path: without
+// WithTelemetry, experiments run without touching the filesystem.
+func TestWithTelemetryOff(t *testing.T) {
+	r, err := Get("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r(Config{Quick: true, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+}

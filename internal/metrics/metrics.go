@@ -72,6 +72,16 @@ func Slowdowns(r core.RequestSet, res sim.Result) []float64 {
 	return out
 }
 
+// WindowSlowdown applies the Slowdowns model to one telemetry window:
+// 1 + τ·(faults/requests), the factor by which the window's requests
+// were stretched by fault delays. Empty windows report 1.
+func WindowSlowdown(faults, requests int64, tau int) float64 {
+	if requests == 0 {
+		return 1
+	}
+	return 1 + float64(tau)*float64(faults)/float64(requests)
+}
+
 // Table is a simple aligned text table.
 type Table struct {
 	Title   string

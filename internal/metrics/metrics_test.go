@@ -53,6 +53,18 @@ func TestSlowdowns(t *testing.T) {
 	}
 }
 
+func TestWindowSlowdown(t *testing.T) {
+	if s := WindowSlowdown(0, 0, 4); s != 1 {
+		t.Fatalf("empty window slowdown = %v, want 1", s)
+	}
+	if s := WindowSlowdown(0, 10, 4); s != 1 {
+		t.Fatalf("faultless slowdown = %v, want 1", s)
+	}
+	if s := WindowSlowdown(5, 10, 4); s != 3 {
+		t.Fatalf("slowdown = %v, want 3 (1 + 4·5/10)", s)
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := NewTable("demo", "name", "value", "ratio")
 	tb.AddRow("alpha", 42, 1.23456)

@@ -1,0 +1,153 @@
+package sim_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// TestRunnerReuseObserverIsolation pins the ordering guarantee telemetry
+// relies on: a Runner reused across runs delivers each run's events only
+// to that run's observer, with times and indices restarting from the
+// run's own origin — nothing leaks from run N into run N+1.
+func TestRunnerReuseObserverIsolation(t *testing.T) {
+	rs := core.RequestSet{{1, 2, 3, 1, 2}, {7, 8, 7, 9, 8}}
+	rn, err := sim.NewRunner(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs [3][]sim.Event
+	var results [3]sim.Result
+	for i := 0; i < 3; i++ {
+		i := i
+		res, err := rn.Run(core.Params{K: 3, Tau: 2}, policy.NewShared(lru()),
+			func(e sim.Event) { runs[i] = append(runs[i], e) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[i] = res
+	}
+	for i := 0; i < 3; i++ {
+		if int64(len(runs[i])) != results[i].TotalFaults()+results[i].TotalHits() {
+			t.Fatalf("run %d: %d events, want %d", i, len(runs[i]),
+				results[i].TotalFaults()+results[i].TotalHits())
+		}
+		// Identical inputs and parameters: every rerun must replay the
+		// first run's event stream exactly.
+		if len(runs[i]) != len(runs[0]) {
+			t.Fatalf("run %d: %d events, run 0 had %d", i, len(runs[i]), len(runs[0]))
+		}
+		for j := range runs[i] {
+			if runs[i][j] != runs[0][j] {
+				t.Fatalf("run %d event %d = %+v, run 0 had %+v", i, j, runs[i][j], runs[0][j])
+			}
+		}
+		// Time restarts at 0 and per-core indices restart at 0.
+		if runs[i][0].Time != 0 {
+			t.Fatalf("run %d first event at t=%d, want 0", i, runs[i][0].Time)
+		}
+		first := map[int]int{}
+		for _, e := range runs[i] {
+			if _, seen := first[e.Core]; !seen {
+				first[e.Core] = e.Index
+				if e.Index != 0 {
+					t.Fatalf("run %d: core %d's first event has index %d, want 0", i, e.Core, e.Index)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiObserver(t *testing.T) {
+	var a, b []sim.Event
+	obs := sim.MultiObserver(
+		nil,
+		func(e sim.Event) { a = append(a, e) },
+		nil,
+		func(e sim.Event) {
+			// Argument order: a must already have received this event.
+			if len(a) != len(b)+1 {
+				t.Fatalf("fan-out out of order: len(a)=%d len(b)=%d", len(a), len(b))
+			}
+			b = append(b, e)
+		},
+	)
+	in := inst(2, 1, core.Sequence{1, 2, 1}, core.Sequence{5})
+	res, err := sim.Run(in, policy.NewShared(lru()), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.TotalFaults() + res.TotalHits()
+	if int64(len(a)) != want || int64(len(b)) != want {
+		t.Fatalf("fan-out delivered %d/%d events, want %d", len(a), len(b), want)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between observers: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMultiObserverNil(t *testing.T) {
+	if sim.MultiObserver() != nil {
+		t.Fatal("MultiObserver() should be nil")
+	}
+	if sim.MultiObserver(nil, nil) != nil {
+		t.Fatal("MultiObserver(nil, nil) should be nil")
+	}
+	called := 0
+	single := sim.MultiObserver(nil, func(sim.Event) { called++ })
+	single(sim.Event{})
+	if called != 1 {
+		t.Fatal("single surviving observer not invoked")
+	}
+}
+
+// TestTickEventsObserved checks that voluntary evictions surface as Tick
+// events, in both engines identically, and that their count matches
+// Result.VoluntaryEvictions. FWF flushes the whole cache whenever it is
+// full, so it reliably produces ticks.
+func TestTickEventsObserved(t *testing.T) {
+	in := inst(3, 1,
+		core.Sequence{1, 2, 3, 4, 1, 2, 5, 6},
+		core.Sequence{10, 11, 10, 12, 13, 11, 14, 10})
+	var fast, ref []sim.Event
+	resFast, err := sim.Run(in, policy.NewFWF(), func(e sim.Event) { fast = append(fast, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	resRef, err := sim.RunReference(in, policy.NewFWF(), func(e sim.Event) { ref = append(ref, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ticks int64
+	for _, e := range fast {
+		if e.Tick {
+			ticks++
+			if e.Core != -1 || e.Index != -1 || e.Fault || e.Join || e.Victim != e.Page {
+				t.Fatalf("malformed tick event %+v", e)
+			}
+		}
+	}
+	if ticks == 0 {
+		t.Fatal("FWF run produced no tick events")
+	}
+	if ticks != resFast.VoluntaryEvictions {
+		t.Fatalf("observed %d ticks, result counts %d voluntary evictions",
+			ticks, resFast.VoluntaryEvictions)
+	}
+	if resFast.VoluntaryEvictions != resRef.VoluntaryEvictions {
+		t.Fatalf("engines disagree on voluntary evictions: %d vs %d",
+			resFast.VoluntaryEvictions, resRef.VoluntaryEvictions)
+	}
+	if len(fast) != len(ref) {
+		t.Fatalf("event streams differ in length: %d vs %d", len(fast), len(ref))
+	}
+	for i := range fast {
+		if fast[i] != ref[i] {
+			t.Fatalf("event %d: fast %+v, reference %+v", i, fast[i], ref[i])
+		}
+	}
+}

@@ -80,6 +80,9 @@ func RunReference(inst core.Instance, s Strategy, obs Observer) (Result, error) 
 					return res, fmt.Errorf("sim: strategy %s voluntary eviction: %w", s.Name(), err)
 				}
 				res.VoluntaryEvictions++
+				if obs != nil {
+					obs(Event{Time: t, Core: -1, Index: -1, Page: v, Tick: true, Victim: v})
+				}
 			}
 		}
 

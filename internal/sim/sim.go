@@ -110,8 +110,16 @@ type View interface {
 	NextUse(p core.PageID) int64
 }
 
-// Event describes one served request, for observers and tests. Page and
-// Victim are always in the instance's original ID space.
+// Event describes one served request — or, when Tick is set, one
+// voluntary eviction — for observers and tests. Page and Victim are
+// always in the instance's original ID space.
+//
+// Tick events are emitted for pages evicted via Ticker.OnTick, before
+// any request of the same step is served. They carry Core = -1 and
+// Index = -1 (no request is being served), Page = Victim = the evicted
+// page, and Fault/Join false. Observers that only care about served
+// requests can filter on !Tick (or, equivalently for historical
+// observers, on Fault/Join, which ticks never set).
 type Event struct {
 	Time   int64
 	Core   int
@@ -119,12 +127,37 @@ type Event struct {
 	Page   core.PageID
 	Fault  bool
 	Join   bool        // fault that joined an in-flight fetch
+	Tick   bool        // voluntary eviction, not a served request
 	Victim core.PageID // NoPage if none (hit, join, or free cell)
 }
 
 // Observer receives every service event in order. Passing a nil observer
 // to Run disables event delivery.
 type Observer func(Event)
+
+// MultiObserver fans one event stream out to several observers, calling
+// them in argument order for every event. Nil observers are skipped; if
+// none remain the result is nil, so the simulator's nil-observer fast
+// path is preserved. A single live observer is returned as-is.
+func MultiObserver(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e Event) {
+		for _, o := range live {
+			o(e)
+		}
+	}
+}
 
 // Result summarises one simulation run.
 type Result struct {
@@ -532,6 +565,9 @@ func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, erro
 					return res, fmt.Errorf("sim: strategy %s voluntary eviction: %w", s.Name(), err)
 				}
 				res.VoluntaryEvictions++
+				if obs != nil {
+					obs(Event{Time: t, Core: -1, Index: -1, Page: v, Tick: true, Victim: v})
+				}
 			}
 		}
 

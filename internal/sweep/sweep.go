@@ -30,6 +30,13 @@ type Grid struct {
 	Seed int64
 	// Workers bounds concurrency (0 = GOMAXPROCS).
 	Workers int
+	// Observe, when non-nil, is called once per grid point — concurrently
+	// from worker goroutines, after the point's strategy is built — and
+	// may return an observer to attach to the point's run plus a done
+	// callback invoked with the run's result (either may be nil). A done
+	// error is recorded on the point. This is the hook cmd/mcsweep uses
+	// to export per-point telemetry.
+	Observe func(pt Point) (obs sim.Observer, done func(sim.Result) error)
 }
 
 // Validate checks the grid is non-empty and structurally sound.
@@ -113,7 +120,12 @@ func Run(g Grid) ([]Point, error) {
 					continue
 				}
 				pt.Strategy = st.Name()
-				res, rerr := rn.Run(core.Params{K: pt.K, Tau: pt.Tau}, st, nil)
+				var obs sim.Observer
+				var done func(sim.Result) error
+				if g.Observe != nil {
+					obs, done = g.Observe(*pt)
+				}
+				res, rerr := rn.Run(core.Params{K: pt.K, Tau: pt.Tau}, st, obs)
 				if rerr != nil {
 					pt.Err = rerr
 					continue
@@ -122,6 +134,11 @@ func Run(g Grid) ([]Point, error) {
 				pt.Rate = float64(res.TotalFaults()) / total
 				pt.Jain = metrics.JainIndex(res.Faults)
 				pt.Makespan = res.Makespan
+				if done != nil {
+					if derr := done(res); derr != nil {
+						pt.Err = derr
+					}
+				}
 			}
 		}()
 	}

@@ -1,11 +1,15 @@
 package sweep_test
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 	"reflect"
+	"sync"
 	"testing"
 
 	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
 	"mcpaging/internal/sweep"
 )
 
@@ -151,5 +155,69 @@ func TestHeatmap(t *testing.T) {
 	}
 	if _, err := sweep.Heatmap("t", "S(NOPE)", "faults", pts); err == nil {
 		t.Fatal("unknown spec should fail")
+	}
+}
+
+func TestSweepObserveHook(t *testing.T) {
+	var mu sync.Mutex
+	events := map[string]int64{}
+	doneSeen := map[string]int64{}
+	g := sweep.Grid{
+		R:     workload(),
+		Ks:    []int{6, 12},
+		Taus:  []int{0, 2},
+		Specs: []string{"S(LRU)"},
+		Seed:  1,
+		Observe: func(pt sweep.Point) (sim.Observer, func(sim.Result) error) {
+			if pt.Strategy == "" {
+				t.Error("Observe called before the strategy was built")
+			}
+			key := fmt.Sprintf("k%d_tau%d", pt.K, pt.Tau)
+			return func(sim.Event) {
+					mu.Lock()
+					events[key]++
+					mu.Unlock()
+				}, func(res sim.Result) error {
+					mu.Lock()
+					doneSeen[key] = res.TotalFaults() + res.TotalHits()
+					mu.Unlock()
+					return nil
+				}
+		},
+	}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		key := fmt.Sprintf("k%d_tau%d", p.K, p.Tau)
+		if events[key] == 0 {
+			t.Fatalf("point %s received no events", key)
+		}
+		// S(LRU) is not a Ticker, so every event is a served request and
+		// the stream length must match the point's result.
+		if events[key] != doneSeen[key] {
+			t.Fatalf("point %s: %d events, done saw %d served requests", key, events[key], doneSeen[key])
+		}
+	}
+}
+
+func TestSweepObserveDoneError(t *testing.T) {
+	g := sweep.Grid{
+		R:     workload(),
+		Ks:    []int{6},
+		Taus:  []int{0},
+		Specs: []string{"S(LRU)"},
+		Seed:  1,
+		Observe: func(pt sweep.Point) (sim.Observer, func(sim.Result) error) {
+			return nil, func(sim.Result) error { return errors.New("export failed") }
+		},
+	}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Err == nil || pts[0].Err.Error() != "export failed" {
+		t.Fatalf("done error not recorded on point: %v", pts[0].Err)
 	}
 }

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mcpaging/internal/metrics"
+)
+
+// A matrixFn extracts one core's cell value from a window for the CSV
+// matrix exporters.
+type matrixFn func(w Window, core int) string
+
+func itoa(v int64) string   { return strconv.FormatInt(v, 10) }
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// rate returns num/den as a CSV cell, 0 when the denominator is zero.
+func rate(num, den int64) string {
+	if den == 0 {
+		return "0"
+	}
+	return ftoa(float64(num) / float64(den))
+}
+
+// WriteMatrixCSV writes one windowed series as a plot-ready matrix: one
+// row per window, one column per core, prefixed by the window index and
+// bounds.
+func WriteMatrixCSV(w io.Writer, c *Collector, fn matrixFn) error {
+	var b strings.Builder
+	b.WriteString("window,start,end")
+	for j := 0; j < c.cores; j++ {
+		fmt.Fprintf(&b, ",core%d", j)
+	}
+	b.WriteByte('\n')
+	for _, win := range c.Windows() {
+		b.WriteString(itoa(win.Index))
+		b.WriteByte(',')
+		b.WriteString(itoa(win.Start))
+		b.WriteByte(',')
+		b.WriteString(itoa(win.End))
+		for j := range win.Cores {
+			b.WriteByte(',')
+			b.WriteString(fn(win, j))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// The standard matrices exported by Export, name → extractor. Fault and
+// hit rates are per-window (faults or hits over the window's requests);
+// slowdown is the window's 1 + τ·(fault rate) model, via
+// metrics.WindowSlowdown; occupancy and τ-debt are the values at window
+// close.
+func (c *Collector) matrices() map[string]matrixFn {
+	tau := int(c.tau)
+	return map[string]matrixFn{
+		"fault_rate": func(w Window, j int) string {
+			return rate(w.Cores[j].Faults, w.Cores[j].Requests)
+		},
+		"hit_rate": func(w Window, j int) string {
+			return rate(w.Cores[j].Hits, w.Cores[j].Requests)
+		},
+		"occupancy": func(w Window, j int) string { return itoa(w.Cores[j].Occupancy) },
+		"tau_debt":  func(w Window, j int) string { return itoa(w.Cores[j].TauDebt) },
+		"slowdown": func(w Window, j int) string {
+			return ftoa(metrics.WindowSlowdown(w.Cores[j].Faults, w.Cores[j].Requests, tau))
+		},
+	}
+}
+
+// WriteSummaryCSV writes one row per core with the end-of-run counters,
+// plus finish time and whole-run slowdown from the recorded result.
+func WriteSummaryCSV(w io.Writer, c *Collector) error {
+	tot := c.Totals()
+	var b strings.Builder
+	b.WriteString("core,requests,faults,hits,joins,donated_evictions,taken_cells,occupancy,tau_debt,finish,slowdown\n")
+	for j := 0; j < c.cores; j++ {
+		var finish int64
+		if j < len(c.res.Finish) {
+			finish = c.res.Finish[j]
+		}
+		slow := "1"
+		if tot.Requests[j] > 0 {
+			slow = ftoa(float64(finish) / float64(tot.Requests[j]))
+		}
+		fmt.Fprintf(&b, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s\n",
+			j, tot.Requests[j], tot.Faults[j], tot.Hits[j], tot.Joins[j],
+			tot.DonatedEvictions[j], tot.TakenCells[j], tot.Occupancy[j],
+			tot.TauDebt[j], finish, slow)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

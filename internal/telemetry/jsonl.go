@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// writeEventJSONL appends one raw event to the configured event stream
+// as a single JSON line. The encoding is hand-rolled into a reused
+// buffer: the event path runs once per served request, and a fixed field
+// order keeps the stream byte-reproducible.
+func (c *Collector) writeEventJSONL(e sim.Event) {
+	b := c.evBuf[:0]
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, e.Time, 10)
+	if e.Tick {
+		b = append(b, `,"tick":true,"page":`...)
+		b = strconv.AppendInt(b, int64(e.Page), 10)
+	} else {
+		b = append(b, `,"core":`...)
+		b = strconv.AppendInt(b, int64(e.Core), 10)
+		b = append(b, `,"i":`...)
+		b = strconv.AppendInt(b, int64(e.Index), 10)
+		b = append(b, `,"page":`...)
+		b = strconv.AppendInt(b, int64(e.Page), 10)
+		b = append(b, `,"fault":`...)
+		b = strconv.AppendBool(b, e.Fault)
+		if e.Join {
+			b = append(b, `,"join":true`...)
+		}
+		if e.Victim != core.NoPage {
+			b = append(b, `,"victim":`...)
+			b = strconv.AppendInt(b, int64(e.Victim), 10)
+		}
+	}
+	b = append(b, '}', '\n')
+	c.evBuf = b
+	c.events.Write(b)
+}
+
+// WriteWindowsJSONL writes every retained window as one JSON object per
+// line, oldest first. Field order is fixed by the Window struct, so the
+// output is deterministic.
+func WriteWindowsJSONL(w io.Writer, c *Collector) error {
+	enc := json.NewEncoder(w)
+	for _, win := range c.Windows() {
+		if err := enc.Encode(win); err != nil {
+			return err
+		}
+	}
+	return nil
+}

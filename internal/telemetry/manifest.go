@@ -1,0 +1,80 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"strings"
+)
+
+// Manifest records everything needed to reproduce a telemetry export
+// byte for byte: the workload source, model parameters, strategy spec
+// and seeds, plus the toolchain that produced it. It deliberately
+// carries no wall-clock timestamp — two runs of the same inputs on the
+// same toolchain must produce identical bytes.
+type Manifest struct {
+	// Tool is the producing binary or harness, e.g. "mcsim".
+	Tool string `json:"tool"`
+	// Source identifies the workload: a trace path or a generator spec.
+	Source string `json:"source"`
+	// Strategy is the spec as given (strategyspec mini-language);
+	// StrategyName the resolved Strategy.Name().
+	Strategy     string `json:"strategy"`
+	StrategyName string `json:"strategy_name"`
+	// Cores, Requests and Pages describe the workload (p, n, universe w).
+	Cores    int `json:"cores"`
+	Requests int `json:"requests"`
+	Pages    int `json:"pages"`
+	// K and Tau are the model parameters of the run.
+	K   int `json:"k"`
+	Tau int `json:"tau"`
+	// Seed drives randomized policies and generated workloads.
+	Seed int64 `json:"seed"`
+	// Window is the telemetry window width in time steps.
+	Window int64 `json:"window"`
+	// Toolchain is the Go toolchain version (runtime.Version()); filled
+	// by WriteManifest when empty. Golden-file checks that span
+	// toolchains should normalize or exclude this field.
+	Toolchain string `json:"toolchain"`
+}
+
+// WriteManifest writes the manifest as indented JSON with a trailing
+// newline, filling Toolchain from the running toolchain when unset.
+func WriteManifest(w io.Writer, m Manifest) error {
+	if m.Toolchain == "" {
+		m.Toolchain = runtime.Version()
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// SanitizeLabel maps an arbitrary label (strategy spec, experiment
+// table title) to a filesystem-safe directory component: runs of
+// characters outside [A-Za-z0-9._-] collapse to a single '-'.
+func SanitizeLabel(s string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+			b.WriteRune(r)
+			dash = false
+		default:
+			if !dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = true
+		}
+	}
+	out := strings.TrimRight(b.String(), "-")
+	if out == "" {
+		return "run"
+	}
+	return out
+}

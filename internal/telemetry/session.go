@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mcpaging/internal/sim"
+)
+
+// SessionConfig describes one exported run.
+type SessionConfig struct {
+	// Dir is the export directory; it is created if missing. Every run
+	// needs its own directory (files are overwritten, not appended).
+	Dir string
+	// Collector parameterises the windowing; Collector.Events is ignored
+	// (the session owns the event stream when CaptureEvents is set).
+	Collector Config
+	// CaptureEvents additionally streams every raw event to
+	// Dir/events.jsonl. Off by default: the file grows with n.
+	CaptureEvents bool
+	// Manifest is written alongside the exports; the session fills
+	// Window (and WriteManifest the toolchain) when unset.
+	Manifest Manifest
+}
+
+// Session owns one run's telemetry: a collector plus the export
+// directory. Usage: Start → pass Observer() to the simulator → Close
+// with the run's result (or Abort on a failed run).
+type Session struct {
+	cfg    SessionConfig
+	col    *Collector
+	evFile *os.File
+	evBuf  *bufio.Writer
+}
+
+// Start creates the export directory (and events.jsonl when capturing)
+// and returns a ready session.
+func Start(cfg SessionConfig) (*Session, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("telemetry: empty session dir")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Session{cfg: cfg}
+	ccfg := cfg.Collector
+	ccfg.Events = nil
+	if cfg.CaptureEvents {
+		f, err := os.Create(filepath.Join(cfg.Dir, "events.jsonl"))
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		s.evFile = f
+		s.evBuf = bufio.NewWriterSize(f, 1<<16)
+		ccfg.Events = s.evBuf
+	}
+	s.col = New(ccfg)
+	return s, nil
+}
+
+// Observer returns the observer to attach to the run.
+func (s *Session) Observer() sim.Observer { return s.col.Observe }
+
+// Collector exposes the underlying collector (for tests and custom
+// exports).
+func (s *Session) Collector() *Collector { return s.col }
+
+// Close finalises the run: it flushes the collector with the run's
+// result and writes every export — windows.jsonl, the CSV matrices,
+// summary.csv, metrics.prom and manifest.json — into the session
+// directory.
+func (s *Session) Close(res sim.Result) error {
+	s.col.Finish(res)
+	if err := s.closeEvents(); err != nil {
+		return err
+	}
+	man := s.cfg.Manifest
+	if man.Window == 0 {
+		man.Window = s.col.window
+	}
+	write := func(name string, fn func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(s.cfg.Dir, name))
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		werr := fn(f)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("telemetry: writing %s: %w", name, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("telemetry: %w", cerr)
+		}
+		return nil
+	}
+	if err := write("windows.jsonl", func(f *os.File) error {
+		return WriteWindowsJSONL(f, s.col)
+	}); err != nil {
+		return err
+	}
+	mats := s.col.matrices()
+	names := make([]string, 0, len(mats))
+	for name := range mats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fn := mats[name]
+		if err := write(name+".csv", func(f *os.File) error {
+			return WriteMatrixCSV(f, s.col, fn)
+		}); err != nil {
+			return err
+		}
+	}
+	if err := write("summary.csv", func(f *os.File) error {
+		return WriteSummaryCSV(f, s.col)
+	}); err != nil {
+		return err
+	}
+	if err := write("metrics.prom", func(f *os.File) error {
+		return WritePrometheus(f, s.col)
+	}); err != nil {
+		return err
+	}
+	return write("manifest.json", func(f *os.File) error {
+		return WriteManifest(f, man)
+	})
+}
+
+// Abort closes the session without exporting (failed runs); partially
+// written event streams are left on disk for post-mortems.
+func (s *Session) Abort() error { return s.closeEvents() }
+
+func (s *Session) closeEvents() error {
+	if s.evFile == nil {
+		return nil
+	}
+	ferr := s.evBuf.Flush()
+	cerr := s.evFile.Close()
+	s.evFile, s.evBuf = nil, nil
+	if ferr != nil {
+		return fmt.Errorf("telemetry: %w", ferr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("telemetry: %w", cerr)
+	}
+	return nil
+}

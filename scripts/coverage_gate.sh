@@ -1,0 +1,21 @@
+#!/bin/sh
+# Coverage floor gate for CI: run the short test suite with coverage and
+# fail if total statement coverage drops below the floor (percent).
+#
+# Usage: scripts/coverage_gate.sh <floor> [profile]
+#   floor    minimum total coverage, e.g. 83.4 (the seed baseline)
+#   profile  output profile path (default cover.out)
+set -eu
+
+floor="${1:?usage: coverage_gate.sh <floor> [profile]}"
+profile="${2:-cover.out}"
+cd "$(dirname "$0")/.."
+
+go test -short -coverprofile="$profile" ./... > /dev/null
+total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
+echo "coverage: total=${total}% floor=${floor}%"
+awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 >= f+0) }' || {
+    echo "coverage gate FAILED: ${total}% < ${floor}%" >&2
+    exit 1
+}
+echo "coverage gate OK"
