@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-baseline benchstat soak experiments cover cover-gate smoke clean
+.PHONY: all build test vet fmt bench bench-baseline benchstat soak experiments cover cover-gate smoke serve clean
 
 # Benchmarks the comparison targets track: the simulator serve paths and
 # the batch harness, plus the root throughput benches.
@@ -52,6 +52,11 @@ experiments:
 
 smoke:
 	./scripts/smoke.sh
+
+# Run the simulation service locally (see docs/server.md for the API).
+SERVE_ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/mcservd -addr $(SERVE_ADDR)
 
 # Short mode: the soak tests are excluded from coverage passes (run
 # `make soak` for them); this matches the CI coverage gate.

@@ -48,8 +48,19 @@ func main() {
 		telem     = flag.Bool("telemetry", false, "collect windowed per-core telemetry and export it under -telemetry-dir")
 		telemDir  = flag.String("telemetry-dir", "telemetry", "telemetry export directory (per-strategy subdirectories with -all)")
 		telemWin  = flag.Int64("telemetry-window", 0, "telemetry window width in time steps (0 = default)")
+		listStrat = flag.Bool("list-strategies", false, "list every buildable strategy spec and exit")
 	)
 	flag.Parse()
+	if *listStrat {
+		tbl := metrics.NewTable("strategies", "spec", "family", "policy", "description")
+		for _, c := range strategyspec.List() {
+			tbl.AddRow(c.Spec, c.Family, c.Policy, c.Desc)
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *tracePath == "" {
 		fmt.Fprintln(os.Stderr, "mcsim: -trace is required")
 		os.Exit(2)

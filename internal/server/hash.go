@@ -1,0 +1,44 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+
+	"mcpaging/internal/core"
+)
+
+// jobKey computes the content-addressed cache key of one simulation
+// job: a SHA-256 over a canonical encoding of (request set, strategy
+// spec, K, τ, seed). The request set is hashed by content, so the same
+// instance reaches the same key whether it arrived inline, as a binary
+// trace, or as a deterministic workload spec. The spec is trimmed the
+// same way strategyspec.Build trims it; seed is always included because
+// it changes the behaviour of randomized policies (for deterministic
+// policies two seeds simply occupy two cache entries).
+func jobKey(rs core.RequestSet, spec string, p core.Params, seed int64) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		h.Write(buf[:binary.PutUvarint(buf[:], v)])
+	}
+	writeVarint := func(v int64) {
+		h.Write(buf[:binary.PutVarint(buf[:], v)])
+	}
+	h.Write([]byte("mcservd/job/v1\x00"))
+	writeVarint(int64(p.K))
+	writeVarint(int64(p.Tau))
+	writeVarint(seed)
+	spec = strings.TrimSpace(spec)
+	writeUvarint(uint64(len(spec)))
+	h.Write([]byte(spec))
+	writeUvarint(uint64(len(rs)))
+	for _, seq := range rs {
+		writeUvarint(uint64(len(seq)))
+		for _, pg := range seq {
+			writeVarint(int64(pg))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

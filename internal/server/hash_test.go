@@ -1,0 +1,105 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/trace"
+)
+
+func TestJobKeyCanonicalAcrossInputModes(t *testing.T) {
+	rs := core.RequestSet{{1, 2, 3, 1}, {9, 8, 9}}
+	p := core.Params{K: 4, Tau: 2}
+
+	// The same instance through the inline and binary paths must reach
+	// the same key: the key hashes content, not transport.
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	in := TraceInput{BinaryB64: base64.StdEncoding.EncodeToString(buf.Bytes())}
+	decoded, err := in.resolve(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := jobKey(rs, "S(LRU)", p, 1)
+	k2 := jobKey(decoded, "S(LRU)", p, 1)
+	if k1 != k2 {
+		t.Fatalf("binary round-trip changed the key: %s vs %s", k1, k2)
+	}
+
+	// Spec whitespace is canonicalized away, matching Build's trim.
+	if jobKey(rs, "  S(LRU)  ", p, 1) != k1 {
+		t.Fatal("spec whitespace changed the key")
+	}
+
+	// Every parameter is load-bearing.
+	distinct := map[string]string{
+		"base":     k1,
+		"spec":     jobKey(rs, "S(FIFO)", p, 1),
+		"k":        jobKey(rs, "S(LRU)", core.Params{K: 5, Tau: 2}, 1),
+		"tau":      jobKey(rs, "S(LRU)", core.Params{K: 4, Tau: 3}, 1),
+		"seed":     jobKey(rs, "S(LRU)", p, 2),
+		"requests": jobKey(core.RequestSet{{1, 2, 3, 1}, {9, 8, 8}}, "S(LRU)", p, 1),
+		// Same flattened content, different core structure.
+		"shape": jobKey(core.RequestSet{{1, 2, 3, 1, 9}, {8, 9}}, "S(LRU)", p, 1),
+	}
+	seen := map[string]string{}
+	for name, k := range distinct {
+		if prev, ok := seen[k]; ok {
+			t.Fatalf("key collision between %s and %s", prev, name)
+		}
+		seen[k] = name
+	}
+}
+
+func TestResultCacheEvictsLRUAtBudget(t *testing.T) {
+	c := newResultCache(2)
+	r := func(n int64) Result { return Result{TotalFaults: n} }
+	c.put("a", r(1))
+	c.put("b", r(2))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now least recent
+		t.Fatal("a missing")
+	}
+	c.put("c", r(3)) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived past the budget")
+	}
+	if v, ok := c.get("a"); !ok || v.TotalFaults != 1 {
+		t.Fatal("a lost or corrupted")
+	}
+	if v, ok := c.get("c"); !ok || v.TotalFaults != 3 {
+		t.Fatal("c lost or corrupted")
+	}
+	hits, misses, entries := c.stats()
+	if entries != 2 {
+		t.Fatalf("entries = %d, want 2", entries)
+	}
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", hits, misses)
+	}
+	// Handle recycling: many churn cycles never grow past the budget.
+	for i := 0; i < 100; i++ {
+		c.put(string(rune('d'+i)), r(int64(i)))
+	}
+	if _, _, entries := c.stats(); entries != 2 {
+		t.Fatalf("entries after churn = %d, want 2", entries)
+	}
+	if c.next > 3 {
+		t.Fatalf("handles not recycled: next = %d", c.next)
+	}
+}
+
+func TestResultCacheDuplicatePutKeepsFirst(t *testing.T) {
+	c := newResultCache(4)
+	c.put("k", Result{TotalFaults: 1})
+	c.put("k", Result{TotalFaults: 99})
+	if v, _ := c.get("k"); v.TotalFaults != 1 {
+		t.Fatalf("duplicate put replaced the entry: %d", v.TotalFaults)
+	}
+	if _, _, entries := c.stats(); entries != 1 {
+		t.Fatal("duplicate put grew the cache")
+	}
+}

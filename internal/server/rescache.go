@@ -1,0 +1,105 @@
+package server
+
+import (
+	"sync"
+
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+)
+
+// resultCache is the content-addressed result cache: canonical job key
+// → Result. Eviction order is delegated — fittingly — to one of our own
+// paging policies: an internal/cache LRU whose "pages" are small dense
+// handles allocated per entry and recycled on eviction, so the policy's
+// intrusive array stays proportional to the entry budget.
+type resultCache struct {
+	mu      sync.Mutex
+	budget  int
+	lru     *cache.LRU
+	byKey   map[string]core.PageID
+	entries map[core.PageID]cacheEntry
+	free    []core.PageID
+	next    core.PageID
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	val Result
+}
+
+// newResultCache returns a cache bounded to budget entries; a budget of
+// 0 disables caching (every lookup misses, every store is dropped).
+func newResultCache(budget int) *resultCache {
+	c := &resultCache{budget: budget}
+	if budget > 0 {
+		c.lru = cache.NewLRU()
+		c.byKey = make(map[string]core.PageID, budget)
+		c.entries = make(map[core.PageID]cacheEntry, budget)
+	}
+	return c
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) (Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 {
+		c.misses++
+		return Result{}, false
+	}
+	id, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return Result{}, false
+	}
+	c.hits++
+	c.lru.Touch(id, cache.Access{})
+	return c.entries[id].val, true
+}
+
+// put stores a result, evicting the least recently used entry when the
+// budget is exceeded. Storing an existing key refreshes its recency and
+// keeps the first value (results are content-addressed, so values for
+// one key never differ).
+func (c *resultCache) put(key string, val Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 {
+		return
+	}
+	if id, ok := c.byKey[key]; ok {
+		c.lru.Touch(id, cache.Access{})
+		return
+	}
+	if c.lru.Len() >= c.budget {
+		victim, ok := c.lru.Evict(nil)
+		if ok {
+			delete(c.byKey, c.entries[victim].key)
+			delete(c.entries, victim)
+			c.free = append(c.free, victim)
+		}
+	}
+	var id core.PageID
+	if n := len(c.free); n > 0 {
+		id = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		id = c.next
+		c.next++
+	}
+	c.lru.Insert(id, cache.Access{})
+	c.byKey[key] = id
+	c.entries[id] = cacheEntry{key: key, val: val}
+}
+
+// stats returns the hit/miss counters and current entry count.
+func (c *resultCache) stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru != nil {
+		entries = c.lru.Len()
+	}
+	return c.hits, c.misses, entries
+}

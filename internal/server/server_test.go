@@ -1,0 +1,534 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/strategyspec"
+	"mcpaging/internal/sweep"
+	"mcpaging/internal/workload"
+)
+
+// testTrace is a small two-core request set used across tests.
+func testTrace() []core.Sequence {
+	return []core.Sequence{
+		{1, 2, 3, 1, 2, 3, 4, 1, 2},
+		{10, 11, 10, 12, 11, 10},
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Drain()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body interface{}) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, resp *http.Response) (JobResponse, json.RawMessage) {
+	t.Helper()
+	defer resp.Body.Close()
+	var env struct {
+		Key       string          `json:"key"`
+		Cached    bool            `json:"cached"`
+		ElapsedMS float64         `json:"elapsed_ms"`
+		Result    json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.Unmarshal(env.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	return JobResponse{Key: env.Key, Cached: env.Cached, ElapsedMS: env.ElapsedMS, Result: res}, env.Result
+}
+
+// scrapeMetric fetches /metrics and returns the value of an unlabelled
+// metric by name.
+func scrapeMetric(t *testing.T, baseURL, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimPrefix(line, name+" "), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+func TestJobRoundTripMatchesDirectRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := JobRequest{
+		Trace:    TraceInput{Inline: testTrace()},
+		Strategy: "S(LRU)",
+		K:        4,
+		Tau:      2,
+		Seed:     1,
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	env, raw := decodeJob(t, resp)
+	if env.Cached {
+		t.Fatal("first run reported cached")
+	}
+
+	// The served result must be byte-identical to a direct sim.Run of
+	// the same instance through the same DTO.
+	rs := core.RequestSet(testTrace())
+	st, err := strategyspec.Build(req.Strategy, rs, req.K, req.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.Instance{R: rs, P: core.Params{K: req.K, Tau: req.Tau}}
+	direct, err := sim.Run(in, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(resultFrom(st.Name(), rs.TotalLen(), direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(raw), bytes.TrimSpace(want)) {
+		t.Fatalf("served result diverges from direct run:\n got %s\nwant %s", raw, want)
+	}
+	if env.Result.TotalFaults != direct.TotalFaults() {
+		t.Fatalf("faults %d, want %d", env.Result.TotalFaults, direct.TotalFaults())
+	}
+}
+
+func TestIdenticalJobHitsResultCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := JobRequest{
+		Trace:    TraceInput{Inline: testTrace()},
+		Strategy: "S(FIFO)",
+		K:        3,
+		Tau:      1,
+	}
+	first, _ := decodeJob(t, postJSON(t, ts.URL+"/v1/jobs", req))
+	if first.Cached {
+		t.Fatal("first POST reported cached")
+	}
+	second, _ := decodeJob(t, postJSON(t, ts.URL+"/v1/jobs", req))
+	if !second.Cached {
+		t.Fatal("identical re-POST was not a cache hit")
+	}
+	if second.Key != first.Key {
+		t.Fatalf("keys diverge: %s vs %s", second.Key, first.Key)
+	}
+	if second.Result.TotalFaults != first.Result.TotalFaults {
+		t.Fatal("cached result diverges")
+	}
+	// Verified via the metrics counters: one hit, one completion (the
+	// hit never reached the pool).
+	if v := scrapeMetric(t, ts.URL, "mcservd_cache_hits_total"); v != 1 {
+		t.Fatalf("cache hits = %v, want 1", v)
+	}
+	if v := scrapeMetric(t, ts.URL, "mcservd_jobs_completed_total"); v != 1 {
+		t.Fatalf("completed = %v, want 1", v)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CacheEntries: -1})
+	req := JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 0}
+	a, _ := decodeJob(t, postJSON(t, ts.URL+"/v1/jobs", req))
+	b, _ := decodeJob(t, postJSON(t, ts.URL+"/v1/jobs", req))
+	if a.Cached || b.Cached {
+		t.Fatal("cache disabled but a response reported cached")
+	}
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:        1,
+		QueueDepth:     1,
+		testJobStarted: started,
+		testJobRelease: release,
+	})
+	defer close(release)
+
+	jobReq := func(tau int) JobRequest {
+		return JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: tau}
+	}
+	type posted struct {
+		resp *http.Response
+		err  error
+	}
+	a := make(chan posted, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(mustJSON(t, jobReq(0))))
+		a <- posted{resp, err}
+	}()
+	<-started // worker holds job A; queue is empty
+
+	b := make(chan posted, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(mustJSON(t, jobReq(1))))
+		b <- posted{resp, err}
+	}()
+	waitFor(t, func() bool { return s.metrics.accepted.Load() == 2 }) // B sits in the queue
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", jobReq(2))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if v := s.metrics.rejected.Load(); v != 1 {
+		t.Fatalf("rejected = %d, want 1", v)
+	}
+
+	// Unblock the pool; both held jobs must complete normally.
+	release <- struct{}{}
+	release <- struct{}{}
+	for _, ch := range []chan posted{a, b} {
+		p := <-ch
+		if p.err != nil {
+			t.Fatal(p.err)
+		}
+		if p.resp.StatusCode != http.StatusOK {
+			t.Fatalf("held job finished with %d", p.resp.StatusCode)
+		}
+		p.resp.Body.Close()
+	}
+}
+
+func TestJobTimeoutAbortsAndWorkerIsReclaimed(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	slow := JobRequest{
+		Trace: TraceInput{Workload: &workload.Spec{
+			Cores: 1, Length: 2_000_000, Pages: 1 << 15, Kind: workload.Uniform, Seed: 7,
+		}},
+		Strategy:  "S(LRU)",
+		K:         64,
+		Tau:       4,
+		TimeoutMS: 1,
+	}
+	resp := postJSON(t, ts.URL+"/v1/jobs", slow)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if v := s.metrics.timeouts.Load(); v != 1 {
+		t.Fatalf("timeouts = %d, want 1", v)
+	}
+	// The worker must be reclaimed: a small follow-up job succeeds.
+	ok := JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 1}
+	resp2 := postJSON(t, ts.URL+"/v1/jobs", ok)
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up job status %d, want 200", resp2.StatusCode)
+	}
+}
+
+func TestGracefulDrainFinishesInFlightJobs(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:        1,
+		QueueDepth:     2,
+		testJobStarted: started,
+		testJobRelease: release,
+	})
+	req := JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 1}
+	got := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(mustJSON(t, req)))
+		if err != nil {
+			t.Error(err)
+			got <- nil
+			return
+		}
+		got <- resp
+	}()
+	<-started // the job is in flight on the worker
+
+	drained := make(chan struct{})
+	go func() { s.Drain(); close(drained) }()
+	waitFor(t, func() bool { return !s.ready() })
+
+	// While draining: readiness off, new submissions refused.
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", rz.StatusCode)
+	}
+	refused := postJSON(t, ts.URL+"/v1/jobs", req)
+	refused.Body.Close()
+	if refused.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: %d, want 503", refused.StatusCode)
+	}
+
+	// The in-flight job still completes successfully.
+	close(release)
+	resp := <-got
+	if resp == nil {
+		t.Fatal("in-flight job failed")
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight job finished with %d, want 200", resp.StatusCode)
+	}
+	env, _ := decodeJob(t, resp)
+	if env.Result.TotalFaults == 0 {
+		t.Fatal("drained job returned an empty result")
+	}
+	select {
+	case <-drained:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain did not return")
+	}
+}
+
+func TestSweepStreamsJSONLInGridOrder(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	req := SweepRequest{
+		Trace:      TraceInput{Inline: testTrace()},
+		Ks:         []int{4, 8},
+		Taus:       []int{0, 2},
+		Strategies: []string{"S(LRU)", "S(FIFO)"},
+		Seed:       1,
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	var lines []SweepLine
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ln SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, ln)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want, err := sweep.Run(sweep.Grid{
+		R: core.RequestSet(testTrace()), Ks: req.Ks, Taus: req.Taus, Specs: req.Strategies, Seed: req.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("%d lines, want %d", len(lines), len(want))
+	}
+	for i, ln := range lines {
+		if ln.Error != "" {
+			t.Fatalf("line %d error: %s", i, ln.Error)
+		}
+		if ln.K != want[i].K || ln.Tau != want[i].Tau || ln.Spec != want[i].Spec {
+			t.Fatalf("line %d out of grid order: %+v vs %+v", i, ln, want[i])
+		}
+		if ln.Result == nil || ln.Result.TotalFaults != want[i].Faults {
+			t.Fatalf("line %d faults diverge from sweep.Run: %+v vs %+v", i, ln.Result, want[i])
+		}
+	}
+
+	// The whole grid is now cached: a re-POST streams only hits.
+	resp2 := postJSON(t, ts.URL+"/v1/sweep", req)
+	defer resp2.Body.Close()
+	sc = bufio.NewScanner(resp2.Body)
+	n := 0
+	for sc.Scan() {
+		var ln SweepLine
+		if err := json.Unmarshal(sc.Bytes(), &ln); err != nil {
+			t.Fatal(err)
+		}
+		if !ln.Cached {
+			t.Fatalf("line %d not cached on re-sweep", n)
+		}
+		n++
+	}
+	if n != len(want) {
+		t.Fatalf("re-sweep streamed %d lines, want %d", n, len(want))
+	}
+}
+
+func TestStrategiesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/strategies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Strategies []strategyspec.Combo `json:"strategies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	want := strategyspec.List()
+	if len(body.Strategies) != len(want) {
+		t.Fatalf("%d strategies, want %d", len(body.Strategies), len(want))
+	}
+	if body.Strategies[0] != want[0] {
+		t.Fatalf("first combo %+v, want %+v", body.Strategies[0], want[0])
+	}
+}
+
+// promLine matches one sample line of Prometheus text format 0.0.4.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9.eE]+$|^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (NaN|[+-]Inf)$`)
+
+func TestMetricsExposesServerCountersAndTelemetry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Complete one job so the telemetry snapshot exists.
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 2,
+	})
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	var buf bytes.Buffer
+	sc := bufio.NewScanner(mresp.Body)
+	seen := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line + "\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Fatalf("invalid Prometheus sample line: %q", line)
+		}
+		seen[strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]] = true
+	}
+	for _, name := range []string{
+		"mcservd_jobs_accepted_total",
+		"mcservd_jobs_rejected_total",
+		"mcservd_jobs_completed_total",
+		"mcservd_cache_hits_total",
+		"mcservd_cache_misses_total",
+		"mcservd_queue_depth",
+		"mcservd_job_latency_seconds",
+		"mcservd_job_latency_seconds_sum",
+		"mcservd_job_latency_seconds_count",
+		// The telemetry snapshot of the completed run.
+		"mcpaging_requests_total",
+		"mcpaging_faults_total",
+		"mcpaging_makespan",
+	} {
+		if !seen[name] {
+			t.Fatalf("metric %s missing from scrape:\n%s", name, buf.String())
+		}
+	}
+}
+
+func TestJobValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		req  JobRequest
+		code int
+	}{
+		{"no trace", JobRequest{Strategy: "S(LRU)", K: 4}, http.StatusBadRequest},
+		{"two trace modes", JobRequest{
+			Trace:    TraceInput{Inline: testTrace(), BinaryB64: "AAAA"},
+			Strategy: "S(LRU)", K: 4,
+		}, http.StatusBadRequest},
+		{"missing strategy", JobRequest{Trace: TraceInput{Inline: testTrace()}, K: 4}, http.StatusBadRequest},
+		{"bad params", JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 0}, http.StatusBadRequest},
+		{"unknown policy", JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(NOPE)", K: 4}, http.StatusUnprocessableEntity},
+		{"malformed spec", JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "garbage", K: 4}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/jobs", tc.req)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func mustJSON(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

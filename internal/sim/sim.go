@@ -44,6 +44,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -525,10 +526,42 @@ func growSlice[T int32 | int64 | int](s []T, n int) []T {
 	return s[:n]
 }
 
+// Bind points the runner at a different request set, rebuilding the
+// dense tables while reusing array capacity from previous binds. It is
+// the rebind half of the Runner-per-worker pattern: a long-lived worker
+// keeps one Runner and Binds it to each incoming workload, so table and
+// per-run allocations amortize across jobs that share nothing but the
+// worker.
+func (r *Runner) Bind(rs core.RequestSet) error { return r.bind(rs) }
+
+// Release drops the runner's references to the bound request set (and
+// any renumbered copy of it) while keeping array capacity for the next
+// Bind. Call it when a worker parks the runner between jobs so the
+// workload's memory can be reclaimed.
+func (r *Runner) Release() { r.release() }
+
+// cancelCheckEvery is how many served requests pass between context
+// cancellation checks in RunContext: frequent enough that a cancelled
+// run aborts in well under a millisecond, rare enough that the check is
+// invisible in the serve-loop profile.
+const cancelCheckEvery = 1024
+
 // Run simulates strategy s with the given parameters on the runner's
 // request set. The strategy is Init-ed first, so a single strategy value
 // can be reused across runs. obs may be nil.
 func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, error) {
+	return r.RunContext(context.Background(), params, s, obs)
+}
+
+// RunContext is Run with cooperative cancellation: the serve loop polls
+// ctx every cancelCheckEvery served requests and aborts with an error
+// wrapping ctx.Err() when the context is cancelled or its deadline
+// passes. The partial Result accumulated so far is returned alongside
+// the error. A nil ctx behaves like context.Background().
+func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy, obs Observer) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := params.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -545,8 +578,18 @@ func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, erro
 	}
 	ticker, _ := s.(Ticker)
 	seqs := e.seqs
+	var served, nextCheck int64 = 0, cancelCheckEvery
 
 	for {
+		// Cooperative cancellation: one poll per cancelCheckEvery served
+		// requests (each outer iteration serves at least one request, so
+		// the gap between polls is bounded).
+		if served >= nextCheck {
+			nextCheck = served + cancelCheckEvery
+			if err := ctx.Err(); err != nil {
+				return res, fmt.Errorf("sim: strategy %s run aborted after %d requests: %w", s.Name(), served, err)
+			}
+		}
 		// Next service time: min clock over unfinished cores.
 		t := int64(math.MaxInt64)
 		for c := 0; c < p; c++ {
@@ -576,6 +619,7 @@ func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, erro
 				continue
 			}
 			i := e.idx[c]
+			served++
 			pg := seqs[c][i]
 			op := pg // original ID for strategies and observers
 			if e.inv != nil {
@@ -659,6 +703,12 @@ var runnerPool = sync.Pool{New: func() interface{} { return new(Runner) }}
 // many parameter or strategy combinations over one request set should
 // hold a Runner instead.
 func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
+	return RunContext(context.Background(), inst, s, obs)
+}
+
+// RunContext is Run with cooperative cancellation; see
+// Runner.RunContext for the abort semantics.
+func RunContext(ctx context.Context, inst core.Instance, s Strategy, obs Observer) (Result, error) {
 	if err := inst.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -670,7 +720,7 @@ func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
 	if err := r.bind(inst.R); err != nil {
 		return Result{}, err
 	}
-	return r.Run(inst.P, s, obs)
+	return r.RunContext(ctx, inst.P, s, obs)
 }
 
 // ErrNotDisjoint is returned by strategies that require disjoint request

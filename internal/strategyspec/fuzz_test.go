@@ -1,0 +1,49 @@
+package strategyspec_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/strategyspec"
+)
+
+// FuzzBuild drives the spec parser with arbitrary strings: malformed
+// specs must come back as errors, never as panics, and anything that
+// does parse must produce a strategy that survives a small simulation.
+// The server feeds Build directly from request bodies, so this is its
+// input-hardening test.
+func FuzzBuild(f *testing.F) {
+	for _, spec := range strategyspec.Portfolio() {
+		f.Add(spec)
+	}
+	for _, c := range strategyspec.List() {
+		f.Add(c.Spec)
+	}
+	for _, spec := range []string{
+		"", "S", "(", ")", "()", "S(", "S)", "S()",
+		"S(LRU", "S(LRU))", "S((LRU))", "s(lru)",
+		"sP[", "sP[]()", "sP[even]", "sP[opt]()",
+		"dP[ucp](FIFO)", "dP[nope](LRU)", "dP(LRU)x",
+		"  S(LRU)  ", "S(LRU)\n", "S(日本語)", "\x00(\x00)",
+	} {
+		f.Add(spec)
+	}
+	rs := core.RequestSet{
+		{1, 2, 3, 1, 2, 3},
+		{10, 11, 10, 11},
+	}
+	in := core.Instance{R: rs, P: core.Params{K: 4, Tau: 1}}
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := strategyspec.Build(spec, rs, 4, 1)
+		if err != nil {
+			return
+		}
+		if s.Name() == "" {
+			t.Fatalf("spec %q built a strategy with an empty name", spec)
+		}
+		if _, err := sim.Run(in, s, nil); err != nil {
+			t.Fatalf("spec %q built but failed to run: %v", spec, err)
+		}
+	})
+}

@@ -77,6 +77,55 @@ func Build(spec string, rs core.RequestSet, k int, seed int64) (sim.Strategy, er
 	return nil, fmt.Errorf("strategyspec: unknown family %q", head)
 }
 
+// Combo is one buildable strategy spec, with its family and policy
+// split out and a one-line description of the family's semantics. It is
+// the unit of List, consumed by `mcsim -list-strategies` and the
+// server's GET /strategies endpoint.
+type Combo struct {
+	Spec   string `json:"spec"`
+	Family string `json:"family"`
+	Policy string `json:"policy"`
+	Desc   string `json:"desc"`
+}
+
+// familyDescs describes each spec family, in listing order.
+var familyDescs = []struct{ family, desc string }{
+	{"S", "shared cache, global eviction"},
+	{"sP[even]", "static partition, K split evenly across cores"},
+	{"sP[opt]", "offline-optimal static partition from miss curves"},
+	{"dP", "Lemma 3 global-LRU dynamic partition"},
+	{"dP[fair]", "FairShare fairness-oriented dynamic partition"},
+	{"dP[ucp]", "utility-based cache partitioning"},
+}
+
+// List enumerates every family/policy combination Build accepts, in a
+// stable order (family-major, policies in cache.PolicyNames order).
+// Every returned spec is guaranteed to construct: the round-trip is
+// covered by tests and FuzzBuild seeds.
+func List() []Combo {
+	var out []Combo
+	for _, fd := range familyDescs {
+		var pols []string
+		switch fd.family {
+		case "S":
+			pols = append(cache.PolicyNames(), "FWF")
+		case "sP[even]", "sP[opt]":
+			pols = cache.PolicyNames()
+		default: // the dynamic partitions are LRU-only
+			pols = []string{"LRU"}
+		}
+		for _, p := range pols {
+			out = append(out, Combo{
+				Spec:   fd.family + "(" + p + ")",
+				Family: fd.family,
+				Policy: p,
+				Desc:   fd.desc,
+			})
+		}
+	}
+	return out
+}
+
 // Portfolio returns the standard strategy portfolio run by `mcsim -all`.
 func Portfolio() []string {
 	return []string{

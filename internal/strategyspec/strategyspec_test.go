@@ -58,6 +58,41 @@ func TestBuildTrimsWhitespace(t *testing.T) {
 	}
 }
 
+func TestListAllBuildAndRun(t *testing.T) {
+	rs := testSet()
+	in := core.Instance{R: rs, P: core.Params{K: 4, Tau: 1}}
+	combos := strategyspec.List()
+	if len(combos) == 0 {
+		t.Fatal("empty listing")
+	}
+	seen := map[string]bool{}
+	for _, c := range combos {
+		if seen[c.Spec] {
+			t.Fatalf("duplicate spec %q", c.Spec)
+		}
+		seen[c.Spec] = true
+		if c.Spec != c.Family+"("+c.Policy+")" {
+			t.Fatalf("spec %q does not match family %q / policy %q", c.Spec, c.Family, c.Policy)
+		}
+		if c.Desc == "" {
+			t.Fatalf("%s: empty description", c.Spec)
+		}
+		s, err := strategyspec.Build(c.Spec, rs, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Spec, err)
+		}
+		if _, err := sim.Run(in, s, nil); err != nil {
+			t.Fatalf("%s: %v", c.Spec, err)
+		}
+	}
+	// The listing must subsume the -all portfolio.
+	for _, spec := range strategyspec.Portfolio() {
+		if !seen[spec] {
+			t.Errorf("portfolio spec %q missing from List", spec)
+		}
+	}
+}
+
 func TestBuildOptPartitionUsesWorkload(t *testing.T) {
 	// sP[opt] must produce a strategy whose name embeds a partition that
 	// depends on the request set.

@@ -40,36 +40,38 @@ const (
 // Kinds lists all generator families in a stable order.
 func Kinds() []Kind { return []Kind{Uniform, Zipf, Loop, Phased, Markov} }
 
-// Spec describes one request-set generation.
+// Spec describes one request-set generation. The JSON names are the
+// wire format of the mcservd job API's "workload" trace input.
 type Spec struct {
 	// Cores is p, the number of sequences.
-	Cores int
+	Cores int `json:"cores"`
 	// Length is the per-core sequence length.
-	Length int
+	Length int `json:"length"`
 	// Pages is the number of distinct private pages per core.
-	Pages int
+	Pages int `json:"pages"`
 	// Kind selects the generator family.
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// ZipfS and ZipfV parameterise the Zipf distribution (s > 1, v ≥ 1);
 	// zero values default to s=1.2, v=1.
-	ZipfS, ZipfV float64
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	ZipfV float64 `json:"zipf_v,omitempty"`
 	// Phases (Phased only) is the number of phases; zero defaults to 8.
-	Phases int
+	Phases int `json:"phases,omitempty"`
 	// WorkingSet (Phased only) is the pages per phase; zero defaults to
 	// max(2, Pages/4).
-	WorkingSet int
+	WorkingSet int `json:"working_set,omitempty"`
 	// JumpProb (Markov only) is the probability of a uniform jump
 	// instead of a neighbour step; zero defaults to 0.05.
-	JumpProb float64
+	JumpProb float64 `json:"jump_prob,omitempty"`
 	// SharedFrac, if positive, replaces that fraction of requests (in
 	// expectation) with requests to a pool of SharedPages pages common
 	// to all cores, producing a non-disjoint request set.
-	SharedFrac float64
+	SharedFrac float64 `json:"shared_frac,omitempty"`
 	// SharedPages is the size of the shared pool; zero defaults to
 	// Pages when SharedFrac > 0.
-	SharedPages int
+	SharedPages int `json:"shared_pages,omitempty"`
 	// Seed drives all randomness.
-	Seed int64
+	Seed int64 `json:"seed"`
 }
 
 // sharedBase places shared pages in a namespace no private page uses.

@@ -5,7 +5,12 @@
 set -eu
 
 dir="$(mktemp -d)"
-trap 'rm -rf "$dir"' EXIT
+servd_pid=""
+cleanup() {
+    [ -n "$servd_pid" ] && kill "$servd_pid" 2> /dev/null || true
+    rm -rf "$dir"
+}
+trap cleanup EXIT
 cd "$(dirname "$0")/.."
 
 echo "== mcgen (text + binary) =="
@@ -38,5 +43,35 @@ go run ./cmd/mcsim -trace "$dir/witness.txt" -k 3 -tau 1 > /dev/null
 echo "== mcexp (quick, parallel, markdown) =="
 go run ./cmd/mcexp -quick -parallel 4 > /dev/null
 go run ./cmd/mcexp -exp E7 -quick -format md > /dev/null
+
+echo "== mcservd (job, cache hit, sweep, metrics, graceful stop) =="
+go build -o "$dir/mcservd" ./cmd/mcservd
+"$dir/mcservd" -addr 127.0.0.1:0 -addr-file "$dir/mcservd.addr" -workers 2 \
+    2> "$dir/mcservd.log" &
+servd_pid=$!
+i=0
+while [ ! -s "$dir/mcservd.addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "mcservd did not start"; cat "$dir/mcservd.log"; exit 1; }
+    sleep 0.1
+done
+base="http://$(cat "$dir/mcservd.addr")"
+curl -sf "$base/healthz" > /dev/null
+curl -sf "$base/readyz" > /dev/null
+curl -sf "$base/strategies" | grep -q 'S(LRU)'
+job='{"trace":{"workload":{"cores":2,"length":2000,"pages":32,"kind":"zipf","seed":5}},"strategy":"S(LRU)","k":16,"tau":4}'
+curl -sf -X POST -H 'Content-Type: application/json' -d "$job" "$base/v1/jobs" \
+    | grep -q '"cached":false'
+curl -sf -X POST -H 'Content-Type: application/json' -d "$job" "$base/v1/jobs" \
+    | grep -q '"cached":true'
+curl -sf "$base/metrics" > "$dir/metrics.txt"
+grep -q '^mcservd_cache_hits_total 1$' "$dir/metrics.txt"
+grep -q '^mcservd_jobs_completed_total 1$' "$dir/metrics.txt"
+grep -q '^mcpaging_requests_total' "$dir/metrics.txt"   # telemetry snapshot
+sweep='{"trace":{"workload":{"cores":2,"length":2000,"pages":32,"kind":"zipf","seed":5}},"ks":[8,16],"taus":[0,4],"strategies":["S(LRU)","S(FIFO)"]}'
+test "$(curl -sf -X POST -H 'Content-Type: application/json' -d "$sweep" "$base/v1/sweep" | wc -l)" -eq 8
+kill -TERM "$servd_pid"
+wait "$servd_pid"   # graceful drain must exit 0
+servd_pid=""
 
 echo "smoke: all tools OK"
