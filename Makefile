@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench bench-baseline benchstat soak experiments cover cover-gate smoke serve clean
+.PHONY: all build test vet fmt lint bench bench-baseline benchstat soak experiments cover cover-gate smoke serve clean
 
 # Benchmarks the comparison targets track: the simulator serve paths and
 # the batch harness, plus the root throughput benches.
@@ -11,7 +11,7 @@ BENCH_PATTERN ?= BenchmarkSim|BenchmarkSweepGrid
 BENCH_PKGS ?= . ./internal/sim/ ./internal/sweep/
 BENCH_COUNT ?= 5
 
-all: build test vet
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,12 @@ vet:
 fmt:
 	gofmt -l .
 	@test -z "$$(gofmt -l .)" || (echo "gofmt needed" && exit 1)
+
+# The repo's own analyzer suite (docs/lint.md) plus the stock checks.
+lint:
+	$(GO) run ./cmd/mcvet ./...
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || (gofmt -l . && echo "gofmt needed" && exit 1)
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem .

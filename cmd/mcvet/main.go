@@ -1,0 +1,59 @@
+// mcvet runs the mcpaging lint suite (internal/analysis) over the
+// packages matched by its arguments:
+//
+//	go run ./cmd/mcvet ./...
+//
+// It prints one line per finding and exits non-zero if any survive the
+// //mcvet:ignore directives. See docs/lint.md for the analyzer
+// catalogue, the annotation conventions and how to add an analyzer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mcpaging/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mcvet [-list] <packages>\n\nAnalyzers (see docs/lint.md):\n")
+		for _, a := range analysis.DefaultSuite() {
+			scope := "all packages"
+			if a.Critical {
+				scope = "determinism-critical packages"
+			}
+			fmt.Fprintf(os.Stderr, "  %-11s %s (%s)\n", a.Name, a.Doc, scope)
+		}
+	}
+	flag.Parse()
+	suite := analysis.DefaultSuite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcvet:", err)
+		os.Exit(2)
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunSuite(suite, pkg) {
+			fmt.Println(d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "mcvet: %d finding(s)\n", bad)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,269 @@
+// Package analysis is mcvet's lint framework: a small, stdlib-only
+// reimplementation of the golang.org/x/tools/go/analysis vocabulary
+// (Analyzer, Pass, Diagnostic) plus the mcpaging-specific analyzers
+// that mechanically enforce the repo's determinism and hot-path
+// invariants. See docs/lint.md for the analyzer catalogue and the
+// annotation conventions.
+//
+// The framework exists because the repo is stdlib-only by charter: the
+// x/tools module is not a dependency, so packages are loaded with
+// `go list -export -json` and type-checked through the standard
+// go/importer export-data path instead of go/packages.
+//
+// Two comment directives drive the suite:
+//
+//	//mcvet:ignore <analyzer> <reason>
+//
+// on (or immediately above) a flagged line suppresses that analyzer's
+// diagnostics for the line. The reason is mandatory: a bare ignore is
+// itself reported.
+//
+//	//mcpaging:hotpath
+//
+// in a function's doc comment opts the function into the hotalloc
+// allocation checks.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mcvet:ignore directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Critical restricts the analyzer to determinism-critical packages
+	// (see IsCritical). Non-critical analyzers run on every package.
+	Critical bool
+	// Run inspects the package behind pass and reports findings via
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path. Fixture packages under
+	// testdata keep their fixture path here, so analyzers must not
+	// assume module-rooted paths.
+	PkgPath string
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, located in file coordinates.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// criticalPrefixes are the determinism-critical import paths: packages
+// whose output feeds golden files, content-addressed cache keys, or
+// paper-claim tables, and must therefore be bit-for-bit reproducible.
+// Matching is by path prefix, so subpackages inherit criticality.
+var criticalPrefixes = []string{
+	"mcpaging/internal/cache",
+	"mcpaging/internal/core",
+	"mcpaging/internal/sim",
+	"mcpaging/internal/sweep",
+	"mcpaging/internal/telemetry",
+	"mcpaging/internal/strategyspec",
+	"mcpaging/internal/offline",
+	"mcpaging/internal/server",
+	"mcpaging/internal/workload",
+}
+
+// IsCritical reports whether pkgPath is determinism-critical, i.e.
+// whether Critical analyzers apply to it.
+func IsCritical(pkgPath string) bool {
+	for _, p := range criticalPrefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzer runs one analyzer over a loaded package and returns its
+// diagnostics with //mcvet:ignore suppressions already applied. It does
+// not apply Critical scoping — that is the suite driver's job — so
+// fixture tests can exercise critical analyzers on arbitrary packages.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		PkgPath:   pkg.PkgPath,
+	}
+	a.Run(pass)
+	return filterIgnored(pass.diags, ignoreIndexFor(pkg))
+}
+
+// RunSuite runs every applicable analyzer of the suite over the package
+// (Critical analyzers only on critical packages), plus the directive
+// hygiene check, and returns the surviving diagnostics sorted by
+// position.
+func RunSuite(suite []*Analyzer, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	idx := ignoreIndexFor(pkg)
+	for _, a := range suite {
+		if a.Critical && !IsCritical(pkg.PkgPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			PkgPath:   pkg.PkgPath,
+		}
+		a.Run(pass)
+		out = append(out, filterIgnored(pass.diags, idx)...)
+	}
+	out = append(out, checkDirectives(suite, pkg)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// DefaultSuite returns the standard mcvet analyzer suite.
+func DefaultSuite() []*Analyzer {
+	return []*Analyzer{
+		Detmap(),
+		Wallclock(DefaultWallclockAllow()),
+		Globalrand(),
+		Hotalloc(),
+		Obsguard(),
+	}
+}
+
+// ignoreDirective is one parsed //mcvet:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+}
+
+const ignorePrefix = "//mcvet:ignore"
+
+// ignoreIndexFor collects the package's ignore directives, keyed by
+// file name and the line they suppress. A directive suppresses its own
+// line and the line below, so both trailing and standalone-line
+// placements work.
+func ignoreIndexFor(pkg *Package) map[string][]ignoreDirective {
+	idx := make(map[string][]ignoreDirective)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				d := ignoreDirective{analyzer: name, reason: strings.TrimSpace(reason), pos: pos}
+				idx[key(pos.Filename, pos.Line)] = append(idx[key(pos.Filename, pos.Line)], d)
+				idx[key(pos.Filename, pos.Line+1)] = append(idx[key(pos.Filename, pos.Line+1)], d)
+			}
+		}
+	}
+	return idx
+}
+
+func key(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
+
+// filterIgnored drops diagnostics whose line carries (or follows) a
+// matching //mcvet:ignore directive with a non-empty reason.
+func filterIgnored(diags []Diagnostic, idx map[string][]ignoreDirective) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if suppressed(d, idx) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func suppressed(d Diagnostic, idx map[string][]ignoreDirective) bool {
+	for _, dir := range idx[key(d.Pos.Filename, d.Pos.Line)] {
+		if dir.analyzer == d.Analyzer && dir.reason != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDirectives enforces directive hygiene: every //mcvet:ignore must
+// name a known analyzer and carry a reason.
+func checkDirectives(suite []*Analyzer, pkg *Package) []Diagnostic {
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case name == "":
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "mcvet",
+						Message: "mcvet:ignore directive names no analyzer"})
+				case !known[name]:
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "mcvet",
+						Message: fmt.Sprintf("mcvet:ignore directive names unknown analyzer %q", name)})
+				case strings.TrimSpace(reason) == "":
+					out = append(out, Diagnostic{Pos: pos, Analyzer: "mcvet",
+						Message: fmt.Sprintf("mcvet:ignore %s directive is missing a reason", name)})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+// Package analysistest runs mcvet analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` expectations — a
+// stdlib-only reimplementation of the x/tools analysistest contract.
+//
+// A fixture is one directory under testdata/src/<name> holding a small
+// Go package. Lines expected to be flagged carry a trailing comment of
+// the form
+//
+//	// want `regexp`
+//
+// (one or more quoted or backquoted patterns). Run fails the test if
+// any diagnostic has no matching expectation on its line, or any
+// expectation goes unmatched — so a fixture fails when the analyzer is
+// broken in either direction.
+package analysistest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mcpaging/internal/analysis"
+)
+
+// wantPrefix introduces an expectation comment.
+const wantPrefix = "// want "
+
+// patternRe matches one quoted ("...") or backquoted (`...`) pattern.
+var patternRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one parsed want pattern, bound to a file and line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> (relative to the calling test's
+// package directory), applies the analyzer through the same
+// RunAnalyzer path mcvet uses — //mcvet:ignore suppression included —
+// and matches the diagnostics against the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	pkg := Load(t, fixture)
+	Check(t, analysis.RunAnalyzer(a, pkg), pkg)
+}
+
+// Load parses and type-checks one fixture package.
+func Load(t *testing.T, fixture string) *analysis.Package {
+	t.Helper()
+	pkg, err := analysis.LoadDir(".", fixture, filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	return pkg
+}
+
+// Check fails t unless diags and the fixture's want comments match one
+// to one per line.
+func Check(t *testing.T, diags []analysis.Diagnostic, pkg *analysis.Package) {
+	t.Helper()
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !matchWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %s", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// collectWants parses every want comment of the fixture.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, wantPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := patternRe.FindAllString(text, -1)
+				if len(pats) == 0 {
+					t.Fatalf("%s:%d: want comment with no quoted pattern: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, raw := range pats {
+					pat, err := strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: unquoting want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: compiling want pattern %s: %v", pos.Filename, pos.Line, raw, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// matchWant consumes the first unmatched expectation on the
+// diagnostic's line whose pattern matches its message.
+func matchWant(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

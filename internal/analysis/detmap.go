@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Detmap returns the detmap analyzer: it flags `range` over a map in
+// determinism-critical packages. Map iteration order is randomized by
+// the runtime, so any output, table, hash input or event stream built
+// by such a loop varies run to run — exactly what the repo's golden
+// files, content-addressed cache keys and timestamp-free manifests
+// forbid.
+//
+// Two shapes are accepted without a directive:
+//
+//   - `for range m` with no iteration variables (order unobservable);
+//   - a pure key/value-collection loop whose body is a single append
+//     assignment, optionally wrapped in one guarding if — the
+//     collect-then-sort idiom, where determinism is restored by a
+//     subsequent sort (or an order-independent reduction) over the
+//     collected slice.
+//
+// Anything else needs //mcvet:ignore detmap <reason>.
+func Detmap() *Analyzer {
+	a := &Analyzer{
+		Name:     "detmap",
+		Doc:      "flags nondeterministic map iteration in determinism-critical packages",
+		Critical: true,
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if rs.Key == nil && rs.Value == nil {
+					return true // iteration count only; order unobservable
+				}
+				if isCollectLoop(rs.Body) {
+					return true // collect-then-sort idiom
+				}
+				pass.Reportf(rs.For,
+					"range over map %s has nondeterministic iteration order; collect and sort the keys, or annotate //mcvet:ignore detmap <reason>",
+					exprString(rs.X))
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isCollectLoop reports whether the loop body is a single
+// `s = append(s, ...)` assignment, optionally wrapped in one guarding
+// if without an else: the first half of the collect-then-sort idiom,
+// whose result *set* is independent of iteration order.
+func isCollectLoop(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) != 1 {
+		return false
+	}
+	stmt := body.List[0]
+	if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Else == nil {
+		if len(ifs.Body.List) != 1 {
+			return false
+		}
+		stmt = ifs.Body.List[0]
+	}
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "append"
+}

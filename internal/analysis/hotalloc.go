@@ -1,0 +1,306 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc returns the hotalloc analyzer: inside functions annotated
+// //mcpaging:hotpath it flags constructs that heap-allocate on the
+// steady-state path — the dense-ID serve loop, the array-backed policy
+// methods and the telemetry event path are contractually
+// allocation-free after warm-up, and this analyzer keeps them that
+// way without rerunning the allocation benchmarks on every review.
+//
+// Flagged inside an annotated function:
+//
+//   - &T{...} composite literals (escape to the heap);
+//   - slice and map composite literals;
+//   - func literals that capture enclosing locals (closure allocation);
+//   - conversions of non-pointer-shaped values to interface types
+//     (runtime convT* allocation), including implicit conversions at
+//     call arguments and assignments;
+//   - make(map[...]...) without a size hint, and any make or new;
+//   - append and string<->[]byte conversions inside a loop.
+//
+// Cold paths are exempt: anything inside a `return ..., err` whose
+// function returns an error (abort paths), and arguments to panic.
+// Deliberate slow paths carry //mcvet:ignore hotalloc <reason>.
+func Hotalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc:  "flags heap allocations inside //mcpaging:hotpath functions",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !hasHotpathDirective(fd) {
+					continue
+				}
+				checkHotFunc(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	returnsError := funcReturnsError(fd)
+	reported := make(map[ast.Node]bool)
+
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if coldPath(info, stack, returnsError) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					reported[lit] = true
+					pass.Reportf(n.Pos(), "&%s escapes to the heap in a hotpath function", litTypeString(info, lit))
+				}
+			}
+		case *ast.CompositeLit:
+			if reported[n] {
+				return true
+			}
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "slice literal allocates in a hotpath function")
+				case *types.Map:
+					pass.Reportf(n.Pos(), "map literal allocates in a hotpath function")
+				}
+			}
+		case *ast.FuncLit:
+			if name, ok := capturesLocal(info, fd, n); ok {
+				pass.Reportf(n.Pos(), "func literal captures %s and allocates a closure in a hotpath function", name)
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, n, stack)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				checkIfaceAssign(pass, n.Lhs[i], n.Rhs[i])
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall handles the call-shaped checks: builtins, explicit
+// conversions and implicit interface conversions at arguments.
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node) {
+	info := pass.TypesInfo
+	inLoop := loopDepth(stack) > 0
+	switch {
+	case isBuiltin(info, call, "make"):
+		tv, ok := info.Types[call]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap && len(call.Args) == 1 {
+			pass.Reportf(call.Pos(), "make(map) without a size hint in a hotpath function; preallocate the expected capacity")
+		} else if inLoop {
+			pass.Reportf(call.Pos(), "make inside the hot loop allocates every iteration; hoist and reuse")
+		}
+	case isBuiltin(info, call, "append"):
+		if inLoop {
+			pass.Reportf(call.Pos(), "append inside the hot loop may grow its backing array; preallocate capacity outside the loop")
+		}
+	case isBuiltin(info, call, "new"):
+		pass.Reportf(call.Pos(), "new allocates in a hotpath function")
+	case isBuiltin(info, call, "panic"):
+		// The panic call itself is the cold path; its argument may box.
+		return
+	case isConversion(info, call):
+		if len(call.Args) != 1 {
+			return
+		}
+		dst := info.Types[call.Fun].Type
+		src := info.Types[call.Args[0]].Type
+		if isInterface(dst) {
+			checkIfaceConv(pass, call.Args[0], dst)
+		} else if inLoop && stringBytesConv(dst, src) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion inside the hot loop copies; hoist or use a reused buffer")
+		}
+	default:
+		sig := calleeSignature(info, call)
+		if sig == nil {
+			return
+		}
+		np := sig.Params().Len()
+		for i, arg := range call.Args {
+			var pt types.Type
+			switch {
+			case i < np-1 || (!sig.Variadic() && i < np):
+				pt = sig.Params().At(i).Type()
+			case sig.Variadic() && call.Ellipsis == token.NoPos:
+				pt = sig.Params().At(np - 1).Type().(*types.Slice).Elem()
+			default:
+				continue
+			}
+			if isInterface(pt) {
+				checkIfaceConv(pass, arg, pt)
+			}
+		}
+	}
+}
+
+// checkIfaceAssign flags `lhs = rhs` when it boxes a concrete value
+// into an interface.
+func checkIfaceAssign(pass *Pass, lhs, rhs ast.Expr) {
+	info := pass.TypesInfo
+	if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+		return
+	}
+	lt, ok := info.Types[lhs]
+	if !ok || !isInterface(lt.Type) {
+		return
+	}
+	checkIfaceConv(pass, rhs, lt.Type)
+}
+
+// checkIfaceConv flags boxing expr into the interface type dst unless
+// the value is pointer-shaped, constant, nil or already an interface.
+func checkIfaceConv(pass *Pass, expr ast.Expr, dst types.Type) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[ast.Unparen(expr)]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.Value != nil || tv.IsNil() {
+		return // constants and nil don't box at run time
+	}
+	if isInterface(tv.Type) || pointerShaped(tv.Type) {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"%s value boxed into %s allocates in a hotpath function",
+		tv.Type.String(), dst.String())
+}
+
+// coldPath reports whether the node behind stack sits on an abort
+// path: inside a `return ..., err` of an error-returning function, or
+// in a panic argument. Allocation there happens at most once per run.
+func coldPath(info *types.Info, stack []ast.Node, returnsError bool) bool {
+	for _, n := range stack {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if !returnsError || len(n.Results) == 0 {
+				continue
+			}
+			last := n.Results[len(n.Results)-1]
+			if id, ok := ast.Unparen(last).(*ast.Ident); ok && id.Name == "nil" {
+				continue
+			}
+			return true
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "panic") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// loopDepth counts enclosing for/range statements on the stack.
+func loopDepth(stack []ast.Node) int {
+	d := 0
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			d++
+		}
+	}
+	return d
+}
+
+// capturesLocal returns the name of a variable the func literal
+// captures from the enclosing function, if any.
+func capturesLocal(info *types.Info, outer *ast.FuncDecl, lit *ast.FuncLit) (string, bool) {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		// Captured: declared inside the outer function but outside the
+		// literal itself (receiver and parameters included).
+		if obj.Pos() >= outer.Pos() && obj.Pos() < outer.End() &&
+			(obj.Pos() < lit.Pos() || obj.Pos() >= lit.End()) {
+			found = obj.Name()
+			return false
+		}
+		return true
+	})
+	return found, found != ""
+}
+
+// funcReturnsError reports whether fd's last result is of type error.
+func funcReturnsError(fd *ast.FuncDecl) bool {
+	rt := fd.Type.Results
+	if rt == nil || len(rt.List) == 0 {
+		return false
+	}
+	last := rt.List[len(rt.List)-1].Type
+	id, ok := last.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// isConversion reports whether call is a type conversion T(x).
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// calleeSignature returns the signature of an ordinary call, or nil
+// for builtins and conversions.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// stringBytesConv reports a conversion between string and []byte.
+func stringBytesConv(dst, src types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Byte
+	}
+	return (isStr(dst) && isBytes(src)) || (isBytes(dst) && isStr(src))
+}
+
+// litTypeString renders a composite literal's type for diagnostics.
+func litTypeString(info *types.Info, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return exprString(lit.Type) + "{...}"
+	}
+	if tv, ok := info.Types[lit]; ok {
+		return tv.Type.String() + "{...}"
+	}
+	return "{...}"
+}

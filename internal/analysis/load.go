@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Load loads, parses and type-checks the non-test Go files of every
+// package matched by the go-list patterns, resolving imports through
+// the compiler's export data (`go list -export`). dir is the directory
+// the patterns are interpreted in (any directory inside the module).
+//
+// Test files are not loaded: mcvet guards the invariants of shipped
+// code, and the export-data path has no compiled form of test packages
+// to import.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	exports, targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := typeCheck(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -json -deps` and splits the result into
+// the export-data index (all packages) and the target packages (those
+// the patterns named directly).
+func goList(dir string, patterns []string) (map[string]string, []listPkg, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	exports := make(map[string]string)
+	var targets []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return exports, targets, nil
+}
+
+// exportImporter returns a types.Importer that reads compiler export
+// data from the files indexed by exports.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// typeCheck parses and type-checks one package's files.
+func typeCheck(fset *token.FileSet, imp types.Importer, pkgPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, g := range goFiles {
+		name := g
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(dir, g)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if firstErr != nil {
+		err = firstErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// exportCache memoizes go list -export lookups for LoadDir, which
+// fixture tests call once per analyzer case.
+var exportCache = struct {
+	sync.Mutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+// LoadDir parses and type-checks the .go files of a single directory
+// outside the module's package graph (an analysistest fixture), under
+// the given synthetic import path. Imports — standard library or
+// mcpaging packages — are resolved with export data listed from
+// moduleDir.
+func LoadDir(moduleDir, pkgPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %v", err)
+	}
+	var goFiles []string
+	for _, e := range ents {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			goFiles = append(goFiles, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	// Pre-scan imports so one go list call resolves them all.
+	fset := token.NewFileSet()
+	need := make(map[string]bool)
+	for _, g := range goFiles {
+		f, err := parser.ParseFile(fset, g, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		for _, im := range f.Imports {
+			p := im.Path.Value
+			need[p[1:len(p)-1]] = true
+		}
+	}
+	exports := make(map[string]string)
+	var missing []string
+	exportCache.Lock()
+	for p := range need {
+		if f, ok := exportCache.m[p]; ok {
+			exports[p] = f
+		} else {
+			missing = append(missing, p)
+		}
+	}
+	exportCache.Unlock()
+	if len(missing) > 0 {
+		more, _, err := goList(moduleDir, missing)
+		if err != nil {
+			return nil, err
+		}
+		exportCache.Lock()
+		for p, f := range more {
+			exportCache.m[p] = f
+			exports[p] = f
+		}
+		exportCache.Unlock()
+	}
+	fset = token.NewFileSet()
+	return typeCheck(fset, exportImporter(fset, exports), pkgPath, "", goFiles)
+}

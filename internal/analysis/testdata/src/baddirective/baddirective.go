@@ -1,0 +1,13 @@
+package baddirective
+
+// Fixture for directive hygiene: each of these malformed directives is
+// itself a finding.
+
+//mcvet:ignore
+func a() {}
+
+//mcvet:ignore nosuch because reasons
+func b() {}
+
+//mcvet:ignore detmap
+func c() {}

@@ -1,0 +1,68 @@
+package detmap
+
+import "sort"
+
+// flagged observes map iteration order directly.
+func flagged(m map[string]int) {
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		println(k)
+	}
+}
+
+// flaggedValues observes values in map order through a side effect.
+func flaggedValues(m map[string]int, sink func(int)) {
+	for _, v := range m { // want `range over map m has nondeterministic iteration order`
+		sink(v)
+	}
+}
+
+// countOnly ranges without iteration variables: order unobservable.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// collectSorted is the collect-then-sort idiom.
+func collectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectFiltered is the idiom with one guarding if.
+func collectFiltered(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ignored demonstrates the escape hatch for order-independent
+// reductions.
+func ignored(m map[string]int) int {
+	max := 0
+	//mcvet:ignore detmap max-reduction is order-independent
+	for _, v := range m {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// sliceRange is not a map range.
+func sliceRange(s []int) {
+	for i, v := range s {
+		println(i, v)
+	}
+}

@@ -1,0 +1,37 @@
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// flagged draws from the process-global source.
+func flagged() int {
+	return rand.Intn(10) // want `rand\.Intn draws from the process-global source`
+}
+
+// flaggedShuffle perturbs the global source.
+func flaggedShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `rand\.Shuffle draws from the process-global source`
+}
+
+// flaggedV2 shows the v2 package is covered too.
+func flaggedV2() int {
+	return randv2.IntN(10) // want `rand\.IntN draws from the process-global source`
+}
+
+// seeded threads an explicit seeded generator: the sanctioned pattern.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// zipf uses a constructor on an explicit source.
+func zipf(seed int64) *rand.Zipf {
+	return rand.NewZipf(rand.New(rand.NewSource(seed)), 1.1, 1, 100)
+}
+
+// ignored demonstrates the escape hatch.
+func ignored() int {
+	return rand.Intn(10) //mcvet:ignore globalrand fixture exercising the directive
+}

@@ -1,0 +1,109 @@
+package hotalloc
+
+import "fmt"
+
+type big struct{ a, b, c int64 }
+
+//mcpaging:hotpath
+func ptrLit() *big {
+	return &big{} // want `&big\{\.\.\.\} escapes to the heap`
+}
+
+//mcpaging:hotpath
+func sliceLit() []int {
+	s := []int{1, 2, 3} // want `slice literal allocates`
+	return s
+}
+
+//mcpaging:hotpath
+func mapNoHint() map[int]int {
+	return make(map[int]int) // want `make\(map\) without a size hint`
+}
+
+//mcpaging:hotpath
+func appendInLoop(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // want `append inside the hot loop`
+	}
+	return dst
+}
+
+//mcpaging:hotpath
+func makeInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		buf := make([]byte, 16) // want `make inside the hot loop`
+		total += len(buf)
+	}
+	return total
+}
+
+//mcpaging:hotpath
+func boxes(v int) {
+	var x interface{}
+	x = v // want `int value boxed into interface\{\} allocates`
+	_ = x
+}
+
+//mcpaging:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want `func literal captures n and allocates a closure`
+}
+
+//mcpaging:hotpath
+func stringConvInLoop(bs [][]byte, sink func(string)) {
+	for _, b := range bs {
+		sink(string(b)) // want `string/\[\]byte conversion inside the hot loop`
+	}
+}
+
+// Negative cases below: none of these may be flagged.
+
+//mcpaging:hotpath
+func preallocated(n int) map[int]int {
+	return make(map[int]int, n)
+}
+
+//mcpaging:hotpath
+func pointerShapedNoBox(p *big) {
+	var x interface{}
+	x = p
+	_ = x
+}
+
+//mcpaging:hotpath
+func constantNoBox() {
+	var x interface{}
+	x = 42
+	_ = x
+}
+
+//mcpaging:hotpath
+func coldErrorPath(p *big, v int64) (*big, error) {
+	if p == nil {
+		return &big{a: v}, fmt.Errorf("no big for %d", v)
+	}
+	return p, nil
+}
+
+//mcpaging:hotpath
+func panicPath(ok bool, v int64) {
+	if !ok {
+		panic(fmt.Sprintf("bad value %d", v))
+	}
+}
+
+//mcpaging:hotpath
+func ignoredSlowPath(m map[int]*big, k int) *big {
+	nd := m[k]
+	if nd == nil {
+		nd = &big{} //mcvet:ignore hotalloc overflow slow path, cold by construction
+		m[k] = nd
+	}
+	return nd
+}
+
+// unannotated functions may allocate freely.
+func unannotated() *big {
+	return &big{a: 1}
+}

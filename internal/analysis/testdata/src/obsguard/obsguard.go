@@ -1,0 +1,58 @@
+package obsguard
+
+// Event and Observer mirror the sim package's shapes: obsguard matches
+// any named func type called Observer.
+type Event struct{ T int64 }
+
+type Observer func(Event)
+
+func unguarded(obs Observer) {
+	obs(Event{}) // want `obs invoked without a dominating obs != nil guard`
+}
+
+func guarded(obs Observer) {
+	if obs != nil {
+		obs(Event{})
+	}
+}
+
+func guardedConjunct(obs Observer, fire bool) {
+	if fire && obs != nil {
+		obs(Event{T: 1})
+	}
+}
+
+func earlyReturn(obs Observer) {
+	if obs == nil {
+		return
+	}
+	obs(Event{})
+}
+
+func earlyContinue(obs Observer, n int) {
+	for i := 0; i < n; i++ {
+		if obs == nil {
+			continue
+		}
+		obs(Event{T: int64(i)})
+	}
+}
+
+func elseBranchNotGuarded(obs Observer) {
+	if obs != nil {
+		obs(Event{})
+	} else {
+		obs(Event{}) // want `obs invoked without a dominating obs != nil guard`
+	}
+}
+
+func ignored(list []Observer) {
+	for _, o := range list {
+		o(Event{}) //mcvet:ignore obsguard list is filtered to non-nil observers by the caller
+	}
+}
+
+// plainCall is an ordinary function call, not an Observer invocation.
+func plainCall(f func(Event)) {
+	f(Event{})
+}

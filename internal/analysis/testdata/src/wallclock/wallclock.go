@@ -1,0 +1,28 @@
+package wallclock
+
+import "time"
+
+// stamp samples the wall clock: results must be timestamp-free.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}
+
+// elapsed measures with the wall clock.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since reads the wall clock`
+}
+
+// timer constructs a wall-clock timer.
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want `time\.NewTimer reads the wall clock`
+}
+
+// durationsFine: duration arithmetic and constants never read the clock.
+func durationsFine(d time.Duration) time.Duration {
+	return 3*time.Second + d
+}
+
+// ignored demonstrates the escape hatch.
+func ignored() time.Time {
+	return time.Now() //mcvet:ignore wallclock operator-facing log timestamp, never reaches a result
+}

@@ -1,0 +1,18 @@
+package wallclockallow
+
+import "time"
+
+// Server mirrors the mcservd latency-metric shape: the test injects an
+// allowlist naming (*Server).handleJob, so only other wall-clock reads
+// are flagged.
+type Server struct {
+	started time.Time
+}
+
+func (s *Server) handleJob() {
+	s.started = time.Now() // allowlisted: request latency metric
+}
+
+func (s *Server) report() time.Duration {
+	return time.Since(s.started) // want `time\.Since reads the wall clock`
+}

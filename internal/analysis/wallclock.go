@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockBanned are the time-package functions that read the wall
+// clock or schedule against it. time.Duration arithmetic and constants
+// are fine — only sampling the clock breaks reproducibility.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// DefaultWallclockAllow is the standard wallclock allowlist: functions
+// that measure request latency for the mcservd /metrics endpoint.
+// Latency is operational telemetry about the service, not simulation
+// output — it never reaches a result, manifest or cache key.
+func DefaultWallclockAllow() map[string][]string {
+	return map[string][]string{
+		"internal/server": {"(*Server).handleJob", "(*Server).finishJob"},
+	}
+}
+
+// Wallclock returns the wallclock analyzer: it forbids reading the
+// wall clock in determinism-critical packages, so results, manifests
+// and exports stay timestamp-free and byte-reproducible. allow maps an
+// import-path suffix to function names (as rendered by
+// funcDisplayName) that may legitimately sample the clock, e.g. server
+// latency metrics.
+func Wallclock(allow map[string][]string) *Analyzer {
+	a := &Analyzer{
+		Name:     "wallclock",
+		Doc:      "forbids wall-clock reads in determinism-critical packages",
+		Critical: true,
+	}
+	allowed := func(pkgPath, fn string) bool {
+		for suffix, fns := range allow {
+			if pkgPath != suffix && !strings.HasSuffix(pkgPath, "/"+suffix) && !strings.HasSuffix(pkgPath, suffix) {
+				continue
+			}
+			for _, f := range fns {
+				if f == fn {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	a.Run = func(pass *Pass) {
+		check := func(fnName string, root ast.Node) {
+			ast.Inspect(root, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := pkgFunc(pass.TypesInfo, call, "time")
+				if !ok || !wallclockBanned[name] {
+					return true
+				}
+				if fnName != "" && allowed(pass.PkgPath, fnName) {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"time.%s reads the wall clock in a determinism-critical package; results and manifests must be timestamp-free (//mcvet:ignore wallclock <reason> to override)",
+					name)
+				return true
+			})
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if fd.Body != nil {
+						check(funcDisplayName(fd), fd.Body)
+					}
+					continue
+				}
+				// Package-level declarations (var initializers) have no
+				// enclosing function and cannot be allowlisted.
+				check("", decl)
+			}
+		}
+	}
+	return a
+}

@@ -1,0 +1,21 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/analysis"
+	"mcpaging/internal/analysis/analysistest"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, analysis.Wallclock(analysis.DefaultWallclockAllow()), "wallclock")
+}
+
+// TestWallclockAllowlist injects a fixture-specific allowlist, the same
+// mechanism that exempts mcservd's request-latency metrics.
+func TestWallclockAllowlist(t *testing.T) {
+	allow := map[string][]string{
+		"wallclockallow": {"(*Server).handleJob"},
+	}
+	analysistest.Run(t, analysis.Wallclock(allow), "wallclockallow")
+}

@@ -53,6 +53,7 @@ func (l *LFU) Touch(p core.PageID, _ Access) {
 func (l *LFU) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	best := core.NoPage
 	var bestE lfuEntry
+	//mcvet:ignore detmap min-reduction under the total order less() is order-independent
 	for p, e := range l.meta {
 		if evictable != nil && !evictable(p) {
 			continue

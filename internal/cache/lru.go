@@ -36,6 +36,8 @@ func newRecencyList() recencyList {
 }
 
 // node returns the in-list node for p, or nil if p is not in the list.
+//
+//mcpaging:hotpath
 func (r *recencyList) node(p core.PageID) *rnode {
 	if p >= 0 && int(p) < len(r.nodes) {
 		nd := &r.nodes[p]
@@ -48,6 +50,8 @@ func (r *recencyList) node(p core.PageID) *rnode {
 }
 
 // mustNode returns the node of a page known to be in the list.
+//
+//mcpaging:hotpath
 func (r *recencyList) mustNode(p core.PageID) *rnode {
 	if int(p) < len(r.nodes) {
 		return &r.nodes[p]
@@ -75,6 +79,7 @@ func (r *recencyList) grow(p core.PageID) {
 	r.nodes = nodes
 }
 
+//mcpaging:hotpath
 func (r *recencyList) insert(p core.PageID) {
 	var nd *rnode
 	if p >= 0 && p < denseListCap {
@@ -87,12 +92,12 @@ func (r *recencyList) insert(p core.PageID) {
 		}
 	} else {
 		if r.big == nil {
-			r.big = make(map[core.PageID]*rnode)
+			r.big = make(map[core.PageID]*rnode) //mcvet:ignore hotalloc sparse-ID overflow path, cold by construction
 		}
 		if r.big[p] != nil {
 			panic("cache: duplicate insert of page in replacement domain")
 		}
-		nd = &rnode{}
+		nd = &rnode{} //mcvet:ignore hotalloc sparse-ID overflow path, cold by construction
 		r.big[p] = nd
 	}
 	nd.prev, nd.next = r.tail, core.NoPage
@@ -105,6 +110,7 @@ func (r *recencyList) insert(p core.PageID) {
 	r.n++
 }
 
+//mcpaging:hotpath
 func (r *recencyList) moveToBack(p core.PageID) {
 	nd := r.node(p)
 	if nd == nil || r.tail == p {
@@ -123,6 +129,7 @@ func (r *recencyList) moveToBack(p core.PageID) {
 	r.tail = p
 }
 
+//mcpaging:hotpath
 func (r *recencyList) remove(p core.PageID) bool {
 	nd := r.node(p)
 	if nd == nil {
@@ -133,6 +140,8 @@ func (r *recencyList) remove(p core.PageID) bool {
 }
 
 // unlink detaches an in-list node and marks it absent.
+//
+//mcpaging:hotpath
 func (r *recencyList) unlink(p core.PageID, nd *rnode) {
 	if nd.prev != core.NoPage {
 		r.mustNode(nd.prev).next = nd.next
@@ -186,6 +195,8 @@ func (r *recencyList) reset() {
 
 // evictFront removes and returns the first evictable page scanning from
 // the front of the list.
+//
+//mcpaging:hotpath
 func (r *recencyList) evictFront(evictable func(core.PageID) bool) (core.PageID, bool) {
 	for p := r.head; p != core.NoPage; {
 		nd := r.mustNode(p)
@@ -200,6 +211,8 @@ func (r *recencyList) evictFront(evictable func(core.PageID) bool) (core.PageID,
 
 // evictBack removes and returns the first evictable page scanning from
 // the back of the list.
+//
+//mcpaging:hotpath
 func (r *recencyList) evictBack(evictable func(core.PageID) bool) (core.PageID, bool) {
 	for p := r.tail; p != core.NoPage; {
 		nd := r.mustNode(p)

@@ -55,13 +55,9 @@ func (m *RMark) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	pick := func() (core.PageID, bool) {
 		var cands []core.PageID
 		for p := range m.pages {
-			if m.marked[p] {
-				continue
+			if !m.marked[p] && (evictable == nil || evictable(p)) {
+				cands = append(cands, p)
 			}
-			if evictable != nil && !evictable(p) {
-				continue
-			}
-			cands = append(cands, p)
 		}
 		if len(cands) == 0 {
 			return core.NoPage, false
@@ -77,6 +73,7 @@ func (m *RMark) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	// All unmarked pages are pinned, or all pages are marked: open a new
 	// phase only if some evictable page exists at all.
 	any := false
+	//mcvet:ignore detmap existence scan with early break is order-independent
 	for p := range m.pages {
 		if evictable == nil || evictable(p) {
 			any = true
@@ -86,9 +83,7 @@ func (m *RMark) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 	if !any {
 		return core.NoPage, false
 	}
-	for p := range m.marked {
-		delete(m.marked, p)
-	}
+	clear(m.marked)
 	if v, ok := pick(); ok {
 		delete(m.pages, v)
 		delete(m.marked, v)

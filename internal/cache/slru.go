@@ -171,6 +171,7 @@ func (l *LRU2) Evict(evictable func(core.PageID) bool) (core.PageID, bool) {
 		}
 		return ap < bp
 	}
+	//mcvet:ignore detmap min-reduction under the total order better() is order-independent
 	for p, e := range l.meta {
 		if evictable != nil && !evictable(p) {
 			continue

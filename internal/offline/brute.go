@@ -1,6 +1,7 @@
 package offline
 
 import (
+	"maps"
 	"math"
 
 	"mcpaging/internal/core"
@@ -42,9 +43,7 @@ func (s *bstate) clone() *bstate {
 		ready:  make(map[core.PageID]int64, len(s.ready)),
 		faults: append([]int64(nil), s.faults...),
 	}
-	for k, v := range s.ready {
-		c.ready[k] = v
-	}
+	maps.Copy(c.ready, s.ready)
 	return c
 }
 

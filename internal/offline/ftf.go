@@ -59,7 +59,8 @@ func SolveFTF(inst core.Instance, opts Options) (FTFSolution, error) {
 	limit := opts.maxStates()
 
 	for sum := 0; sum <= maxSum; sum++ {
-		for _, st := range buckets[sum] {
+		for _, skey := range sortedStateKeys(buckets[sum]) {
+			st := buckets[sum][skey]
 			states++
 			if states > limit {
 				return FTFSolution{}, fmt.Errorf("solve FTF: %w (limit %d)", ErrStateLimit, limit)

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"fmt"
+	"maps"
 	"math"
 
 	"mcpaging/internal/core"
@@ -70,7 +71,8 @@ func SolveFTFSeq(inst core.Instance, opts Options) (FTFSolution, error) {
 	limit := opts.maxStates()
 
 	for sum := 0; sum <= maxSum; sum++ {
-		for _, st := range buckets[sum] {
+		for _, skey := range sortedStateKeys(buckets[sum]) {
+			st := buckets[sum][skey]
 			states++
 			if states > limit {
 				return FTFSolution{}, fmt.Errorf("solve FTF seq: %w (limit %d)", ErrStateLimit, limit)
@@ -182,9 +184,7 @@ func (pr *prep) seqTransition(st *ftfSeqState, k int, forcing bool, emit func([]
 		ninf := f.inflight
 		addInflight := func() map[core.PageID]bool {
 			m := make(map[core.PageID]bool, len(ninf)+1)
-			for q := range ninf {
-				m[q] = true
-			}
+			maps.Copy(m, ninf)
 			m[pg] = true
 			return m
 		}

@@ -35,6 +35,7 @@ package offline
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"mcpaging/internal/core"
 	"mcpaging/internal/sim"
@@ -316,3 +317,19 @@ var errNoSchedule = fmt.Errorf("offline: no feasible schedule")
 // errNotDisjointSentinel mirrors sim.ErrNotDisjoint for the brute
 // searchers (newPrep returns the sim sentinel itself).
 var errNotDisjointSentinel = fmt.Errorf("offline: request set is not disjoint")
+
+// sortedStateKeys returns a DP bucket's keys in sorted order. The
+// solvers iterate buckets through this helper so that exploration
+// order — and with it branch pruning, state-limit accounting and
+// tie-breaking among equally good states — is deterministic instead of
+// at the mercy of map iteration order. Two runs of a solver on the
+// same instance therefore visit identical state sequences and return
+// identical schedules.
+func sortedStateKeys[T any](bucket map[string]T) []string {
+	keys := make([]string, 0, len(bucket))
+	for k := range bucket {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"fmt"
+	"maps"
 	"math"
 
 	"mcpaging/internal/cache"
@@ -62,7 +63,8 @@ func SolveFTFSeqSchedule(inst core.Instance, opts Options) (FTFSolution, []Decis
 	limit := opts.maxStates()
 
 	for sum := 0; sum <= maxSum; sum++ {
-		for key, st := range buckets[sum] {
+		for _, key := range sortedStateKeys(buckets[sum]) {
+			st := buckets[sum][key]
 			states++
 			if states > limit {
 				return FTFSolution{}, nil, fmt.Errorf("solve FTF seq schedule: %w (limit %d)", ErrStateLimit, limit)
@@ -156,9 +158,7 @@ func (pr *prep) seqTransitionTrace(st *ftfSeqState, k int, emit func([]core.Page
 		nf := f.faults + 1
 		mkInflight := func() map[core.PageID]bool {
 			m := make(map[core.PageID]bool, len(f.inflight)+1)
-			for q := range f.inflight {
-				m[q] = true
-			}
+			maps.Copy(m, f.inflight)
 			m[pg] = true
 			return m
 		}
@@ -247,6 +247,7 @@ func (r *Replayer) OnFault(p core.PageID, at cache.Access, v sim.View) core.Page
 	default:
 		// Tail: evict the least recently used resident page.
 		var best int64 = 1<<63 - 1
+		//mcvet:ignore detmap min-reduction with explicit smallest-ID tie-break is order-independent
 		for q, lastUse := range r.last {
 			if q == p || !v.Resident(q) {
 				continue

@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// A warmed Runner's serve loop is annotated //mcpaging:hotpath and must
+// not allocate per request: the only allocations a whole Run may make
+// are the per-run constants — the three Result slices plus the shared
+// policy's Init. The bound is independent of the request count, which is
+// what makes sweeps O(1) in garbage per run.
+func TestRunnerRunAllocBound(t *testing.T) {
+	rs := make(core.RequestSet, 2)
+	for c := range rs {
+		seq := make(core.Sequence, 4096)
+		for i := range seq {
+			seq[i] = core.PageID(c*16 + i%16)
+		}
+		rs[c] = seq
+	}
+	rn, err := sim.NewRunner(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{K: 64, Tau: 4}
+	s := policy.NewShared(lru())
+	if _, err := rn.Run(params, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := rn.Run(params, s, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const bound = 4
+	if allocs > bound {
+		t.Fatalf("warmed Runner.Run: %v allocs/run, want at most %d (8192 requests served)", allocs, bound)
+	}
+}

@@ -155,7 +155,7 @@ func MultiObserver(obs ...Observer) Observer {
 	}
 	return func(e Event) {
 		for _, o := range live {
-			o(e)
+			o(e) //mcvet:ignore obsguard live is filtered to non-nil observers at construction
 		}
 	}
 }
@@ -255,6 +255,8 @@ var _ cache.Oracle = (*engine)(nil)
 
 // denseID maps an original page ID to the engine's dense ID space. ok is
 // false for pages outside the instance's universe.
+//
+//mcpaging:hotpath
 func (e *engine) denseID(p core.PageID) (core.PageID, bool) {
 	if e.fwd != nil {
 		dp, ok := e.fwd[p]
@@ -266,6 +268,7 @@ func (e *engine) denseID(p core.PageID) (core.PageID, bool) {
 	return p, true
 }
 
+//mcpaging:hotpath
 func (e *engine) Resident(p core.PageID) bool {
 	dp, ok := e.denseID(p)
 	if !ok {
@@ -275,6 +278,7 @@ func (e *engine) Resident(p core.PageID) bool {
 	return r != notCached && r <= e.now
 }
 
+//mcpaging:hotpath
 func (e *engine) InFlight(p core.PageID) bool {
 	dp, ok := e.denseID(p)
 	if !ok {
@@ -284,6 +288,7 @@ func (e *engine) InFlight(p core.PageID) bool {
 	return e.readyAt[dp] > e.now
 }
 
+//mcpaging:hotpath
 func (e *engine) Cached(p core.PageID) bool {
 	dp, ok := e.denseID(p)
 	return ok && e.readyAt[dp] != notCached
@@ -299,6 +304,8 @@ func (e *engine) Now() int64 { return e.now }
 // idx[c], the occurrence of p at index i ≥ idx[c] can be served no
 // earlier than next[c] + (i - idx[c]), since each intervening request
 // takes at least one step.
+//
+//mcpaging:hotpath
 func (e *engine) NextUse(p core.PageID) int64 {
 	dp, ok := e.denseID(p)
 	if !ok {
@@ -331,6 +338,8 @@ func (e *engine) NextUse(p core.PageID) int64 {
 
 // evictOriginal removes a resident page (named by its original ID) from
 // ground truth, validating the paper's eviction rules.
+//
+//mcpaging:hotpath
 func (e *engine) evictOriginal(v core.PageID, t int64) error {
 	dv, ok := e.denseID(v)
 	if ok && e.readyAt[dv] == notCached {
@@ -558,6 +567,8 @@ func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, erro
 // wrapping ctx.Err() when the context is cancelled or its deadline
 // passes. The partial Result accumulated so far is returned alongside
 // the error. A nil ctx behaves like context.Background().
+//
+//mcpaging:hotpath
 func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy, obs Observer) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()

@@ -1,0 +1,32 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/telemetry"
+)
+
+// Collector.Observe runs once per served request and is annotated
+// //mcpaging:hotpath; the hit path must stay allocation-free so that
+// attaching telemetry does not perturb the engine it measures.
+func TestObserveHitPathZeroAllocs(t *testing.T) {
+	c := telemetry.New(telemetry.Config{
+		Cores:  2,
+		Params: core.Params{K: 8, Tau: 4},
+		// One huge window: the test exercises the per-event path, not
+		// window rotation (which legitimately allocates per window).
+		Window: 1 << 40,
+	})
+	ev := sim.Event{Time: 0, Core: 1, Index: 0, Page: 3, Victim: core.NoPage}
+	c.Observe(ev)
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev.Time++
+		ev.Index++
+		c.Observe(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe hit path: %v allocs/op, want 0", allocs)
+	}
+}

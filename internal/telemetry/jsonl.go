@@ -13,6 +13,8 @@ import (
 // as a single JSON line. The encoding is hand-rolled into a reused
 // buffer: the event path runs once per served request, and a fixed field
 // order keeps the stream byte-reproducible.
+//
+//mcpaging:hotpath
 func (c *Collector) writeEventJSONL(e sim.Event) {
 	b := c.evBuf[:0]
 	b = append(b, `{"t":`...)

@@ -222,6 +222,8 @@ func (c *Collector) advanceTo(t int64) {
 
 // Observe ingests one simulation event. Events must arrive in the
 // simulator's delivery order (non-decreasing time).
+//
+//mcpaging:hotpath
 func (c *Collector) Observe(e sim.Event) {
 	if c.events != nil {
 		c.writeEventJSONL(e)

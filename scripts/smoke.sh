@@ -13,6 +13,9 @@ cleanup() {
 trap cleanup EXIT
 cd "$(dirname "$0")/.."
 
+echo "== mcvet (analyzer self-check) =="
+go run ./cmd/mcvet ./...
+
 echo "== mcgen (text + binary) =="
 go run ./cmd/mcgen -kind phased -cores 4 -length 2000 -pages 32 -seed 7 -o "$dir/t.txt"
 go run ./cmd/mcgen -kind markov -cores 2 -length 1000 -pages 16 -seed 7 -binary -o "$dir/t.bin"
