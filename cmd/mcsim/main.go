@@ -7,16 +7,20 @@
 //	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'S(LRU)'
 //	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'sP[even](LRU)'
 //	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'sP[opt](LRU)'
-//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'dP(LRU)'
+//	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'dP[ucp](ARC)'
 //	mcsim -trace trace.txt -k 16 -tau 4 -all
 //	mcsim -trace trace.txt -k 16 -tau 4 -strategy 'S(LRU)' -telemetry -telemetry-dir out/
 //
-// Strategy syntax: S(<policy>) shared; sP[even](<policy>) evenly
-// partitioned; sP[opt](<policy>) offline-optimal static partition
-// (LRU or FITF curves); dP(LRU) the Lemma 3 dynamic partition;
-// dP[fair](LRU) the fairness-oriented FairShare partition.
-// Policies: LRU FIFO CLOCK LFU MRU MARK RMARK RAND FITF ARC SLRU LRU2
-// TINYLFU.
+// Strategy syntax: partition family × eviction policy. Families:
+// S(<policy>) shared; sP[even](<policy>) evenly partitioned;
+// sP[opt](<policy>) offline-optimal static partition (LRU or FITF
+// curves); dP[<controller>](<policy>) dynamic partition, where the
+// controller is the Lemma 3 global-LRU donor rule (dP or
+// dP[lru-global]), the fairness-oriented FairShare rule (dP[fair]), or
+// utility-based partitioning (dP[ucp]). Every dynamic controller
+// composes with every policy: LRU FIFO CLOCK LFU MRU MARK RMARK RAND
+// FITF ARC SLRU LRU2 TINYLFU (plus FWF in the shared family).
+// -list-strategies prints the full registry.
 package main
 
 import (

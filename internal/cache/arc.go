@@ -1,19 +1,8 @@
 package cache
 
 import (
-	"container/list"
-
 	"mcpaging/internal/core"
 )
-
-// CapacityAware is implemented by policies whose bookkeeping needs the
-// size of their replacement domain (ARC's ghost lists, SLRU's segment
-// split). Strategies call SetCapacity once, before the first insert:
-// the shared strategy passes K, partitioned strategies pass the part
-// size.
-type CapacityAware interface {
-	SetCapacity(c int)
-}
 
 // IncomingEvictor is implemented by policies whose victim choice depends
 // on the identity of the page about to be inserted (ARC consults its
@@ -22,36 +11,32 @@ type IncomingEvictor interface {
 	EvictFor(incoming core.PageID, evictable func(core.PageID) bool) (core.PageID, bool)
 }
 
-// arcList is a recency list with O(1) membership, front = LRU.
-type arcList struct {
-	ll  *list.List
-	pos map[core.PageID]*list.Element
-}
+// arcList is a recency list with O(1) membership, front = LRU. It is
+// backed by the same intrusive recencyList as the LRU-family policies,
+// so ARC's hit path (remove + pushMRU) is allocation-free after the
+// dense node arrays warm up.
+type arcList struct{ r recencyList }
 
-func newArcList() *arcList {
-	return &arcList{ll: list.New(), pos: make(map[core.PageID]*list.Element)}
-}
+func newArcList() *arcList { return &arcList{r: newRecencyList()} }
 
-func (a *arcList) len() int { return a.ll.Len() }
-func (a *arcList) has(p core.PageID) bool {
-	_, ok := a.pos[p]
-	return ok
-}
-func (a *arcList) pushMRU(p core.PageID) { a.pos[p] = a.ll.PushBack(p) }
-func (a *arcList) remove(p core.PageID) bool {
-	e, ok := a.pos[p]
-	if !ok {
-		return false
-	}
-	a.ll.Remove(e)
-	delete(a.pos, p)
-	return true
-}
+//mcpaging:hotpath
+func (a *arcList) len() int { return a.r.len() }
 
-// lru returns the least recent page passing the filter (nil = any).
+//mcpaging:hotpath
+func (a *arcList) has(p core.PageID) bool { return a.r.contains(p) }
+
+//mcpaging:hotpath
+func (a *arcList) pushMRU(p core.PageID) { a.r.insert(p) }
+
+//mcpaging:hotpath
+func (a *arcList) remove(p core.PageID) bool { return a.r.remove(p) }
+
+// lru returns the least recent page passing the filter (nil = any)
+// without removing it.
+//
+//mcpaging:hotpath
 func (a *arcList) lru(filter func(core.PageID) bool) (core.PageID, bool) {
-	for e := a.ll.Front(); e != nil; e = e.Next() {
-		p := e.Value.(core.PageID)
+	for p := a.r.front(); p != core.NoPage; p = a.r.nextOf(p) {
 		if filter == nil || filter(p) {
 			return p, true
 		}
@@ -59,10 +44,7 @@ func (a *arcList) lru(filter func(core.PageID) bool) (core.PageID, bool) {
 	return core.NoPage, false
 }
 
-func (a *arcList) reset() {
-	a.ll.Init()
-	a.pos = make(map[core.PageID]*list.Element)
-}
+func (a *arcList) reset() { a.r.reset() }
 
 // ARC implements the Adaptive Replacement Cache of Megiddo and Modha
 // (FAST'03) behind the Policy interface: resident lists T1 (recency) and
@@ -88,7 +70,7 @@ type ARC struct {
 	hasAdjusted    bool
 }
 
-// NewARC returns an empty ARC; SetCapacity must be called before use.
+// NewARC returns an empty ARC; Resize must be called before use.
 func NewARC() *ARC {
 	return &ARC{t1: newArcList(), t2: newArcList(), b1: newArcList(), b2: newArcList(),
 		adjustedFor: core.NoPage}
@@ -97,8 +79,21 @@ func NewARC() *ARC {
 // Name implements Policy.
 func (a *ARC) Name() string { return "ARC" }
 
-// SetCapacity implements CapacityAware.
-func (a *ARC) SetCapacity(c int) { a.c = c }
+// Resize implements Policy: the capacity bounds the ghost directory and
+// the adaptation target p̂, which is clamped into the new range when a
+// dynamic partition shrinks the part.
+func (a *ARC) Resize(c int) {
+	a.c = c
+	if a.target > c {
+		a.target = c
+	}
+}
+
+// Surrender implements Policy: a shrinking part gives up ARC's REPLACE
+// victim, exactly as Evict would choose without ghost-hit context.
+func (a *ARC) Surrender(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return a.Evict(evictable)
+}
 
 // adjust applies ARC's p̂ update for a miss on page x, once per miss.
 func (a *ARC) adjust(x core.PageID) {
@@ -131,7 +126,7 @@ func (a *ARC) adjust(x core.PageID) {
 // EvictFor implements IncomingEvictor: ARC's REPLACE step.
 func (a *ARC) EvictFor(x core.PageID, evictable func(core.PageID) bool) (core.PageID, bool) {
 	if a.c == 0 {
-		a.c = a.t1.len() + a.t2.len() // tolerate missing SetCapacity
+		a.c = a.t1.len() + a.t2.len() // tolerate missing Resize
 	}
 	a.adjust(x)
 	fromT1 := a.t1.len() >= 1 &&

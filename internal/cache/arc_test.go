@@ -8,7 +8,7 @@ import (
 
 func TestARCGhostPromotion(t *testing.T) {
 	a := NewARC()
-	a.SetCapacity(2)
+	a.Resize(2)
 	a.Insert(1, acc(0))
 	a.Insert(2, acc(1))
 	// Miss on 3: evict (T1 LRU = 1 goes to B1), insert 3.
@@ -37,7 +37,7 @@ func TestARCGhostPromotion(t *testing.T) {
 
 func TestARCLenBounded(t *testing.T) {
 	a := NewARC()
-	a.SetCapacity(4)
+	a.Resize(4)
 	for i := 0; i < 50; i++ {
 		p := core.PageID(i % 9)
 		if a.Contains(p) {
@@ -58,7 +58,7 @@ func TestARCLenBounded(t *testing.T) {
 
 func TestARCRespectsEvictable(t *testing.T) {
 	a := NewARC()
-	a.SetCapacity(2)
+	a.Resize(2)
 	a.Insert(1, acc(0))
 	a.Insert(2, acc(1))
 	v, ok := a.EvictFor(3, func(p core.PageID) bool { return p == 2 })
@@ -72,7 +72,7 @@ func TestARCRespectsEvictable(t *testing.T) {
 
 func TestARCReset(t *testing.T) {
 	a := NewARC()
-	a.SetCapacity(2)
+	a.Resize(2)
 	a.Insert(1, acc(0))
 	a.Reset()
 	if a.Len() != 0 || a.Contains(1) {
@@ -86,9 +86,7 @@ func TestARCReset(t *testing.T) {
 func TestARCScanResistance(t *testing.T) {
 	run := func(mk func() Policy) (hits int) {
 		p := mk()
-		if ca, ok := p.(CapacityAware); ok {
-			ca.SetCapacity(6)
-		}
+		p.Resize(6)
 		access := func(pg core.PageID, i int) {
 			if p.Contains(pg) {
 				p.Touch(pg, acc(int64(i)))
@@ -131,7 +129,7 @@ func TestARCScanResistance(t *testing.T) {
 
 func TestSLRUPromotion(t *testing.T) {
 	s := NewSLRU()
-	s.SetCapacity(4) // protected cap 2
+	s.Resize(4) // protected cap 2
 	s.Insert(1, acc(0))
 	s.Insert(2, acc(1))
 	s.Touch(1, acc(2)) // 1 → protected
@@ -147,7 +145,7 @@ func TestSLRUPromotion(t *testing.T) {
 
 func TestSLRUProtectedOverflowDemotes(t *testing.T) {
 	s := NewSLRU()
-	s.SetCapacity(4) // protected cap 2
+	s.Resize(4) // protected cap 2
 	for p := core.PageID(1); p <= 3; p++ {
 		s.Insert(p, acc(int64(p)))
 		s.Touch(p, acc(int64(p)+10)) // promote all three
@@ -165,7 +163,7 @@ func TestSLRUProtectedOverflowDemotes(t *testing.T) {
 
 func TestSLRUFallsBackToProtected(t *testing.T) {
 	s := NewSLRU()
-	s.SetCapacity(2)
+	s.Resize(2)
 	s.Insert(1, acc(0))
 	s.Touch(1, acc(1))
 	// Probationary empty: protected page must still be evictable.

@@ -26,9 +26,7 @@ func benchPolicy(b *testing.B, name string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p := mk()
-		if ca, ok := p.(CapacityAware); ok {
-			ca.SetCapacity(capacity)
-		}
+		p.Resize(capacity)
 		if ou, ok := p.(OracleUser); ok {
 			ou.SetOracle(mapOracle{})
 		}

@@ -132,3 +132,11 @@ func (c *Clock) Reset() {
 	c.pos = make(map[core.PageID]*list.Element)
 	c.ref = make(map[core.PageID]bool)
 }
+
+// Resize implements Policy: CLOCK's victim choice is capacity-independent.
+func (c *Clock) Resize(int) {}
+
+// Surrender implements Policy: same victim as Evict (the hand sweeps).
+func (c *Clock) Surrender(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return c.Evict(evictable)
+}

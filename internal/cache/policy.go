@@ -60,6 +60,26 @@ type Policy interface {
 	// Reset clears all metadata, returning the policy to its initial
 	// state.
 	Reset()
+	// Resize is the capacity half of the partition contract: it tells
+	// the policy the current size of its replacement domain. Strategies
+	// call it before the first insert (the shared strategy passes K,
+	// partitioned strategies the part size) and again whenever a dynamic
+	// partition controller regrants cells, so capacity-dependent
+	// bookkeeping (ARC's ghost lists and adaptation target, SLRU's
+	// segment split, TinyLFU's admission window) tracks the part it
+	// serves. Policies whose victim choice is capacity-independent
+	// (LRU, FIFO, ...) treat it as a no-op. Resize never evicts: when a
+	// part shrinks, the strategy drains the overage via Surrender.
+	Resize(n int)
+	// Surrender is the shrink half of the partition contract: it removes
+	// and returns the page the policy gives up when its domain loses a
+	// cell without a replacement being inserted (a dynamic partition
+	// moving a cell to another core). The victim must come from the
+	// domain and honour the evictable predicate exactly like Evict; for
+	// every policy in this package the surrendered page is the page
+	// Evict would have chosen, so shrinking a part by one cell evicts
+	// exactly the policy's victim. ok is false if nothing qualifies.
+	Surrender(evictable func(core.PageID) bool) (victim core.PageID, ok bool)
 }
 
 // Oracle provides future knowledge to offline policies such as FITF. The

@@ -19,15 +19,17 @@ type SLRU struct {
 	prob, prot   *arcList // front = LRU (reuses the ARC list helper)
 }
 
-// NewSLRU returns an empty SLRU; SetCapacity should be called before
-// use (otherwise the protected cap adapts to the observed domain size).
+// NewSLRU returns an empty SLRU; Resize should be called before use
+// (otherwise the protected cap adapts to the observed domain size).
 func NewSLRU() *SLRU { return &SLRU{prob: newArcList(), prot: newArcList()} }
 
 // Name implements Policy.
 func (s *SLRU) Name() string { return "SLRU" }
 
-// SetCapacity implements CapacityAware.
-func (s *SLRU) SetCapacity(c int) {
+// Resize implements Policy: the protected segment is re-capped at half
+// the new domain capacity. Overflowing protected pages demote lazily on
+// the next promotion rather than eagerly.
+func (s *SLRU) Resize(c int) {
 	s.c = c
 	s.protectedCap = c / 2
 	if s.protectedCap == 0 && c > 1 {
@@ -97,6 +99,12 @@ func (s *SLRU) peekVictim(evictable func(core.PageID) bool) (core.PageID, bool) 
 // evictExact removes a specific page chosen earlier via peekVictim.
 func (s *SLRU) evictExact(p core.PageID) bool {
 	return s.prob.remove(p) || s.prot.remove(p)
+}
+
+// Surrender implements Policy: same victim as Evict (probationary LRU
+// first, protected LRU as the fallback).
+func (s *SLRU) Surrender(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return s.Evict(evictable)
 }
 
 // Remove implements Policy.
@@ -209,4 +217,12 @@ func (l *LRU2) Len() int { return len(l.meta) }
 func (l *LRU2) Reset() {
 	l.meta = make(map[core.PageID]lru2Entry)
 	l.seq = 0
+}
+
+// Resize implements Policy: LRU-2's victim choice is capacity-independent.
+func (l *LRU2) Resize(int) {}
+
+// Surrender implements Policy: same victim as Evict.
+func (l *LRU2) Surrender(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return l.Evict(evictable)
 }

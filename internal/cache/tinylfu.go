@@ -28,8 +28,8 @@ type TinyLFU struct {
 	touches int64 // accesses since the last sketch reset
 }
 
-// NewTinyLFU returns an empty TinyLFU; SetCapacity should be called
-// before use.
+// NewTinyLFU returns an empty TinyLFU; Resize should be called before
+// use.
 func NewTinyLFU() *TinyLFU {
 	t := &TinyLFU{window: newArcList(), main: NewSLRU()}
 	t.sketch.init()
@@ -39,15 +39,22 @@ func NewTinyLFU() *TinyLFU {
 // Name implements Policy.
 func (t *TinyLFU) Name() string { return "TINYLFU" }
 
-// SetCapacity implements CapacityAware: ~1/8 of the domain is admission
-// window (at least 1 cell), the rest is the SLRU main region.
-func (t *TinyLFU) SetCapacity(c int) {
+// Resize implements Policy: ~1/8 of the domain is admission window (at
+// least 1 cell), the rest is the SLRU main region. Pages over the new
+// window cap migrate into the main region on the next insert.
+func (t *TinyLFU) Resize(c int) {
 	t.c = c
 	t.windowCap = c / 8
 	if t.windowCap < 1 {
 		t.windowCap = 1
 	}
-	t.main.SetCapacity(c - t.windowCap)
+	t.main.Resize(c - t.windowCap)
+}
+
+// Surrender implements Policy: same victim as Evict (the frequency duel
+// between the window's LRU page and the main region's victim).
+func (t *TinyLFU) Surrender(evictable func(core.PageID) bool) (core.PageID, bool) {
+	return t.Evict(evictable)
 }
 
 // record updates the frequency sketch and ages it.

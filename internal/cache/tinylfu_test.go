@@ -8,7 +8,7 @@ import (
 
 func TestTinyLFUBasics(t *testing.T) {
 	tl := NewTinyLFU()
-	tl.SetCapacity(8)
+	tl.Resize(8)
 	for p := core.PageID(0); p < 8; p++ {
 		tl.Insert(p, acc(int64(p)))
 	}
@@ -40,7 +40,7 @@ func TestTinyLFUBasics(t *testing.T) {
 
 func TestTinyLFUAdmissionProtectsHotPages(t *testing.T) {
 	tl := NewTinyLFU()
-	tl.SetCapacity(4)
+	tl.Resize(4)
 	// Build frequency for the hot pages.
 	for p := core.PageID(0); p < 3; p++ {
 		tl.Insert(p, acc(int64(p)))
@@ -70,9 +70,7 @@ func TestTinyLFUScanResistance(t *testing.T) {
 	const capacity = 6
 	run := func(mk func() Policy) (hits int) {
 		p := mk()
-		if ca, ok := p.(CapacityAware); ok {
-			ca.SetCapacity(capacity)
-		}
+		p.Resize(capacity)
 		access := func(pg core.PageID, i int) {
 			if p.Contains(pg) {
 				p.Touch(pg, acc(int64(i)))
@@ -108,7 +106,7 @@ func TestTinyLFUScanResistance(t *testing.T) {
 
 func TestTinyLFURespectsEvictable(t *testing.T) {
 	tl := NewTinyLFU()
-	tl.SetCapacity(3)
+	tl.Resize(3)
 	tl.Insert(1, acc(0))
 	tl.Insert(2, acc(1))
 	tl.Insert(3, acc(2))

@@ -3,12 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
-	"mcpaging/internal/mattson"
 	"mcpaging/internal/metrics"
-	"mcpaging/internal/policy"
 	"mcpaging/internal/sim"
+	"mcpaging/internal/strategyspec"
 	"mcpaging/internal/workload"
 )
 
@@ -39,56 +37,14 @@ func runE13(cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	type entry struct {
-		name string
-		mk   func(rs core.RequestSet) (sim.Strategy, error)
+	// The strategy column is spelled in strategyspec's grammar — the same
+	// registry the CLIs and the server build from — so the experiment
+	// stays in lockstep with the composable strategy set.
+	var specs []string
+	for _, pol := range []string{"LRU", "FIFO", "CLOCK", "LFU", "MARK", "RMARK", "RAND", "ARC", "SLRU", "LRU2", "TINYLFU", "FWF"} {
+		specs = append(specs, "S("+pol+")")
 	}
-	var entries []entry
-	for _, pol := range []string{"LRU", "FIFO", "CLOCK", "LFU", "MARK", "RMARK", "RAND", "ARC", "SLRU", "LRU2", "TINYLFU"} {
-		pol := pol
-		mk, err := cache.NewFactory(pol, cfg.Seed+99)
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, entry{
-			name: "S(" + pol + ")",
-			mk:   func(core.RequestSet) (sim.Strategy, error) { return policy.NewShared(mk), nil },
-		})
-	}
-	entries = append(entries,
-		entry{
-			name: "sP[even](LRU)",
-			mk: func(core.RequestSet) (sim.Strategy, error) {
-				return policy.NewStatic(policy.EvenSizes(k, p), lruF()), nil
-			},
-		},
-		entry{
-			name: "sP[OPT](LRU)",
-			mk: func(rs core.RequestSet) (sim.Strategy, error) {
-				part, err := mattson.OptimalLRU(rs, k)
-				if err != nil {
-					return nil, err
-				}
-				return policy.NewStatic(part.Sizes, lruF()), nil
-			},
-		},
-		entry{
-			name: "dP[lru-global](LRU)",
-			mk:   func(core.RequestSet) (sim.Strategy, error) { return policy.NewDynamicLRU(), nil },
-		},
-		entry{
-			name: "S(FWF)",
-			mk:   func(core.RequestSet) (sim.Strategy, error) { return policy.NewFWF(), nil },
-		},
-		entry{
-			name: "dP[ucp](LRU)",
-			mk:   func(core.RequestSet) (sim.Strategy, error) { return policy.NewUCP(128), nil },
-		},
-		entry{
-			name: "dP[fair](LRU)",
-			mk:   func(core.RequestSet) (sim.Strategy, error) { return policy.NewFairShare(128), nil },
-		},
-	)
+	specs = append(specs, "sP[even](LRU)", "sP[opt](LRU)", "dP(LRU)", "dP[ucp](LRU)", "dP[fair](LRU)")
 
 	for _, kind := range workload.Kinds() {
 		rs := mix[kind]
@@ -113,8 +69,8 @@ func runE13(cfg Config) (*Result, error) {
 		tbl := metrics.NewTable(
 			fmt.Sprintf("workload=%s (p=%d, K=%d, τ=%d, n=%d)", kind, p, k, tau, rs.TotalLen()),
 			"strategy", "faults", "fault_rate", "jain_fairness", "weighted_speedup", "makespan")
-		for _, e := range entries {
-			st, err := e.mk(rs)
+		for _, spec := range specs {
+			st, err := strategyspec.Build(spec, rs, k, cfg.Seed+99)
 			if err != nil {
 				return nil, err
 			}
@@ -122,7 +78,7 @@ func runE13(cfg Config) (*Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			tbl.AddRow(e.name, r.TotalFaults(),
+			tbl.AddRow(spec, r.TotalFaults(),
 				float64(r.TotalFaults())/float64(rs.TotalLen()),
 				metrics.JainIndex(r.Faults),
 				metrics.WeightedSpeedup(rs, r, solo), r.Makespan)
@@ -130,6 +86,6 @@ func runE13(cfg Config) (*Result, error) {
 		res.Tables = append(res.Tables, tbl)
 	}
 	res.Notes = append(res.Notes,
-		"no strategy dominates: LFU wins on zipf but collapses on phased/markov; the optimal static partition wins faults on phased at a steep fairness cost; S(LRU) and dP[lru-global](LRU) coincide everywhere (Lemma 3)")
+		"no strategy dominates: LFU wins on zipf but collapses on phased/markov; the optimal static partition wins faults on phased at a steep fairness cost; S(LRU) and dP(LRU) coincide everywhere (Lemma 3)")
 	return res, nil
 }

@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+)
+
+// PartView is the read-only view of a partitioned strategy's state that
+// controllers may consult when choosing a donor part.
+type PartView interface {
+	// Parts returns the number of parts (one per core).
+	Parts() int
+	// Occ returns the number of cells part j currently owns.
+	Occ(j int) int
+	// Owner returns the part holding page p, if any.
+	Owner(p core.PageID) (int, bool)
+}
+
+// Controller is the partition half of a composed strategy: it owns the
+// per-core quota vector and decides which part donates a cell when the
+// faulting core cannot grow. The eviction half is one cache.Policy
+// instance per part; Partitioned wires the two together, so every
+// partition discipline in this package composes with every eviction
+// policy.
+//
+// Controllers observe the request stream through the Hit, Join,
+// Inserted and Evicted hooks, which Partitioned calls after its own
+// bookkeeping. They never touch pages or parts directly: cell movement
+// is expressed entirely through Quota (capacity targets drained by the
+// strategy at step boundaries) and Donor (which part loses a cell on a
+// fault).
+type Controller interface {
+	// Name returns the partition-family label, e.g. "sP[2 2]" or
+	// "dP[fair/64]". The composed strategy is named Name() + "(" +
+	// policy + ")".
+	Name() string
+	// Init validates the controller against the instance and seeds the
+	// quota vector. It is called once per run, before any hook.
+	Init(inst core.Instance) error
+	// Quota returns the live per-core cell targets, or nil for
+	// occupancy-driven controllers without quotas (the global-LRU donor
+	// rule of Lemma 3). Partitioned aliases the returned slice;
+	// controllers repartition by mutating it in place during Tick.
+	Quota() []int
+	// Hit observes a hit by core at.Core on page p.
+	Hit(p core.PageID, at cache.Access)
+	// Join observes core at.Core joining the in-flight fetch of page p.
+	Join(p core.PageID, at cache.Access)
+	// Inserted observes page p entering part j on a fault.
+	Inserted(j int, p core.PageID, at cache.Access)
+	// Evicted observes page p leaving its part (fault-path eviction or
+	// step-boundary shedding).
+	Evicted(p core.PageID)
+	// Donor picks the part that loses a cell when faulting core j cannot
+	// grow. Returning j keeps the fault inside the core's own part
+	// (static discipline); returning another part moves a cell to core
+	// j. ok=false means no part can donate and the fault fails.
+	Donor(j int, pv PartView, resident func(core.PageID) bool) (int, bool)
+	// StealOnEmpty reports whether, when the donor part has no evictable
+	// page, the strategy should fall back to stealing a cell from the
+	// most over-quota part (the quota-partition rule of FairShare and
+	// UCP, which can find their own part empty right after a quota cut).
+	StealOnEmpty() bool
+	// Tick advances the controller to time t and reports whether the
+	// quota vector changed (the strategy then re-announces part sizes to
+	// the policies via Resize). Only called when Ticks() is true.
+	Tick(t int64) bool
+	// Ticks reports whether the controller repartitions over time at
+	// all. When false the strategy skips step-boundary work entirely and
+	// its event stream is identical to a tickless strategy's.
+	Ticks() bool
+}

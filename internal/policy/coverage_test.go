@@ -26,33 +26,59 @@ func (f *fakeView) NextUse(core.PageID) int64   { return 0 }
 
 func acc(c int, t int64) cache.Access { return cache.Access{Core: c, Time: t} }
 
-// TestQuotaPartsDonorSteal exercises the fallback where a core whose
+// testController is a scripted Controller for unit-testing Partitioned:
+// a quota vector the test mutates in place, donor = faulting core's own
+// part, with the over-quota steal fallback enabled.
+type testController struct {
+	quota []int
+	steal bool
+}
+
+func (c *testController) Name() string                            { return "test" }
+func (c *testController) Init(core.Instance) error                { return nil }
+func (c *testController) Quota() []int                            { return c.quota }
+func (c *testController) Hit(core.PageID, cache.Access)           {}
+func (c *testController) Join(core.PageID, cache.Access)          {}
+func (c *testController) Inserted(int, core.PageID, cache.Access) {}
+func (c *testController) Evicted(core.PageID)                     {}
+func (c *testController) Donor(j int, _ PartView, _ func(core.PageID) bool) (int, bool) {
+	return j, true
+}
+func (c *testController) StealOnEmpty() bool { return c.steal }
+func (c *testController) Tick(int64) bool    { return false }
+func (c *testController) Ticks() bool        { return false }
+
+// TestPartitionedDonorSteal exercises the fallback where a core whose
 // part is empty (after a quota cut) must steal a cell from the most
 // over-quota donor.
-func TestQuotaPartsDonorSteal(t *testing.T) {
-	var q quotaParts
-	q.init(2, 4, []bool{true, true})
+func TestPartitionedDonorSteal(t *testing.T) {
+	ctrl := &testController{quota: []int{2, 2}, steal: true}
+	s := NewPartitioned(ctrl, func() cache.Policy { return cache.NewLRU() })
+	in := core.Instance{R: core.RequestSet{{1}, {1}}, P: core.Params{K: 4}}
+	if err := s.Init(in); err != nil {
+		t.Fatal(err)
+	}
 	v := &fakeView{resident: map[core.PageID]bool{}, free: 4, k: 4}
 
 	// Core 0 fills its quota (2 cells) and one more beyond, simulating a
 	// later quota shift.
 	for _, pg := range []core.PageID{1, 2} {
-		if got := q.fault(0, pg, acc(0, 0), v); got != core.NoPage {
+		if got := s.OnFault(pg, acc(0, 0), v); got != core.NoPage {
 			t.Fatalf("expected free-cell placement, got victim %d", got)
 		}
 		v.resident[pg] = true
 		v.free--
 	}
 	// Shift quota: core 0 now 3, core 1 gets 1.
-	q.quota[0], q.quota[1] = 3, 1
-	if got := q.fault(0, 3, acc(0, 1), v); got != core.NoPage {
+	ctrl.quota[0], ctrl.quota[1] = 3, 1
+	if got := s.OnFault(3, acc(0, 1), v); got != core.NoPage {
 		t.Fatalf("expected free-cell placement, got victim %d", got)
 	}
 	v.resident[3] = true
 	v.free--
 
 	// Core 1 faults with an empty part and one free cell → free cell.
-	if got := q.fault(1, 100, acc(1, 2), v); got != core.NoPage {
+	if got := s.OnFault(100, acc(1, 2), v); got != core.NoPage {
 		t.Fatalf("expected free-cell placement, got victim %d", got)
 	}
 	v.resident[100] = true
@@ -60,54 +86,56 @@ func TestQuotaPartsDonorSteal(t *testing.T) {
 
 	// Quota swings to core 1; its part has 1 page but quota 3, core 0 is
 	// now over quota. Core 1's next fault must steal from core 0.
-	q.quota[0], q.quota[1] = 1, 3
+	ctrl.quota[0], ctrl.quota[1] = 1, 3
 	// Drain core 1's own part first so it is empty.
-	if w, ok := q.parts[1].Evict(nil); !ok {
+	if w, ok := s.parts[1].Evict(nil); !ok {
 		t.Fatal("expected core 1's page evictable")
 	} else {
-		delete(q.partOf, w)
+		delete(s.partOf, w)
 		delete(v.resident, w)
-		q.occ[1]--
+		s.occ[1]--
 		v.free++
 	}
 	v.free = 0 // pretend the freed cell was consumed elsewhere
-	victim := q.fault(1, 101, acc(1, 3), v)
+	victim := s.OnFault(101, acc(1, 3), v)
 	if victim == core.NoPage {
 		t.Fatal("expected a stolen victim from core 0's part")
 	}
-	if owner, ok := q.partOf[victim]; ok && owner == 0 {
+	if owner, ok := s.partOf[victim]; ok && owner == 0 {
 		t.Fatal("victim should have been removed from ownership map")
 	}
-	if q.occ[0] != 2 || q.occ[1] != 1 {
-		t.Fatalf("occupancies after steal: %v", q.occ)
+	if s.occ[0] != 2 || s.occ[1] != 1 {
+		t.Fatalf("occupancies after steal: %v", s.occ)
 	}
 }
 
-// TestQuotaPartsNoDonor: when no donor has pages, fault reports NoPage
+// TestPartitionedNoDonor: when no part has pages, OnFault reports NoPage
 // so the simulator can surface the protocol error.
-func TestQuotaPartsNoDonor(t *testing.T) {
-	var q quotaParts
-	q.init(2, 2, []bool{true, true})
+func TestPartitionedNoDonor(t *testing.T) {
+	ctrl := &testController{quota: []int{1, 1}, steal: true}
+	s := NewPartitioned(ctrl, func() cache.Policy { return cache.NewLRU() })
+	in := core.Instance{R: core.RequestSet{{1}, {1}}, P: core.Params{K: 2}}
+	if err := s.Init(in); err != nil {
+		t.Fatal(err)
+	}
 	v := &fakeView{resident: map[core.PageID]bool{}, free: 0, k: 2}
-	q.quota[0], q.quota[1] = 1, 1
-	if got := q.fault(0, 5, acc(0, 0), v); got != core.NoPage {
+	if got := s.OnFault(5, acc(0, 0), v); got != core.NoPage {
 		t.Fatalf("expected NoPage with an empty cache and no free cells, got %d", got)
 	}
 }
 
-// TestQuotaPartsInit verifies inactive cores donate their quota.
-func TestQuotaPartsInit(t *testing.T) {
-	var q quotaParts
-	q.init(3, 6, []bool{false, true, true})
-	if q.quota[0] != 0 {
-		t.Fatalf("inactive core kept quota: %v", q.quota)
+// TestSeedQuota verifies inactive cores donate their quota share.
+func TestSeedQuota(t *testing.T) {
+	q := seedQuota(6, []bool{false, true, true})
+	if q[0] != 0 {
+		t.Fatalf("inactive core kept quota: %v", q)
 	}
 	sum := 0
-	for _, c := range q.quota {
+	for _, c := range q {
 		sum += c
 	}
 	if sum != 6 {
-		t.Fatalf("quota sum %d, want 6 (%v)", sum, q.quota)
+		t.Fatalf("quota sum %d, want 6 (%v)", sum, q)
 	}
 }
 

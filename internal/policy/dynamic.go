@@ -9,81 +9,77 @@ import (
 	"mcpaging/internal/sim"
 )
 
-// DynamicLRU is the dynamic-partition strategy D of Lemma 3: each core
-// owns a part running LRU; on a fault with no free cell, the donor part
-// is the one holding the globally least recently used page, that page is
-// evicted, and the cell moves to the faulting core's part. Lemma 3 proves
-// this is exactly equivalent to shared LRU on disjoint request sets —
-// experiment E6 checks the equivalence request by request.
+// globalLRUController is the dynamic-partition rule D of Lemma 3: on a
+// fault with no free cell, the donor part is the one holding the
+// globally least recently used page. With LRU parts the evicted page is
+// exactly that page, and Lemma 3 proves the composition equivalent to
+// shared LRU on disjoint request sets — experiment E6 checks the
+// equivalence request by request. There are no quotas: parts grow and
+// shrink purely by occupancy.
 //
-// The implementation keeps one global recency list (sufficient, since the
-// restriction of global recency order to one part is that part's local
-// LRU order) plus explicit part-ownership and occupancy so tests can
-// observe the evolving partition.
-type DynamicLRU struct {
+// The controller keeps one global recency list; the restriction of
+// global recency order to one part is that part's local LRU order, so
+// with LRU parts the donor's local victim is the global LRU page.
+type globalLRUController struct {
 	global *cache.LRU
-	partOf map[core.PageID]int
-	occ    []int
-	vf     viewFuncs
 }
 
+// GlobalLRUController returns the Lemma-3 donor rule dP[lru-global].
+func GlobalLRUController() Controller { return &globalLRUController{} }
+
 // NewDynamicLRU returns the Lemma 3 dynamic partition dP^D_LRU.
-func NewDynamicLRU() *DynamicLRU { return &DynamicLRU{} }
+func NewDynamicLRU() *Partitioned {
+	return NewPartitioned(GlobalLRUController(), func() cache.Policy { return cache.NewLRU() })
+}
 
-// Name implements sim.Strategy.
-func (d *DynamicLRU) Name() string { return "dP[lru-global](LRU)" }
+// Name implements Controller.
+func (c *globalLRUController) Name() string { return "dP[lru-global]" }
 
-// Init implements sim.Strategy.
-func (d *DynamicLRU) Init(inst core.Instance) error {
-	if d.global == nil {
-		d.global = cache.NewLRU()
+// Quota implements Controller: nil — occupancy-driven.
+func (c *globalLRUController) Quota() []int { return nil }
+
+// Init implements Controller.
+func (c *globalLRUController) Init(core.Instance) error {
+	if c.global == nil {
+		c.global = cache.NewLRU()
 	} else {
-		d.global.Reset()
+		c.global.Reset()
 	}
-	if d.partOf == nil {
-		d.partOf = make(map[core.PageID]int)
-	} else {
-		clear(d.partOf)
-	}
-	p := inst.R.NumCores()
-	if len(d.occ) != p {
-		d.occ = make([]int, p)
-	} else {
-		clear(d.occ)
-	}
-	d.vf.reset()
 	return nil
 }
 
-// PartSizes returns the current partition (cells owned per core).
-func (d *DynamicLRU) PartSizes() []int { return append([]int(nil), d.occ...) }
+// Hit implements Controller.
+func (c *globalLRUController) Hit(p core.PageID, at cache.Access) { c.global.Touch(p, at) }
 
-// OnHit implements sim.Strategy.
-func (d *DynamicLRU) OnHit(p core.PageID, at cache.Access) { d.global.Touch(p, at) }
+// Join implements Controller.
+func (c *globalLRUController) Join(p core.PageID, at cache.Access) { c.global.Touch(p, at) }
 
-// OnJoin implements sim.Strategy.
-func (d *DynamicLRU) OnJoin(p core.PageID, at cache.Access) { d.global.Touch(p, at) }
-
-// OnFault implements sim.Strategy.
-func (d *DynamicLRU) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
-	j := at.Core
-	d.vf.use(v)
-	var victim core.PageID = core.NoPage
-	if v.Free() == 0 {
-		w, ok := d.global.Evict(d.vf.resident)
-		if !ok {
-			return core.NoPage
-		}
-		victim = w
-		donor := d.partOf[w]
-		d.occ[donor]--
-		delete(d.partOf, w)
-	}
-	d.global.Insert(p, at)
-	d.partOf[p] = j
-	d.occ[j]++
-	return victim
+// Inserted implements Controller.
+func (c *globalLRUController) Inserted(_ int, p core.PageID, at cache.Access) {
+	c.global.Insert(p, at)
 }
+
+// Evicted implements Controller.
+func (c *globalLRUController) Evicted(p core.PageID) { c.global.Remove(p) }
+
+// Donor implements Controller: the part holding the globally least
+// recently used resident page.
+func (c *globalLRUController) Donor(_ int, pv PartView, resident func(core.PageID) bool) (int, bool) {
+	w, ok := c.global.LeastRecent(resident)
+	if !ok {
+		return 0, false
+	}
+	return pv.Owner(w)
+}
+
+// StealOnEmpty implements Controller.
+func (c *globalLRUController) StealOnEmpty() bool { return false }
+
+// Tick implements Controller.
+func (c *globalLRUController) Tick(int64) bool { return false }
+
+// Ticks implements Controller.
+func (c *globalLRUController) Ticks() bool { return false }
 
 // Stage is one constant-partition period of a staged dynamic partition.
 type Stage struct {
@@ -94,51 +90,49 @@ type Stage struct {
 	Sizes []int
 }
 
-// Staged is a dynamic partition dP^D_A whose part sizes follow a fixed
-// schedule of stages (Theorem 1(3) studies exactly this family: dynamic
-// partitions whose size vector changes o(n) times). Within a stage it
-// behaves like a static partition; at a stage boundary, parts over their
-// new size evict their local victims until they fit.
-type Staged struct {
+// stagedController is a dynamic partition whose part sizes follow a
+// fixed schedule of stages (Theorem 1(3) studies exactly this family:
+// dynamic partitions whose size vector changes o(n) times). Within a
+// stage it behaves like a static partition; at a stage boundary, parts
+// over their new size surrender their local victims until they fit.
+type stagedController struct {
 	stages []Stage
-	mk     cache.Factory
-	name   string
-
 	cur    int
-	parts  []cache.Policy
-	partOf map[core.PageID]int
-	occ    []int
-	sizes  []int
-	vf     viewFuncs
-	// debt[j] > 0 means part j still holds more cells than its size and
-	// sheds pages as they become evictable.
-	debt []int
+	quota  []int
 }
 
-// NewStaged returns a staged dynamic partition. Stages must be ordered by
-// increasing At and the first stage must start at time 0.
-func NewStaged(stages []Stage, mk cache.Factory) *Staged {
-	p := mk()
-	return &Staged{stages: append([]Stage(nil), stages...), mk: mk,
-		name: fmt.Sprintf("dP[%d stages](%s)", len(stages), p.Name())}
+// StagedController returns the controller of a staged dynamic partition.
+// Stages must be ordered by increasing At and the first stage must start
+// at time 0 (validated at Init).
+func StagedController(stages []Stage) Controller {
+	return &stagedController{stages: append([]Stage(nil), stages...)}
 }
 
-// Name implements sim.Strategy.
-func (s *Staged) Name() string { return s.name }
+// NewStaged returns a staged dynamic partition over the eviction policy
+// built by mk.
+func NewStaged(stages []Stage, mk cache.Factory) *Partitioned {
+	return NewPartitioned(StagedController(stages), mk)
+}
 
-// Init implements sim.Strategy.
-func (s *Staged) Init(inst core.Instance) error {
+// Name implements Controller.
+func (c *stagedController) Name() string { return fmt.Sprintf("dP[%d stages]", len(c.stages)) }
+
+// Quota implements Controller: the current stage's sizes.
+func (c *stagedController) Quota() []int { return c.quota }
+
+// Init implements Controller.
+func (c *stagedController) Init(inst core.Instance) error {
 	p := inst.R.NumCores()
-	if len(s.stages) == 0 {
+	if len(c.stages) == 0 {
 		return fmt.Errorf("policy: staged partition needs at least one stage")
 	}
-	if s.stages[0].At != 0 {
-		return fmt.Errorf("policy: first stage starts at t=%d, want 0", s.stages[0].At)
+	if c.stages[0].At != 0 {
+		return fmt.Errorf("policy: first stage starts at t=%d, want 0", c.stages[0].At)
 	}
-	if !sort.SliceIsSorted(s.stages, func(i, j int) bool { return s.stages[i].At < s.stages[j].At }) {
+	if !sort.SliceIsSorted(c.stages, func(i, j int) bool { return c.stages[i].At < c.stages[j].At }) {
 		return fmt.Errorf("policy: stages not sorted by start time")
 	}
-	for i, st := range s.stages {
+	for i, st := range c.stages {
 		if len(st.Sizes) != p {
 			return fmt.Errorf("policy: stage %d has %d parts for %d cores", i, len(st.Sizes), p)
 		}
@@ -150,105 +144,45 @@ func (s *Staged) Init(inst core.Instance) error {
 			return fmt.Errorf("policy: stage %d sizes sum to %d > K=%d", i, sum, inst.P.K)
 		}
 	}
-	s.cur = 0
-	s.sizes = append(s.sizes[:0], s.stages[0].Sizes...)
-	if len(s.parts) != p {
-		s.parts = make([]cache.Policy, p)
-		for j := range s.parts {
-			s.parts[j] = s.mk()
-		}
-	} else {
-		for j := range s.parts {
-			s.parts[j].Reset()
-		}
-	}
-	for j := range s.parts {
-		setCapacity(s.parts[j], s.sizes[j])
-	}
-	if s.partOf == nil {
-		s.partOf = make(map[core.PageID]int)
-	} else {
-		clear(s.partOf)
-	}
-	if len(s.occ) != p {
-		s.occ = make([]int, p)
-		s.debt = make([]int, p)
-	} else {
-		clear(s.occ)
-		clear(s.debt)
-	}
-	s.vf.reset()
+	c.cur = 0
+	c.quota = append(c.quota[:0], c.stages[0].Sizes...)
 	return nil
 }
 
-// OnTick implements sim.Ticker: it applies stage transitions and sheds
-// outstanding shrink debt.
-func (s *Staged) OnTick(t int64, v sim.View) []core.PageID {
-	for s.cur+1 < len(s.stages) && s.stages[s.cur+1].At <= t {
-		s.cur++
-		s.sizes = append(s.sizes[:0], s.stages[s.cur].Sizes...)
-	}
-	var out []core.PageID
-	for j := range s.occ {
-		over := s.occ[j] - s.sizes[j]
-		if over <= 0 {
-			continue
-		}
-		if s.vf.use(v) {
-			for _, part := range s.parts {
-				bindOracle(part, v)
-			}
-		}
-		for i := 0; i < over; i++ {
-			w, ok := s.parts[j].Evict(s.vf.resident)
-			if !ok {
-				break // in-flight pages; retried next tick
-			}
-			delete(s.partOf, w)
-			s.occ[j]--
-			out = append(out, w)
-		}
-	}
-	return out
+// Hit implements Controller.
+func (c *stagedController) Hit(core.PageID, cache.Access) {}
+
+// Join implements Controller.
+func (c *stagedController) Join(core.PageID, cache.Access) {}
+
+// Inserted implements Controller.
+func (c *stagedController) Inserted(int, core.PageID, cache.Access) {}
+
+// Evicted implements Controller.
+func (c *stagedController) Evicted(core.PageID) {}
+
+// Donor implements Controller: like a static partition, the faulting
+// core's own part.
+func (c *stagedController) Donor(j int, _ PartView, _ func(core.PageID) bool) (int, bool) {
+	return j, true
 }
 
-// OnHit implements sim.Strategy.
-func (s *Staged) OnHit(p core.PageID, at cache.Access) {
-	if j, ok := s.partOf[p]; ok {
-		s.parts[j].Touch(p, at)
+// StealOnEmpty implements Controller.
+func (c *stagedController) StealOnEmpty() bool { return false }
+
+// Tick implements Controller: stage transitions.
+func (c *stagedController) Tick(t int64) bool {
+	changed := false
+	for c.cur+1 < len(c.stages) && c.stages[c.cur+1].At <= t {
+		c.cur++
+		c.quota = append(c.quota[:0], c.stages[c.cur].Sizes...)
+		changed = true
 	}
+	return changed
 }
 
-// OnJoin implements sim.Strategy.
-func (s *Staged) OnJoin(p core.PageID, at cache.Access) {
-	if j, ok := s.partOf[p]; ok {
-		s.parts[j].Touch(p, at)
-	}
-}
-
-// OnFault implements sim.Strategy.
-func (s *Staged) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
-	j := at.Core
-	if s.vf.use(v) {
-		for _, part := range s.parts {
-			bindOracle(part, v)
-		}
-	}
-	var victim core.PageID = core.NoPage
-	if s.occ[j] < s.sizes[j] && v.Free() > 0 {
-		s.occ[j]++
-	} else {
-		w, ok := evictFor(s.parts[j], p, s.vf.resident)
-		if !ok {
-			return core.NoPage
-		}
-		victim = w
-		delete(s.partOf, w)
-	}
-	s.parts[j].Insert(p, at)
-	s.partOf[p] = j
-	return victim
-}
+// Ticks implements Controller.
+func (c *stagedController) Ticks() bool { return true }
 
 // Func is a scripted strategy: victim selection is delegated to a closure.
 // It is the vehicle for hand-constructed offline strategies (the SOFF

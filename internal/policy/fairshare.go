@@ -5,101 +5,116 @@ import (
 
 	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
-	"mcpaging/internal/sim"
 )
 
-// FairShare is an online dynamic partition aimed at the fairness
+// fairController is an online dynamic partition aimed at the fairness
 // objective the paper's conclusions propose as future work (and which
 // PARTIAL-INDIVIDUAL-FAULTS formalises offline): every Window timesteps
 // it moves one cache cell from the core with the fewest recent faults to
 // the core with the most, greedily equalising per-core fault rates at
-// some cost in total faults. Parts run LRU.
+// some cost in total faults.
 //
 // It is the online counterpart of a PIF bound vector: where Algorithm 2
 // asks whether per-core budgets are feasible at a checkpoint, FairShare
 // steers toward balanced budgets without future knowledge. Experiment
 // E16 measures what that steering costs.
-type FairShare struct {
-	// Window is the reallocation period in timesteps (default 64).
-	Window int64
-
-	q      quotaParts
-	window []int64 // faults in the current window
+type fairController struct {
+	window int64
+	quota  []int
+	counts []int64 // faults in the current window
 	nextAt int64
 	active []bool
 }
 
-// NewFairShare returns a FairShare partition with the given reallocation
-// window (0 = default).
-func NewFairShare(window int64) *FairShare {
+// FairController returns the FairShare controller dP[fair] with the
+// given reallocation window in timesteps (0 = default 64).
+func FairController(window int64) Controller {
 	if window <= 0 {
 		window = 64
 	}
-	return &FairShare{Window: window}
+	return &fairController{window: window}
 }
 
-// Name implements sim.Strategy.
-func (f *FairShare) Name() string { return fmt.Sprintf("dP[fair/%d](LRU)", f.Window) }
+// NewFairShare returns a FairShare partition over LRU parts with the
+// given reallocation window (0 = default).
+func NewFairShare(window int64) *Partitioned {
+	return NewPartitioned(FairController(window), func() cache.Policy { return cache.NewLRU() })
+}
 
-// Init implements sim.Strategy.
-func (f *FairShare) Init(inst core.Instance) error {
+// Name implements Controller.
+func (c *fairController) Name() string { return fmt.Sprintf("dP[fair/%d]", c.window) }
+
+// Quota implements Controller.
+func (c *fairController) Quota() []int { return c.quota }
+
+// Init implements Controller.
+func (c *fairController) Init(inst core.Instance) error {
 	p := inst.R.NumCores()
 	if inst.P.K < p {
 		return fmt.Errorf("policy: FairShare needs K >= p (K=%d, p=%d)", inst.P.K, p)
 	}
-	f.active = make([]bool, p)
-	for j := range f.active {
-		f.active[j] = len(inst.R[j]) > 0
+	c.active = make([]bool, p)
+	for j := range c.active {
+		c.active[j] = len(inst.R[j]) > 0
 	}
-	f.q.init(p, inst.P.K, f.active)
-	f.window = make([]int64, p)
-	f.nextAt = f.Window
+	c.quota = seedQuota(inst.P.K, c.active)
+	c.counts = make([]int64, p)
+	c.nextAt = c.window
 	return nil
 }
 
-// Quota returns the current per-core cell targets (for tests and
-// observability).
-func (f *FairShare) Quota() []int { return append([]int(nil), f.q.quota...) }
+// Hit implements Controller: hits do not count against the window.
+func (c *fairController) Hit(core.PageID, cache.Access) {}
 
-// OnTick implements sim.Ticker: periodic quota rebalancing plus shedding
-// of any overage.
-func (f *FairShare) OnTick(t int64, v sim.View) []core.PageID {
-	if t >= f.nextAt {
-		f.nextAt = t + f.Window
-		rich, poor := -1, -1
-		for j := range f.window {
-			if !f.active[j] {
-				continue
-			}
-			if rich == -1 || f.window[j] > f.window[rich] {
-				rich = j
-			}
-			if f.q.quota[j] > 1 && (poor == -1 || f.window[j] < f.window[poor]) {
-				poor = j
-			}
+// Join implements Controller: a join is a fault the core did not pay the
+// full fetch for, but it still signals demand.
+func (c *fairController) Join(_ core.PageID, at cache.Access) { c.counts[at.Core]++ }
+
+// Inserted implements Controller: one fault for the inserting core.
+func (c *fairController) Inserted(j int, _ core.PageID, _ cache.Access) { c.counts[j]++ }
+
+// Evicted implements Controller.
+func (c *fairController) Evicted(core.PageID) {}
+
+// Donor implements Controller: the faulting core's own part; the steal
+// fallback covers a part emptied by a quota cut.
+func (c *fairController) Donor(j int, _ PartView, _ func(core.PageID) bool) (int, bool) {
+	return j, true
+}
+
+// StealOnEmpty implements Controller.
+func (c *fairController) StealOnEmpty() bool { return true }
+
+// Tick implements Controller: periodic quota rebalancing — one cell from
+// the calmest core to the most fault-ridden one.
+func (c *fairController) Tick(t int64) bool {
+	if t < c.nextAt {
+		return false
+	}
+	c.nextAt = t + c.window
+	rich, poor := -1, -1
+	for j := range c.counts {
+		if !c.active[j] {
+			continue
 		}
-		if rich >= 0 && poor >= 0 && rich != poor && f.window[rich] > f.window[poor] {
-			f.q.quota[poor]--
-			f.q.quota[rich]++
+		if rich == -1 || c.counts[j] > c.counts[rich] {
+			rich = j
 		}
-		for j := range f.window {
-			f.window[j] = 0
+		if c.quota[j] > 1 && (poor == -1 || c.counts[j] < c.counts[poor]) {
+			poor = j
 		}
 	}
-	return f.q.shed(v)
+	moved := false
+	if rich >= 0 && poor >= 0 && rich != poor && c.counts[rich] > c.counts[poor] {
+		c.quota[poor]--
+		c.quota[rich]++
+		moved = true
+	}
+	for j := range c.counts {
+		c.counts[j] = 0
+	}
+	return moved
 }
 
-// OnHit implements sim.Strategy.
-func (f *FairShare) OnHit(p core.PageID, at cache.Access) { f.q.touch(p, at) }
-
-// OnJoin implements sim.Strategy.
-func (f *FairShare) OnJoin(p core.PageID, at cache.Access) {
-	f.window[at.Core]++
-	f.q.touch(p, at)
-}
-
-// OnFault implements sim.Strategy.
-func (f *FairShare) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
-	f.window[at.Core]++
-	return f.q.fault(at.Core, p, at, v)
-}
+// Ticks implements Controller.
+func (c *fairController) Ticks() bool { return true }

@@ -1,0 +1,240 @@
+package policy
+
+import (
+	"mcpaging/internal/cache"
+	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
+)
+
+// Partitioned is the generic partitioned strategy: a Controller owning
+// per-core quotas and donor choice, composed with one eviction-policy
+// instance per part. The static partitions sP^B_A, the staged schedules
+// of Theorem 1(3), the Lemma-3 global-LRU donor rule and the FairShare
+// and UCP heuristics are all Controllers, so each composes with every
+// cache.Policy.
+//
+// Division of labour on a fault with no free (or no in-quota) cell: the
+// controller picks the donor part, the donor part's policy picks the
+// victim page. At step boundaries the controller may move quota between
+// parts; parts above quota then surrender their policies' victims as
+// voluntary (donor) evictions.
+type Partitioned struct {
+	ctrl Controller
+	mk   cache.Factory
+	name string
+
+	parts  []cache.Policy
+	partOf map[core.PageID]int
+	occ    []int
+	quota  []int // aliases ctrl.Quota(); nil = occupancy-driven
+	vf     viewFuncs
+	ticks  bool
+}
+
+// NewPartitioned composes a partition controller with an eviction-policy
+// factory. The strategy name is ctrl.Name() + "(" + policy name + ")".
+func NewPartitioned(ctrl Controller, mk cache.Factory) *Partitioned {
+	p := mk()
+	return &Partitioned{ctrl: ctrl, mk: mk,
+		name: ctrl.Name() + "(" + p.Name() + ")", ticks: ctrl.Ticks()}
+}
+
+// Name implements sim.Strategy.
+func (s *Partitioned) Name() string { return s.name }
+
+// Repartitions marks Partitioned for the telemetry layer: its voluntary
+// evictions are donor evictions — cells moving between parts — so the
+// simulator flags them as partition changes (sim.Event.Donor).
+func (s *Partitioned) Repartitions() {}
+
+// Init implements sim.Strategy.
+func (s *Partitioned) Init(inst core.Instance) error {
+	if err := s.ctrl.Init(inst); err != nil {
+		return err
+	}
+	s.quota = s.ctrl.Quota()
+	p := inst.R.NumCores()
+	if len(s.parts) != p {
+		s.parts = make([]cache.Policy, p)
+		for j := range s.parts {
+			s.parts[j] = s.mk()
+		}
+	} else {
+		for j := range s.parts {
+			s.parts[j].Reset()
+		}
+	}
+	for j := range s.parts {
+		if s.quota != nil {
+			s.parts[j].Resize(s.quota[j])
+		} else {
+			// Occupancy-driven: any part may grow to the whole cache.
+			s.parts[j].Resize(inst.P.K)
+		}
+	}
+	if s.partOf == nil {
+		s.partOf = make(map[core.PageID]int)
+	} else {
+		clear(s.partOf)
+	}
+	if len(s.occ) != p {
+		s.occ = make([]int, p)
+	} else {
+		clear(s.occ)
+	}
+	s.vf.reset()
+	return nil
+}
+
+// Parts implements PartView.
+func (s *Partitioned) Parts() int { return len(s.parts) }
+
+// Occ implements PartView.
+func (s *Partitioned) Occ(j int) int { return s.occ[j] }
+
+// Owner implements PartView.
+func (s *Partitioned) Owner(p core.PageID) (int, bool) {
+	j, ok := s.partOf[p]
+	return j, ok
+}
+
+// PartSizes returns the current partition (cells owned per core).
+func (s *Partitioned) PartSizes() []int { return append([]int(nil), s.occ...) }
+
+// Quota returns a copy of the controller's per-core cell targets; nil
+// for occupancy-driven controllers.
+func (s *Partitioned) Quota() []int {
+	q := s.ctrl.Quota()
+	if q == nil {
+		return nil
+	}
+	return append([]int(nil), q...)
+}
+
+// Sizes returns a copy of the configured partition sizes (the quota
+// vector). For a static partition it is available before Init.
+func (s *Partitioned) Sizes() []int { return append([]int(nil), s.ctrl.Quota()...) }
+
+// OnHit implements sim.Strategy. The hit may land in another core's part
+// when sequences share pages; metadata is updated where the page lives.
+//
+//mcpaging:hotpath
+func (s *Partitioned) OnHit(p core.PageID, at cache.Access) {
+	if j, ok := s.partOf[p]; ok {
+		s.parts[j].Touch(p, at)
+	}
+	s.ctrl.Hit(p, at)
+}
+
+// OnJoin implements sim.Strategy.
+//
+//mcpaging:hotpath
+func (s *Partitioned) OnJoin(p core.PageID, at cache.Access) {
+	if j, ok := s.partOf[p]; ok {
+		s.parts[j].Touch(p, at)
+	}
+	s.ctrl.Join(p, at)
+}
+
+// OnFault implements sim.Strategy. The faulting core grows its part when
+// the cache has a free cell and the controller's quota (if any) allows
+// it; otherwise the controller picks the donor part and the donor's
+// policy picks the victim.
+//
+//mcpaging:hotpath
+func (s *Partitioned) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
+	j := at.Core
+	if s.vf.use(v) {
+		for _, part := range s.parts {
+			bindOracle(part, v)
+		}
+	}
+	var victim core.PageID = core.NoPage
+	if v.Free() > 0 && (s.quota == nil || s.occ[j] < s.quota[j]) {
+		s.occ[j]++
+	} else {
+		d, ok := s.ctrl.Donor(j, s, s.vf.resident)
+		if !ok {
+			return core.NoPage // protocol error surfaces in the simulator
+		}
+		var w core.PageID
+		if d == j {
+			w, ok = evictFor(s.parts[j], p, s.vf.resident)
+		} else {
+			w, ok = s.parts[d].Evict(s.vf.resident)
+		}
+		if !ok {
+			if d != j || !s.ctrl.StealOnEmpty() {
+				return core.NoPage
+			}
+			// Own part empty or wholly in flight (possible right after a
+			// quota cut): steal a cell from the most over-quota donor.
+			d = -1
+			for c := range s.occ {
+				if c == j || s.occ[c] == 0 {
+					continue
+				}
+				if d == -1 || s.occ[c]-s.quota[c] > s.occ[d]-s.quota[d] {
+					d = c
+				}
+			}
+			if d == -1 {
+				return core.NoPage
+			}
+			w, ok = s.parts[d].Evict(s.vf.resident)
+			if !ok {
+				return core.NoPage
+			}
+		}
+		victim = w
+		delete(s.partOf, w)
+		if d != j {
+			s.occ[d]--
+			s.occ[j]++
+		}
+		s.ctrl.Evicted(w)
+	}
+	s.parts[j].Insert(p, at)
+	s.partOf[p] = j
+	s.ctrl.Inserted(j, p, at)
+	return victim
+}
+
+// OnTick implements sim.Ticker: the controller may repartition, and
+// parts above quota surrender their policies' victims as donations. For
+// tickless controllers (static, global-LRU) this is a no-op, so the
+// composed strategy's event stream matches a tickless strategy's.
+func (s *Partitioned) OnTick(t int64, v sim.View) []core.PageID {
+	if !s.ticks || s.quota == nil {
+		return nil
+	}
+	if s.ctrl.Tick(t) {
+		s.quota = s.ctrl.Quota()
+		for j := range s.parts {
+			s.parts[j].Resize(s.quota[j])
+		}
+	}
+	var out []core.PageID
+	for j := range s.occ {
+		over := s.occ[j] - s.quota[j]
+		if over <= 0 {
+			continue
+		}
+		if s.vf.use(v) {
+			for _, part := range s.parts {
+				bindOracle(part, v)
+			}
+		}
+		for i := 0; i < over; i++ {
+			w, ok := s.parts[j].Surrender(s.vf.resident)
+			if !ok {
+				break // in-flight pages; retried next tick
+			}
+			delete(s.partOf, w)
+			s.occ[j]--
+			s.ctrl.Evicted(w)
+			out = append(out, w)
+		}
+	}
+	return out
+}

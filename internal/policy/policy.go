@@ -65,14 +65,6 @@ func (c *viewFuncs) use(v sim.View) bool {
 	return true
 }
 
-// setCapacity informs capacity-aware policies (ARC, SLRU) of their
-// replacement-domain size.
-func setCapacity(p cache.Policy, c int) {
-	if ca, ok := p.(cache.CapacityAware); ok {
-		ca.SetCapacity(c)
-	}
-}
-
 // evictFor asks the policy for a victim, preferring the incoming-aware
 // path (ARC's ghost-directed REPLACE) when the policy offers one.
 func evictFor(p cache.Policy, incoming core.PageID, evictable func(core.PageID) bool) (core.PageID, bool) {
@@ -110,7 +102,7 @@ func (s *Shared) Init(inst core.Instance) error {
 	} else {
 		s.pol.Reset()
 	}
-	setCapacity(s.pol, inst.P.K)
+	s.pol.Resize(inst.P.K)
 	s.vf.reset()
 	return nil
 }
@@ -147,42 +139,44 @@ func (s *Shared) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID
 	return victim
 }
 
-// Static is the static-partition strategy sP^B_A: part j of size B[j] is
-// reserved for core j's pages and runs its own instance of the eviction
-// policy.
-type Static struct {
-	sizes  []int
-	mk     cache.Factory
-	parts  []cache.Policy
-	partOf map[core.PageID]int
-	occ    []int
-	vf     viewFuncs
-	name   string
+// staticController fixes the partition for the whole run: the paper's
+// sP^B family. The faulting core always evicts from its own part and
+// never grows past its configured size.
+type staticController struct {
+	sizes []int
+	name  string
 }
 
-// NewStatic returns sP^B_A for partition sizes and policy factory mk. The
-// sizes must sum to at most K (validated at Init) and every core with a
-// non-empty sequence must receive at least one cell.
-func NewStatic(sizes []int, mk cache.Factory) *Static {
-	p := mk()
-	return &Static{sizes: append([]int(nil), sizes...), mk: mk,
-		name: fmt.Sprintf("sP%v(%s)", sizes, p.Name())}
+// StaticController returns the controller of the static partition sP^B.
+// The sizes must sum to at most K (validated at Init) and every core
+// with a non-empty sequence must receive at least one cell.
+func StaticController(sizes []int) Controller {
+	c := append([]int(nil), sizes...)
+	return &staticController{sizes: c, name: fmt.Sprintf("sP%v", c)}
 }
 
-// Name implements sim.Strategy.
-func (s *Static) Name() string { return s.name }
+// NewStatic returns the static-partition strategy sP^B_A: part j of size
+// B[j] is reserved for core j's pages and runs its own instance of the
+// eviction policy built by mk.
+func NewStatic(sizes []int, mk cache.Factory) *Partitioned {
+	return NewPartitioned(StaticController(sizes), mk)
+}
 
-// Sizes returns a copy of the partition sizes.
-func (s *Static) Sizes() []int { return append([]int(nil), s.sizes...) }
+// Name implements Controller.
+func (c *staticController) Name() string { return c.name }
 
-// Init implements sim.Strategy.
-func (s *Static) Init(inst core.Instance) error {
+// Quota implements Controller: the configured sizes, fixed for the run
+// and available before Init.
+func (c *staticController) Quota() []int { return c.sizes }
+
+// Init implements Controller.
+func (c *staticController) Init(inst core.Instance) error {
 	p := inst.R.NumCores()
-	if len(s.sizes) != p {
-		return fmt.Errorf("policy: partition has %d parts for %d cores", len(s.sizes), p)
+	if len(c.sizes) != p {
+		return fmt.Errorf("policy: partition has %d parts for %d cores", len(c.sizes), p)
 	}
 	sum := 0
-	for j, k := range s.sizes {
+	for j, k := range c.sizes {
 		if k < 0 {
 			return fmt.Errorf("policy: negative part size %d for core %d", k, j)
 		}
@@ -194,71 +188,57 @@ func (s *Static) Init(inst core.Instance) error {
 	if sum > inst.P.K {
 		return fmt.Errorf("policy: partition sizes sum to %d > K=%d", sum, inst.P.K)
 	}
-	if len(s.parts) != p {
-		s.parts = make([]cache.Policy, p)
-		for j := range s.parts {
-			s.parts[j] = s.mk()
-		}
-	} else {
-		for j := range s.parts {
-			s.parts[j].Reset()
-		}
-	}
-	for j := range s.parts {
-		setCapacity(s.parts[j], s.sizes[j])
-	}
-	if s.partOf == nil {
-		s.partOf = make(map[core.PageID]int)
-	} else {
-		clear(s.partOf)
-	}
-	if len(s.occ) != p {
-		s.occ = make([]int, p)
-	} else {
-		clear(s.occ)
-	}
-	s.vf.reset()
 	return nil
 }
 
-// OnHit implements sim.Strategy. The hit may land in another core's part
-// when sequences share pages; metadata is updated where the page lives.
-func (s *Static) OnHit(p core.PageID, at cache.Access) {
-	if j, ok := s.partOf[p]; ok {
-		s.parts[j].Touch(p, at)
-	}
+// Hit implements Controller.
+func (c *staticController) Hit(core.PageID, cache.Access) {}
+
+// Join implements Controller.
+func (c *staticController) Join(core.PageID, cache.Access) {}
+
+// Inserted implements Controller.
+func (c *staticController) Inserted(int, core.PageID, cache.Access) {}
+
+// Evicted implements Controller.
+func (c *staticController) Evicted(core.PageID) {}
+
+// Donor implements Controller: the victim always comes from the faulting
+// core's own part.
+func (c *staticController) Donor(j int, _ PartView, _ func(core.PageID) bool) (int, bool) {
+	return j, true
 }
 
-// OnJoin implements sim.Strategy.
-func (s *Static) OnJoin(p core.PageID, at cache.Access) {
-	if j, ok := s.partOf[p]; ok {
-		s.parts[j].Touch(p, at)
-	}
-}
+// StealOnEmpty implements Controller.
+func (c *staticController) StealOnEmpty() bool { return false }
 
-// OnFault implements sim.Strategy: the victim always comes from the
-// faulting core's own part.
-func (s *Static) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
-	j := at.Core
-	if s.vf.use(v) {
-		for _, part := range s.parts {
-			bindOracle(part, v)
+// Tick implements Controller.
+func (c *staticController) Tick(int64) bool { return false }
+
+// Ticks implements Controller.
+func (c *staticController) Ticks() bool { return false }
+
+// seedQuota is the initial quota of the adaptive controllers (FairShare,
+// UCP): an even split of the K cells, with inactive cores donating their
+// share to the first active core.
+func seedQuota(k int, active []bool) []int {
+	quota := EvenSizes(k, len(active))
+	first := -1
+	for j, a := range active {
+		if a {
+			first = j
+			break
 		}
 	}
-	var victim core.PageID = core.NoPage
-	if s.occ[j] < s.sizes[j] {
-		s.occ[j]++
-	} else {
-		w, ok := evictFor(s.parts[j], p, s.vf.resident)
-		if !ok {
-			return core.NoPage
+	if first >= 0 {
+		for j := range quota {
+			if !active[j] && quota[j] > 0 {
+				quota[first] += quota[j]
+				quota[j] = 0
+			}
 		}
-		victim = w
-		delete(s.partOf, w)
 	}
-	s.parts[j].Insert(p, at)
-	s.partOf[p] = j
-	return victim
+	return quota
 }
 
 // EvenSizes splits K cells over p cores as evenly as possible (the first

@@ -5,29 +5,25 @@ import (
 
 	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
-	"mcpaging/internal/sim"
 )
 
-// UCP is utility-based cache partitioning in the style of Qureshi & Patt
-// (MICRO 2006) — the practice-side dynamic-partition heuristic the
-// paper's related work surveys: each core carries a lightweight utility
-// monitor (a shadow LRU stack with per-depth hit counters, i.e. an
-// online Mattson sampler over the recent past), and every Window
-// timesteps the K cells are redistributed greedily by marginal utility —
-// each next cell goes to the core whose hit count at its current
-// allocation depth is largest. Counters decay geometrically so the
-// partition tracks phase changes.
+// ucpController is utility-based cache partitioning in the style of
+// Qureshi & Patt (MICRO 2006) — the practice-side dynamic-partition
+// heuristic the paper's related work surveys: each core carries a
+// lightweight utility monitor (a shadow LRU stack with per-depth hit
+// counters, i.e. an online Mattson sampler over the recent past), and
+// every Window timesteps the K cells are redistributed greedily by
+// marginal utility — each next cell goes to the core whose hit count at
+// its current allocation depth is largest. Counters decay geometrically
+// so the partition tracks phase changes.
 //
 // UCP chases total hits where FairShare chases equal faults; experiment
 // E13/E16 put both against the shared and static baselines.
-type UCP struct {
-	// Window is the repartitioning period in timesteps (default 128).
-	Window int64
-	// Decay divides the monitor counters at each repartition (default 2).
-	Decay int64
-
+type ucpController struct {
+	window int64
+	decay  int64
 	k      int
-	q      quotaParts
+	quota  []int
 	mons   []*umon
 	nextAt int64
 	active []bool
@@ -67,50 +63,77 @@ func (m *umon) decay(d int64) {
 	}
 }
 
-// NewUCP returns a UCP partition with the given window (0 = default).
-func NewUCP(window int64) *UCP {
+// UCPController returns the UCP controller dP[ucp] with the given
+// repartitioning window in timesteps (0 = default 128).
+func UCPController(window int64) Controller {
 	if window <= 0 {
 		window = 128
 	}
-	return &UCP{Window: window, Decay: 2}
+	return &ucpController{window: window, decay: 2}
 }
 
-// Name implements sim.Strategy.
-func (u *UCP) Name() string { return fmt.Sprintf("dP[ucp/%d](LRU)", u.Window) }
+// NewUCP returns a UCP partition over LRU parts with the given window
+// (0 = default).
+func NewUCP(window int64) *Partitioned {
+	return NewPartitioned(UCPController(window), func() cache.Policy { return cache.NewLRU() })
+}
 
-// Init implements sim.Strategy.
-func (u *UCP) Init(inst core.Instance) error {
+// Name implements Controller.
+func (c *ucpController) Name() string { return fmt.Sprintf("dP[ucp/%d]", c.window) }
+
+// Quota implements Controller.
+func (c *ucpController) Quota() []int { return c.quota }
+
+// Init implements Controller.
+func (c *ucpController) Init(inst core.Instance) error {
 	p := inst.R.NumCores()
 	if inst.P.K < p {
 		return fmt.Errorf("policy: UCP needs K >= p (K=%d, p=%d)", inst.P.K, p)
 	}
-	u.k = inst.P.K
-	u.active = make([]bool, p)
-	for j := range u.active {
-		u.active[j] = len(inst.R[j]) > 0
+	c.k = inst.P.K
+	c.active = make([]bool, p)
+	for j := range c.active {
+		c.active[j] = len(inst.R[j]) > 0
 	}
-	u.q.init(p, u.k, u.active)
-	u.mons = make([]*umon, p)
-	for j := range u.mons {
-		u.mons[j] = newUmon(u.k)
+	c.quota = seedQuota(c.k, c.active)
+	c.mons = make([]*umon, p)
+	for j := range c.mons {
+		c.mons[j] = newUmon(c.k)
 	}
-	u.nextAt = u.Window
-	if u.Decay < 2 {
-		u.Decay = 2
-	}
+	c.nextAt = c.window
 	return nil
 }
 
-// Quota returns the current per-core cell targets.
-func (u *UCP) Quota() []int { return append([]int(nil), u.q.quota...) }
+// Hit implements Controller.
+func (c *ucpController) Hit(p core.PageID, at cache.Access) { c.mons[at.Core].access(p) }
+
+// Join implements Controller.
+func (c *ucpController) Join(p core.PageID, at cache.Access) { c.mons[at.Core].access(p) }
+
+// Inserted implements Controller.
+func (c *ucpController) Inserted(_ int, p core.PageID, at cache.Access) {
+	c.mons[at.Core].access(p)
+}
+
+// Evicted implements Controller.
+func (c *ucpController) Evicted(core.PageID) {}
+
+// Donor implements Controller: the faulting core's own part; the steal
+// fallback covers a part emptied by a quota cut.
+func (c *ucpController) Donor(j int, _ PartView, _ func(core.PageID) bool) (int, bool) {
+	return j, true
+}
+
+// StealOnEmpty implements Controller.
+func (c *ucpController) StealOnEmpty() bool { return true }
 
 // repartition reassigns the K cells greedily by marginal utility.
-func (u *UCP) repartition() {
-	p := len(u.q.quota)
+func (c *ucpController) repartition() {
+	p := len(c.quota)
 	alloc := make([]int, p)
-	remaining := u.k
+	remaining := c.k
 	for j := 0; j < p; j++ {
-		if u.active[j] {
+		if c.active[j] {
 			alloc[j] = 1
 			remaining--
 		}
@@ -118,10 +141,10 @@ func (u *UCP) repartition() {
 	for ; remaining > 0; remaining-- {
 		best, bestGain := -1, int64(-1)
 		for j := 0; j < p; j++ {
-			if !u.active[j] || alloc[j] >= u.k {
+			if !c.active[j] || alloc[j] >= c.k {
 				continue
 			}
-			gain := u.mons[j].hits[alloc[j]] // hits needing alloc[j]+1 cells
+			gain := c.mons[j].hits[alloc[j]] // hits needing alloc[j]+1 cells
 			if gain > bestGain {
 				best, bestGain = j, gain
 			}
@@ -131,35 +154,21 @@ func (u *UCP) repartition() {
 		}
 		alloc[best]++
 	}
-	copy(u.q.quota, alloc)
-	for _, m := range u.mons {
-		m.decay(u.Decay)
+	copy(c.quota, alloc)
+	for _, m := range c.mons {
+		m.decay(c.decay)
 	}
 }
 
-// OnTick implements sim.Ticker.
-func (u *UCP) OnTick(t int64, v sim.View) []core.PageID {
-	if t >= u.nextAt {
-		u.nextAt = t + u.Window
-		u.repartition()
+// Tick implements Controller.
+func (c *ucpController) Tick(t int64) bool {
+	if t < c.nextAt {
+		return false
 	}
-	return u.q.shed(v)
+	c.nextAt = t + c.window
+	c.repartition()
+	return true
 }
 
-// OnHit implements sim.Strategy.
-func (u *UCP) OnHit(p core.PageID, at cache.Access) {
-	u.mons[at.Core].access(p)
-	u.q.touch(p, at)
-}
-
-// OnJoin implements sim.Strategy.
-func (u *UCP) OnJoin(p core.PageID, at cache.Access) {
-	u.mons[at.Core].access(p)
-	u.q.touch(p, at)
-}
-
-// OnFault implements sim.Strategy.
-func (u *UCP) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID {
-	u.mons[at.Core].access(p)
-	return u.q.fault(at.Core, p, at, v)
-}
+// Ticks implements Controller.
+func (c *ucpController) Ticks() bool { return true }

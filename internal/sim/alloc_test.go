@@ -3,6 +3,7 @@ package sim_test
 import (
 	"testing"
 
+	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
 	"mcpaging/internal/policy"
 	"mcpaging/internal/sim"
@@ -39,5 +40,45 @@ func TestRunnerRunAllocBound(t *testing.T) {
 	const bound = 4
 	if allocs > bound {
 		t.Fatalf("warmed Runner.Run: %v allocs/run, want at most %d (8192 requests served)", allocs, bound)
+	}
+}
+
+// The composed controller × policy strategies must keep the same
+// per-run allocation bound as the hand-rolled ones they replaced: a
+// warmed Partitioned's fault/hit path is annotated //mcpaging:hotpath
+// and reuses its parts, ownership map and occupancy vector across runs,
+// so garbage stays O(1) regardless of request count.
+func TestComposedRunAllocBound(t *testing.T) {
+	rs := make(core.RequestSet, 2)
+	for c := range rs {
+		seq := make(core.Sequence, 4096)
+		for i := range seq {
+			seq[i] = core.PageID(c*16 + i%16)
+		}
+		rs[c] = seq
+	}
+	rn, err := sim.NewRunner(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{K: 64, Tau: 4}
+	arc := func() cache.Policy { return cache.NewARC() }
+	for _, s := range []sim.Strategy{
+		policy.NewDynamicLRU(),
+		policy.NewPartitioned(policy.GlobalLRUController(), arc),
+		policy.NewStatic(policy.EvenSizes(64, 2), arc),
+	} {
+		if _, err := rn.Run(params, s, nil); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := rn.Run(params, s, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+		const bound = 4
+		if allocs > bound {
+			t.Fatalf("%s: %v allocs/run, want at most %d (8192 requests served)", s.Name(), allocs, bound)
+		}
 	}
 }

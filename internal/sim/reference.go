@@ -60,6 +60,7 @@ func RunReference(inst core.Instance, s Strategy, obs Observer) (Result, error) 
 		Finish: make([]int64, p),
 	}
 	ticker, _ := s.(Ticker)
+	_, repart := s.(Repartitioner)
 
 	for {
 		// Next service time: min clock over unfinished cores.
@@ -81,7 +82,7 @@ func RunReference(inst core.Instance, s Strategy, obs Observer) (Result, error) 
 				}
 				res.VoluntaryEvictions++
 				if obs != nil {
-					obs(Event{Time: t, Core: -1, Index: -1, Page: v, Tick: true, Victim: v})
+					obs(Event{Time: t, Core: -1, Index: -1, Page: v, Tick: true, Donor: repart, Victim: v})
 				}
 			}
 		}

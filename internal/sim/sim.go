@@ -87,6 +87,16 @@ type Ticker interface {
 	OnTick(t int64, v View) []core.PageID
 }
 
+// Repartitioner is an optional Strategy marker: implementing it declares
+// that the strategy's voluntary evictions are donor evictions — cells
+// moving between parts of a dynamic partition — rather than plain
+// flushes (FWF). The engines set Event.Donor on Tick events of such
+// strategies, so observers can count partition changes uniformly across
+// controllers.
+type Repartitioner interface {
+	Repartitions()
+}
+
 // View is the read-only window a strategy gets on simulator ground truth.
 // All page IDs cross this interface in the instance's original ID space,
 // even when the engine has renumbered internally.
@@ -129,6 +139,7 @@ type Event struct {
 	Fault  bool
 	Join   bool        // fault that joined an in-flight fetch
 	Tick   bool        // voluntary eviction, not a served request
+	Donor  bool        // Tick eviction donating a cell between parts
 	Victim core.PageID // NoPage if none (hit, join, or free cell)
 }
 
@@ -588,6 +599,7 @@ func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy,
 		Finish: make([]int64, p),
 	}
 	ticker, _ := s.(Ticker)
+	_, repart := s.(Repartitioner)
 	seqs := e.seqs
 	var served, nextCheck int64 = 0, cancelCheckEvery
 
@@ -620,7 +632,7 @@ func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy,
 				}
 				res.VoluntaryEvictions++
 				if obs != nil {
-					obs(Event{Time: t, Core: -1, Index: -1, Page: v, Tick: true, Victim: v})
+					obs(Event{Time: t, Core: -1, Index: -1, Page: v, Tick: true, Donor: repart, Victim: v})
 				}
 			}
 		}

@@ -25,6 +25,8 @@ func FuzzBuild(f *testing.F) {
 		"S(LRU", "S(LRU))", "S((LRU))", "s(lru)",
 		"sP[", "sP[]()", "sP[even]", "sP[opt]()",
 		"dP[ucp](FIFO)", "dP[nope](LRU)", "dP(LRU)x",
+		"dP[ucp](ARC)", "dP[fair](TINYLFU)", "dP[lru-global](MARK)",
+		"dP[LRU-GLOBAL](LRU)", "dP[fair/64](LRU)", "dP[](LRU)",
 		"  S(LRU)  ", "S(LRU)\n", "S(日本語)", "\x00(\x00)",
 	} {
 		f.Add(spec)

@@ -1,19 +1,29 @@
 // Package strategyspec parses the strategy mini-language shared by the
-// command-line tools:
+// command-line tools and the server:
 //
-//	S(<policy>)           shared cache, e.g. S(LRU), S(ARC)
-//	sP[even](<policy>)    static partition, K split evenly
-//	sP[opt](<policy>)     offline-optimal static partition (LRU curves,
-//	                      or Belady curves when the policy is FITF)
-//	dP(LRU)               the Lemma 3 global-LRU dynamic partition
-//	dP[fair](LRU)         the FairShare fairness-oriented partition
-//	dP[ucp](LRU)          utility-based cache partitioning
+//	S(<policy>)                 shared cache, e.g. S(LRU), S(ARC)
+//	sP[even](<policy>)          static partition, K split evenly
+//	sP[opt](<policy>)           offline-optimal static partition (LRU
+//	                            curves, or Belady curves for FITF)
+//	dP[<controller>](<policy>)  dynamic partition: controller × policy
 //
-// Policies are the names accepted by cache.NewFactory.
+// Partition controllers and eviction policies are orthogonal: every
+// dynamic controller composes with every policy, so dP[ucp](ARC) and
+// dP[fair](TINYLFU) are as valid as the classic dP(LRU). The dynamic
+// controllers are dP (the Lemma 3 global-LRU donor rule, also written
+// dP[lru-global]), dP[fair] (FairShare) and dP[ucp] (utility-based
+// cache partitioning). Policies are the names accepted by
+// cache.NewFactory, plus FWF in the shared family.
+//
+// The registry below is the single source of truth for the grammar:
+// Build, List and Portfolio all derive from it, as do `mcsim
+// -list-strategies`, the server's GET /strategies and the sweep
+// portfolios built on top.
 package strategyspec
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"mcpaging/internal/cache"
@@ -23,58 +33,171 @@ import (
 	"mcpaging/internal/sim"
 )
 
+// familyRow is one registry entry: a partition family, the policies it
+// accepts, its share of the standard portfolio, and its constructor.
+type familyRow struct {
+	family string
+	desc   string
+	// policies returns the accepted policy names, in listing order.
+	policies func() []string
+	// portfolio and portfolioOffline are the family's contributions to
+	// Portfolio(): the online pass and the offline tail.
+	portfolio        []string
+	portfolioOffline []string
+	build            func(pol string, rs core.RequestSet, k int, seed int64) (sim.Strategy, error)
+}
+
+// allPolicies is the policy set of the partitioned families.
+func allPolicies() []string { return cache.PolicyNames() }
+
+// sharedPolicies adds FWF, which lives at the strategy level (it needs
+// voluntary evictions) and only exists in the shared family.
+func sharedPolicies() []string { return append(cache.PolicyNames(), "FWF") }
+
+// families is the strategy registry, in listing order.
+var families = []familyRow{
+	{
+		family:           "S",
+		desc:             "shared cache, global eviction",
+		policies:         sharedPolicies,
+		portfolio:        []string{"LRU", "FIFO", "CLOCK", "LFU", "MARK", "RMARK", "FWF", "ARC", "SLRU", "LRU2", "TINYLFU"},
+		portfolioOffline: []string{"FITF"},
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			if pol == "FWF" {
+				return policy.NewFWF(), nil
+			}
+			mk, err := cache.NewFactory(pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewShared(mk), nil
+		},
+	},
+	{
+		family:    "sP[even]",
+		desc:      "static partition, K split evenly across cores",
+		policies:  allPolicies,
+		portfolio: []string{"LRU"},
+		build: func(pol string, rs core.RequestSet, k int, seed int64) (sim.Strategy, error) {
+			mk, err := cache.NewFactory(pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewStatic(policy.EvenSizes(k, rs.NumCores()), mk), nil
+		},
+	},
+	{
+		family:           "sP[opt]",
+		desc:             "offline-optimal static partition from miss curves",
+		policies:         allPolicies,
+		portfolio:        []string{"LRU"},
+		portfolioOffline: []string{"FITF"},
+		build: func(pol string, rs core.RequestSet, k int, seed int64) (sim.Strategy, error) {
+			mk, err := cache.NewFactory(pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			var part mattson.Partition
+			if pol == "FITF" {
+				part, err = mattson.OptimalOPT(rs, k)
+			} else {
+				part, err = mattson.OptimalLRU(rs, k)
+			}
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewStatic(part.Sizes, mk), nil
+		},
+	},
+	{
+		family:    "dP",
+		desc:      "dynamic partition, Lemma 3 global-LRU donor rule",
+		policies:  allPolicies,
+		portfolio: []string{"LRU"},
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			mk, err := cache.NewFactory(pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewPartitioned(policy.GlobalLRUController(), mk), nil
+		},
+	},
+	{
+		family:    "dP[fair]",
+		desc:      "dynamic partition, FairShare fault-balancing controller",
+		policies:  allPolicies,
+		portfolio: []string{"LRU"},
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			mk, err := cache.NewFactory(pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewPartitioned(policy.FairController(0), mk), nil
+		},
+	},
+	{
+		family:    "dP[ucp]",
+		desc:      "dynamic partition, utility-based (UCP) controller",
+		policies:  allPolicies,
+		portfolio: []string{"LRU"},
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			mk, err := cache.NewFactory(pol, seed)
+			if err != nil {
+				return nil, err
+			}
+			return policy.NewPartitioned(policy.UCPController(0), mk), nil
+		},
+	},
+}
+
+// familyAliases maps accepted alternate spellings to registry families.
+var familyAliases = map[string]string{
+	"dP[lru-global]": "dP",
+}
+
+// familyByName resolves a family head, following aliases.
+func familyByName(head string) *familyRow {
+	if canon, ok := familyAliases[head]; ok {
+		head = canon
+	}
+	for i := range families {
+		if families[i].family == head {
+			return &families[i]
+		}
+	}
+	return nil
+}
+
+// FamilyNames lists the registry families in listing order.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i := range families {
+		out[i] = families[i].family
+	}
+	return out
+}
+
 // Build parses a spec and constructs the strategy for the given request
 // set and cache size. The request set is needed because sP[opt] computes
-// its partition from the workload's miss curves; seed drives RAND.
+// its partition from the workload's miss curves; seed drives RAND and
+// RMARK.
 func Build(spec string, rs core.RequestSet, k int, seed int64) (sim.Strategy, error) {
 	spec = strings.TrimSpace(spec)
 	open := strings.Index(spec, "(")
 	if open < 0 || !strings.HasSuffix(spec, ")") {
-		return nil, fmt.Errorf("strategyspec: bad spec %q (want family(policy))", spec)
+		return nil, fmt.Errorf("strategyspec: bad spec %q (want family(policy), e.g. S(LRU) or dP[ucp](ARC))", spec)
 	}
 	head, pol := spec[:open], spec[open+1:len(spec)-1]
-	if head == "S" && pol == "FWF" {
-		// Flush-when-full lives at the strategy level (it needs
-		// voluntary evictions), not in the policy registry.
-		return policy.NewFWF(), nil
+	row := familyByName(head)
+	if row == nil {
+		return nil, fmt.Errorf("strategyspec: unknown family %q (valid: %s)",
+			head, strings.Join(FamilyNames(), ", "))
 	}
-	mk, err := cache.NewFactory(pol, seed)
-	if err != nil {
-		return nil, err
+	if !slices.Contains(row.policies(), pol) {
+		return nil, fmt.Errorf("strategyspec: family %s does not accept policy %q (valid: %s)",
+			row.family, pol, strings.Join(row.policies(), ", "))
 	}
-	switch head {
-	case "S":
-		return policy.NewShared(mk), nil
-	case "sP[even]":
-		return policy.NewStatic(policy.EvenSizes(k, rs.NumCores()), mk), nil
-	case "sP[opt]":
-		var part mattson.Partition
-		if pol == "FITF" {
-			part, err = mattson.OptimalOPT(rs, k)
-		} else {
-			part, err = mattson.OptimalLRU(rs, k)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return policy.NewStatic(part.Sizes, mk), nil
-	case "dP":
-		if pol != "LRU" {
-			return nil, fmt.Errorf("strategyspec: dP supports only LRU, got %q", pol)
-		}
-		return policy.NewDynamicLRU(), nil
-	case "dP[fair]":
-		if pol != "LRU" {
-			return nil, fmt.Errorf("strategyspec: dP[fair] supports only LRU, got %q", pol)
-		}
-		return policy.NewFairShare(0), nil
-	case "dP[ucp]":
-		if pol != "LRU" {
-			return nil, fmt.Errorf("strategyspec: dP[ucp] supports only LRU, got %q", pol)
-		}
-		return policy.NewUCP(0), nil
-	}
-	return nil, fmt.Errorf("strategyspec: unknown family %q", head)
+	return row.build(pol, rs, k, seed)
 }
 
 // Combo is one buildable strategy spec, with its family and policy
@@ -88,48 +211,40 @@ type Combo struct {
 	Desc   string `json:"desc"`
 }
 
-// familyDescs describes each spec family, in listing order.
-var familyDescs = []struct{ family, desc string }{
-	{"S", "shared cache, global eviction"},
-	{"sP[even]", "static partition, K split evenly across cores"},
-	{"sP[opt]", "offline-optimal static partition from miss curves"},
-	{"dP", "Lemma 3 global-LRU dynamic partition"},
-	{"dP[fair]", "FairShare fairness-oriented dynamic partition"},
-	{"dP[ucp]", "utility-based cache partitioning"},
-}
-
 // List enumerates every family/policy combination Build accepts, in a
-// stable order (family-major, policies in cache.PolicyNames order).
-// Every returned spec is guaranteed to construct: the round-trip is
-// covered by tests and FuzzBuild seeds.
+// stable order (registry order, policies in each family's listing
+// order). Every returned spec is guaranteed to construct: the
+// round-trip is covered by tests and FuzzBuild seeds.
 func List() []Combo {
 	var out []Combo
-	for _, fd := range familyDescs {
-		var pols []string
-		switch fd.family {
-		case "S":
-			pols = append(cache.PolicyNames(), "FWF")
-		case "sP[even]", "sP[opt]":
-			pols = cache.PolicyNames()
-		default: // the dynamic partitions are LRU-only
-			pols = []string{"LRU"}
-		}
-		for _, p := range pols {
+	for i := range families {
+		f := &families[i]
+		for _, p := range f.policies() {
 			out = append(out, Combo{
-				Spec:   fd.family + "(" + p + ")",
-				Family: fd.family,
+				Spec:   f.family + "(" + p + ")",
+				Family: f.family,
 				Policy: p,
-				Desc:   fd.desc,
+				Desc:   f.desc,
 			})
 		}
 	}
 	return out
 }
 
-// Portfolio returns the standard strategy portfolio run by `mcsim -all`.
+// Portfolio returns the standard strategy portfolio run by `mcsim -all`:
+// each family's online picks in registry order, then the offline tail
+// (FITF-based strategies, which need future knowledge).
 func Portfolio() []string {
-	return []string{
-		"S(LRU)", "S(FIFO)", "S(CLOCK)", "S(LFU)", "S(MARK)", "S(RMARK)", "S(FWF)", "S(ARC)", "S(SLRU)", "S(LRU2)", "S(TINYLFU)",
-		"sP[even](LRU)", "sP[opt](LRU)", "dP(LRU)", "dP[fair](LRU)", "dP[ucp](LRU)", "S(FITF)", "sP[opt](FITF)",
+	var out []string
+	for i := range families {
+		for _, p := range families[i].portfolio {
+			out = append(out, families[i].family+"("+p+")")
+		}
 	}
+	for i := range families {
+		for _, p := range families[i].portfolioOffline {
+			out = append(out, families[i].family+"("+p+")")
+		}
+	}
+	return out
 }

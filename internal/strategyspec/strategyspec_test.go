@@ -42,12 +42,48 @@ func TestBuildErrors(t *testing.T) {
 		"S(LRU",
 		"S(NOPE)",
 		"xx(LRU)",
-		"dP(FIFO)",
-		"dP[fair](FIFO)",
+		"dP[nope](LRU)",
+		"sP[even](FWF)", // FWF exists only in the shared family
 	}
 	for _, spec := range cases {
 		if _, err := strategyspec.Build(spec, rs, 4, 1); err == nil {
 			t.Errorf("%q should fail", spec)
+		}
+	}
+}
+
+func TestBuildErrorsEnumerateValidSets(t *testing.T) {
+	rs := testSet()
+	_, err := strategyspec.Build("xx(LRU)", rs, 4, 1)
+	if err == nil || !strings.Contains(err.Error(), "dP[ucp]") {
+		t.Fatalf("unknown-family error should list valid families, got %v", err)
+	}
+	_, err = strategyspec.Build("dP(NOPE)", rs, 4, 1)
+	if err == nil || !strings.Contains(err.Error(), "TINYLFU") {
+		t.Fatalf("unknown-policy error should list valid policies, got %v", err)
+	}
+}
+
+// TestDynamicControllersComposeWithPolicies is the acceptance check of
+// the composed strategy layer: every dynamic controller builds and runs
+// with a representative policy spread, not just LRU.
+func TestDynamicControllersComposeWithPolicies(t *testing.T) {
+	rs := testSet()
+	in := core.Instance{R: rs, P: core.Params{K: 4, Tau: 1}}
+	for _, fam := range []string{"dP", "dP[lru-global]", "dP[fair]", "dP[ucp]"} {
+		for _, pol := range []string{"LRU", "FIFO", "MARK", "ARC"} {
+			spec := fam + "(" + pol + ")"
+			s, err := strategyspec.Build(spec, rs, 4, 1)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			res, err := sim.Run(in, s, nil)
+			if err != nil {
+				t.Fatalf("%s: %v", spec, err)
+			}
+			if res.TotalFaults()+res.TotalHits() != int64(rs.TotalLen()) {
+				t.Fatalf("%s: accounting broken", spec)
+			}
 		}
 	}
 }

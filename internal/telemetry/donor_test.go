@@ -1,0 +1,75 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+	"mcpaging/internal/telemetry"
+)
+
+// run executes one instance with a fresh collector attached and returns
+// the end-of-run totals.
+func run(t *testing.T, in core.Instance, s sim.Strategy) telemetry.Totals {
+	t.Helper()
+	c := telemetry.New(telemetry.Config{
+		Cores: in.R.NumCores(), Params: in.P, Window: 16,
+	})
+	res, err := sim.Run(in, s, c.Observer())
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name(), err)
+	}
+	c.Finish(res)
+	return c.Totals()
+}
+
+// TestDonorAccountingEndToEnd drives real strategies through the
+// simulator: every repartitioning controller's step-boundary sheds must
+// land in PartitionChanges/DonatedEvictions (they flow through the one
+// generic Partitioned tick path), while FWF's flush ticks — voluntary
+// evictions without a partition — must not.
+func TestDonorAccountingEndToEnd(t *testing.T) {
+	// Core 0 cycles through many pages (fault-heavy); core 1 reuses two.
+	// FairShare moves cells toward core 0 and core 1's part sheds.
+	heavy := make(core.Sequence, 128)
+	for i := range heavy {
+		heavy[i] = core.PageID(i % 16)
+	}
+	light := make(core.Sequence, 128)
+	for i := range light {
+		light[i] = core.PageID(100 + i%2)
+	}
+	in := core.Instance{R: core.RequestSet{heavy, light}, P: core.Params{K: 6, Tau: 1}}
+
+	for _, s := range []sim.Strategy{policy.NewFairShare(8), policy.NewUCP(8)} {
+		tot := run(t, in, s)
+		if tot.VoluntaryEvictions == 0 {
+			t.Fatalf("%s: no voluntary evictions — workload never repartitioned", s.Name())
+		}
+		if tot.PartitionChanges == 0 {
+			t.Fatalf("%s: donor ticks not counted as partition changes", s.Name())
+		}
+		donated := int64(0)
+		for _, d := range tot.DonatedEvictions {
+			donated += d
+		}
+		if donated == 0 {
+			t.Fatalf("%s: donor ticks not attributed to a holding core", s.Name())
+		}
+	}
+
+	// FWF over one core: flush ticks galore, but no partition to change.
+	cyc := make(core.Sequence, 64)
+	for i := range cyc {
+		cyc[i] = core.PageID(i % 8)
+	}
+	fin := core.Instance{R: core.RequestSet{cyc}, P: core.Params{K: 4, Tau: 1}}
+	tot := run(t, fin, policy.NewFWF())
+	if tot.VoluntaryEvictions == 0 {
+		t.Fatal("S(FWF): expected flush ticks")
+	}
+	if tot.PartitionChanges != 0 {
+		t.Fatalf("S(FWF): %d partition changes from non-donor ticks, want 0", tot.PartitionChanges)
+	}
+}

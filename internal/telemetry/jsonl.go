@@ -22,6 +22,9 @@ func (c *Collector) writeEventJSONL(e sim.Event) {
 	if e.Tick {
 		b = append(b, `,"tick":true,"page":`...)
 		b = strconv.AppendInt(b, int64(e.Page), 10)
+		if e.Donor {
+			b = append(b, `,"donor":true`...)
+		}
 	} else {
 		b = append(b, `,"core":`...)
 		b = strconv.AppendInt(b, int64(e.Core), 10)

@@ -83,9 +83,10 @@ type Window struct {
 	// FaultJain is Jain's fairness index of the per-core fault counts of
 	// this window (1 = perfectly even, 1/p = one core takes all).
 	FaultJain float64 `json:"fault_jain"`
-	// PartitionChanges counts cross-core evictions in the window: faults
-	// whose victim was held by a different core, i.e. every event that
-	// moved a cell between cores' occupancy shares.
+	// PartitionChanges counts cell movements between cores in the
+	// window: faults whose victim was held by a different core, plus
+	// donor ticks — voluntary evictions a dynamic partition controller
+	// issues when shedding toward new quotas (sim.Event.Donor).
 	PartitionChanges int64 `json:"partition_changes"`
 	// VoluntaryEvictions counts Ticker evictions in the window.
 	VoluntaryEvictions int64 `json:"voluntary_evictions"`
@@ -97,9 +98,11 @@ type Totals struct {
 	Faults   []int64
 	Hits     []int64
 	Joins    []int64
-	// DonatedEvictions[c] counts evictions where core c held the victim
-	// but a different core faulted — c "donated" a cell. TakenCells[c]
-	// counts the cells core c took from other cores that way.
+	// DonatedEvictions[c] counts evictions where core c gave up a cell
+	// to the rest of the system: fault victims it held while a different
+	// core faulted, plus donor ticks shed by a repartitioning
+	// controller. TakenCells[c] counts the cells core c took from other
+	// cores on faults (donor ticks have no identified recipient).
 	DonatedEvictions []int64
 	TakenCells       []int64
 	// Occupancy and TauDebt are the final values of the corresponding
@@ -231,10 +234,19 @@ func (c *Collector) Observe(e sim.Event) {
 	c.anyEvent = true
 	c.advanceTo(e.Time)
 	if e.Tick {
-		// Voluntary eviction: the holder's share shrinks by one cell.
+		// Voluntary eviction: the holder's share shrinks by one cell. A
+		// donor tick (a dynamic partition shedding toward new quotas) is
+		// additionally a partition change: the holder donated the cell,
+		// though the recipient is unknown until a later fault grows into
+		// it, so TakenCells stays untouched here.
 		if h, ok := c.holder[e.Page]; ok {
 			c.occ[h]--
 			delete(c.holder, e.Page)
+			if e.Donor {
+				c.donated[h]++
+				c.cur.PartitionChanges++
+				c.partChanges++
+			}
 		}
 		c.cur.VoluntaryEvictions++
 		c.volEvictions++

@@ -183,6 +183,42 @@ func TestEventJSONL(t *testing.T) {
 	}
 }
 
+// TestDonorTicks: a donor tick — a repartitioning strategy shedding a
+// cell toward new quotas — counts as a voluntary eviction AND a
+// partition change attributed to the holding core; a plain tick (e.g.
+// FWF's flush) counts only as a voluntary eviction.
+func TestDonorTicks(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Events = &buf
+	c := New(cfg)
+	c.Observe(sim.Event{Time: 0, Core: 0, Index: 0, Page: 1, Fault: true, Victim: core.NoPage})
+	c.Observe(sim.Event{Time: 1, Core: 1, Index: 0, Page: 2, Fault: true, Victim: core.NoPage})
+	c.Observe(sim.Event{Time: 2, Core: -1, Index: -1, Page: 1, Tick: true, Donor: true, Victim: 1})
+	c.Observe(sim.Event{Time: 3, Core: -1, Index: -1, Page: 2, Tick: true, Victim: 2})
+	c.Finish(sim.Result{Makespan: 4})
+	tot := c.Totals()
+	if tot.VoluntaryEvictions != 2 {
+		t.Fatalf("voluntary evictions = %d, want 2", tot.VoluntaryEvictions)
+	}
+	if tot.PartitionChanges != 1 {
+		t.Fatalf("partition changes = %d, want 1 (only the donor tick)", tot.PartitionChanges)
+	}
+	if tot.DonatedEvictions[0] != 1 || tot.DonatedEvictions[1] != 0 {
+		t.Fatalf("donated = %v, want [1 0]", tot.DonatedEvictions)
+	}
+	if tot.Occupancy[0] != 0 || tot.Occupancy[1] != 0 {
+		t.Fatalf("occupancy = %v, want [0 0]", tot.Occupancy)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[2] != `{"t":2,"tick":true,"page":1,"donor":true}` {
+		t.Fatalf("donor tick line = %s", lines[2])
+	}
+	if lines[3] != `{"t":3,"tick":true,"page":2}` {
+		t.Fatalf("plain tick line = %s", lines[3])
+	}
+}
+
 func TestExportWriters(t *testing.T) {
 	c := finished(t)
 	var jsonl bytes.Buffer

@@ -28,6 +28,7 @@ echo "== mcsim (portfolio, binary input, events) =="
 go run ./cmd/mcsim -trace "$dir/t.txt" -k 16 -tau 4 -all > /dev/null
 go run ./cmd/mcsim -trace "$dir/t.bin" -k 8 -tau 2 -strategy 'dP[ucp](LRU)' -events "$dir/ev.csv" > /dev/null
 test -s "$dir/ev.csv"
+go run ./cmd/mcsim -trace "$dir/t.txt" -k 16 -tau 4 -strategy 'dP[ucp](ARC)' > /dev/null
 
 echo "== mcsweep =="
 go run ./cmd/mcsweep -trace "$dir/t.txt" -k 8,16 -tau 0,4 \
