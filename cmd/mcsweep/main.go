@@ -33,6 +33,7 @@ func main() {
 		specList   = flag.String("strategies", "S(LRU),sP[even](LRU),dP(LRU)", "comma-separated strategy specs")
 		seed       = flag.Int64("seed", 1, "seed for RAND policies")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		parallel   = flag.Int("parallel", 0, "intra-run speculation workers per grid point (0 = sequential engine)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		heatmap    = flag.String("heatmap", "", "render a K×τ heatmap for this strategy spec instead of the flat table")
 		metric     = flag.String("metric", "faults", "heatmap metric: faults|rate|jain|makespan")
@@ -88,12 +89,13 @@ func main() {
 		fatal(err)
 	}
 	grid := sweep.Grid{
-		R:       rs,
-		Ks:      ks,
-		Taus:    taus,
-		Specs:   splitNonEmpty(*specList),
-		Seed:    *seed,
-		Workers: *workers,
+		R:        rs,
+		Ks:       ks,
+		Taus:     taus,
+		Specs:    splitNonEmpty(*specList),
+		Seed:     *seed,
+		Workers:  *workers,
+		Parallel: *parallel,
 	}
 	if *telem {
 		pages := len(rs.Universe())

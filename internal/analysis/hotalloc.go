@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // Hotalloc returns the hotalloc analyzer: inside functions annotated
@@ -22,40 +23,83 @@ import (
 //     (runtime convT* allocation), including implicit conversions at
 //     call arguments and assignments;
 //   - make(map[...]...) without a size hint, and any make or new;
-//   - append and string<->[]byte conversions inside a loop.
+//   - append and string<->[]byte conversions inside a loop;
+//   - go statements (a spawn allocates a goroutine and hands the hot
+//     loop to the scheduler).
 //
 // Cold paths are exempt: anything inside a `return ..., err` whose
 // function returns an error (abort paths), and arguments to panic.
-// Deliberate slow paths carry //mcvet:ignore hotalloc <reason>.
+// A statement prefixed with //mcpaging:coldpath <reason> is exempt with
+// its whole subtree — the marker for rare-by-construction branches
+// (rollback, one-time growth) inside an otherwise hot function.
+// Deliberate single-line slow paths carry //mcvet:ignore hotalloc
+// <reason>.
 func Hotalloc() *Analyzer {
 	a := &Analyzer{
 		Name: "hotalloc",
 		Doc:  "flags heap allocations inside //mcpaging:hotpath functions",
 	}
 	a.Run = func(pass *Pass) {
+		cold := coldpathLines(pass)
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				fd, ok := decl.(*ast.FuncDecl)
 				if !ok || fd.Body == nil || !hasHotpathDirective(fd) {
 					continue
 				}
-				checkHotFunc(pass, fd)
+				checkHotFunc(pass, fd, cold)
 			}
 		}
 	}
 	return a
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+// coldpathDirective exempts the statement below it (subtree included)
+// from hotalloc.
+const coldpathDirective = "//mcpaging:coldpath"
+
+// coldpathLines indexes the package's //mcpaging:coldpath directives:
+// a statement starting on the directive's own line or the line after it
+// is exempt.
+func coldpathLines(pass *Pass) map[string]map[int]bool {
+	idx := make(map[string]map[int]bool)
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if c.Text != coldpathDirective && !strings.HasPrefix(c.Text, coldpathDirective+" ") {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = true
+				m[pos.Line+1] = true
+			}
+		}
+	}
+	return idx
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl, cold map[string]map[int]bool) {
 	info := pass.TypesInfo
 	returnsError := funcReturnsError(fd)
 	reported := make(map[ast.Node]bool)
 
 	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, isStmt := n.(ast.Stmt); isStmt {
+			if pos := pass.Fset.Position(n.Pos()); cold[pos.Filename][pos.Line] {
+				return false // declared cold: skip the whole subtree
+			}
+		}
 		if coldPath(info, stack, returnsError) {
 			return true
 		}
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement spawns a goroutine in a hotpath function; move the spawn to setup and reuse workers")
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {

@@ -103,6 +103,36 @@ func ignoredSlowPath(m map[int]*big, k int) *big {
 	return nd
 }
 
+func drain(ch chan int) { <-ch }
+
+// A function that spawns goroutines has no business being marked
+// hotpath: the spawn allocates and yields to the scheduler.
+
+//mcpaging:hotpath
+func spawnsGoroutine(ch chan int) {
+	go drain(ch) // want `go statement spawns a goroutine in a hotpath function`
+}
+
+//mcpaging:hotpath
+func coldFallbackBranch(m map[int]*big, k int) *big {
+	if nd := m[k]; nd != nil {
+		return nd
+	}
+	//mcpaging:coldpath first touch of this key, once per run
+	nd := &big{}
+	m[k] = nd
+	return nd
+}
+
+//mcpaging:hotpath
+func coldSubtree(ready bool, ch chan int) {
+	if !ready {
+		//mcpaging:coldpath lazy pool start, once per process
+		go drain(ch)
+	}
+	_ = ready
+}
+
 // unannotated functions may allocate freely.
 func unannotated() *big {
 	return &big{a: 1}

@@ -1,0 +1,65 @@
+package core
+
+// Flat is a structure-of-arrays view of a RequestSet: every per-core
+// sequence concatenated into one contiguous backing array, plus a
+// p+1-entry offset table. Engines that scan sequences in tight loops
+// (the speculative parallel engine in internal/sim) use it so per-core
+// cursors walk one linear array instead of chasing p separate slice
+// headers — the scan's memory traffic becomes a single forward stream
+// per core, which is what hardware prefetchers are built for.
+//
+// A Flat is a copy of the request set at Flatten time; it does not
+// alias the source sequences and is safe to read concurrently.
+type Flat struct {
+	// Pages holds the sequences back to back: core c's requests occupy
+	// Pages[Off[c]:Off[c+1]].
+	Pages []PageID
+	// Off has length p+1; Off[0] = 0 and Off[p] = total request count.
+	Off []int32
+}
+
+// Flatten builds a Flat view of r. Use FlattenInto to recycle backing
+// arrays across rebinds.
+func Flatten(r RequestSet) Flat {
+	return FlattenInto(Flat{}, r)
+}
+
+// FlattenInto rebuilds f as a view of r, reusing f's backing arrays
+// when their capacity suffices — the rebind half of the reusable-engine
+// pattern: a long-lived Runner re-flattens each workload it binds into
+// the same storage.
+func FlattenInto(f Flat, r RequestSet) Flat {
+	n := r.TotalLen()
+	p := len(r)
+	if cap(f.Pages) < n {
+		f.Pages = make([]PageID, n)
+	}
+	f.Pages = f.Pages[:n]
+	if cap(f.Off) < p+1 {
+		f.Off = make([]int32, p+1)
+	}
+	f.Off = f.Off[:p+1]
+	pos := 0
+	for c, seq := range r {
+		f.Off[c] = int32(pos)
+		copy(f.Pages[pos:], seq)
+		pos += len(seq)
+	}
+	f.Off[p] = int32(pos)
+	return f
+}
+
+// NumCores returns p, the number of cores in the view.
+func (f Flat) NumCores() int {
+	if len(f.Off) == 0 {
+		return 0
+	}
+	return len(f.Off) - 1
+}
+
+// Len returns the length of core c's sequence.
+func (f Flat) Len(c int) int { return int(f.Off[c+1] - f.Off[c]) }
+
+// Seq returns core c's sequence as a subslice of the backing array.
+// The result aliases the Flat and must not be mutated.
+func (f Flat) Seq(c int) []PageID { return f.Pages[f.Off[c]:f.Off[c+1]] }

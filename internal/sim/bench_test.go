@@ -1,75 +1,202 @@
 package sim_test
 
 import (
+	"bytes"
+	"fmt"
+	"io"
 	"testing"
 
+	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
 	"mcpaging/internal/policy"
 	"mcpaging/internal/sim"
+	"mcpaging/internal/trace"
 )
 
-// BenchmarkSimServe isolates the three serve paths of the engine. Each
-// sub-benchmark replays a workload engineered so one path dominates,
-// through a reused Runner, so the numbers track the per-request cost of
-// that path (hit ≈ array lookup + Touch; fault ≈ eviction + table
-// update; join ≈ in-flight check + Touch) with steady-state allocations.
-func BenchmarkSimServe(b *testing.B) {
-	const perCore = 50000
+// benchShape is one workload of the serve-path benchmark matrix.
+type benchShape struct {
+	name   string
+	rs     core.RequestSet
+	params core.Params
+	strat  func() sim.Strategy
+}
 
-	bench := func(b *testing.B, rs core.RequestSet, params core.Params) {
-		b.Helper()
-		rn, err := sim.NewRunner(rs)
+// benchShapes builds workloads engineered so one serve path dominates
+// (hit ≈ array lookup + Touch; fault ≈ eviction + table update; join ≈
+// in-flight check + Touch). The hit and fault shapes use disjoint
+// per-core pools, so they are eligible for the speculative parallel
+// engine; join requires overlapping sequences, which the parallel
+// engine declines — its par variants measure the fallback check, not a
+// parallel run.
+func benchShapes(perCore int) []benchShape {
+	shapes := make([]benchShape, 0, 3)
+
+	// 4 cores cycling disjoint 16-page working sets inside K=128:
+	// everything past the first 64 requests is a hit.
+	hit := make(core.RequestSet, 4)
+	for c := range hit {
+		seq := make(core.Sequence, perCore)
+		for i := range seq {
+			seq[i] = core.PageID(c*16 + i%16)
+		}
+		hit[c] = seq
+	}
+	shapes = append(shapes, benchShape{"hit", hit, core.Params{K: 128, Tau: 8}, nil})
+
+	// 4 cores scanning disjoint 512-page loops with K=128 under LRU:
+	// the classic sequential-flooding pattern, every request faults.
+	fault := make(core.RequestSet, 4)
+	for c := range fault {
+		seq := make(core.Sequence, perCore)
+		for i := range seq {
+			seq[i] = core.PageID(c*512 + i%512)
+		}
+		fault[c] = seq
+	}
+	shapes = append(shapes, benchShape{"fault", fault, core.Params{K: 128, Tau: 8}, nil})
+
+	// 4 cores issuing the same 512-page scan in lockstep with τ=8:
+	// core 0 faults and the rest join the in-flight fetch, so ~3/4 of
+	// all requests take the join path.
+	seq := make(core.Sequence, perCore)
+	for i := range seq {
+		seq[i] = core.PageID(i % 512)
+	}
+	shapes = append(shapes, benchShape{"join", core.RequestSet{seq, seq, seq, seq}, core.Params{K: 128, Tau: 8}, nil})
+
+	// 4 cores striding over disjoint 32K-page working sets that all fit
+	// in K: after one warmup pass everything hits, but the 1MB
+	// residency table and the stride defeat the hardware caches, so
+	// sequential serving stalls on memory. This is the shape the
+	// speculative engine targets — the memory-bound residency lookups
+	// spread across lanes while the commit degenerates to counters (run
+	// it with a policy whose Touch is free, e.g. FITF). Six passes make
+	// the faulting warmup pass a small fraction of the run.
+	scan := make(core.RequestSet, 4)
+	for c := range scan {
+		seq := make(core.Sequence, 4*perCore)
+		for i := range seq {
+			seq[i] = core.PageID(c*32768 + (i*7919)%32768)
+		}
+		scan[c] = seq
+	}
+	shapes = append(shapes, benchShape{"scan", scan, core.Params{K: 131072, Tau: 8},
+		func() sim.Strategy { return policy.NewShared(func() cache.Policy { return cache.NewFITF() }) }})
+
+	for i := range shapes {
+		if shapes[i].strat == nil {
+			shapes[i].strat = func() sim.Strategy { return policy.NewShared(lru()) }
+		}
+	}
+	return shapes
+}
+
+// benchWorkers is the engine matrix: 0 is the sequential serve loop,
+// the rest are speculative-engine lane counts.
+var benchWorkers = []int{0, 2, 4, 8}
+
+func workersName(w int) string {
+	if w == 0 {
+		return "seq"
+	}
+	return fmt.Sprintf("par%d", w)
+}
+
+// BenchmarkSimServe crosses the three serve paths of the engine with
+// the engine matrix. Each sub-benchmark replays its workload through a
+// reused Runner, so the numbers track the per-request cost of that
+// path with steady-state allocations. Compare engines with
+// scripts/bench_parallel.sh, which renames the seq/parN suffixes into
+// benchstat columns.
+func BenchmarkSimServe(b *testing.B) {
+	for _, sh := range benchShapes(50000) {
+		for _, w := range benchWorkers {
+			b.Run(sh.name+"/"+workersName(w), func(b *testing.B) {
+				rn, err := sim.NewRunner(sh.rs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rn.SetParallel(w)
+				n := float64(sh.rs.TotalLen())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := rn.Run(sh.params, sh.strat(), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(n*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+			})
+		}
+	}
+}
+
+// BenchmarkSimStream measures the full streaming pipeline: decode a
+// binary trace through trace.Decoder into reused buffers, rebind a
+// Runner, and run — the path a service takes for traces too large to
+// keep materialized. The decode buffer and request set are reused
+// across iterations, so steady-state garbage stays bounded regardless
+// of trace size.
+func BenchmarkSimStream(b *testing.B) {
+	const perCore = 50000
+	rs := make(core.RequestSet, 4)
+	for c := range rs {
+		seq := make(core.Sequence, perCore)
+		for i := range seq {
+			seq[i] = core.PageID(c*512 + i%512)
+		}
+		rs[c] = seq
+	}
+	var bin bytes.Buffer
+	if err := trace.WriteBinary(&bin, rs); err != nil {
+		b.Fatal(err)
+	}
+	data := bin.Bytes()
+	params := core.Params{K: 128, Tau: 8}
+
+	var rn sim.Runner
+	dst := make(core.RequestSet, 0, 4)
+	n := float64(rs.TotalLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := trace.NewDecoder(bytes.NewReader(data))
 		if err != nil {
 			b.Fatal(err)
 		}
-		n := float64(rs.TotalLen())
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := rn.Run(params, policy.NewShared(lru()), nil); err != nil {
+		dst = dst[:0]
+		for {
+			m, err := d.NextCore()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
 				b.Fatal(err)
 			}
+			c := len(dst)
+			if c < cap(dst) {
+				dst = dst[:c+1]
+			} else {
+				dst = append(dst, nil)
+			}
+			if cap(dst[c]) < m {
+				dst[c] = make(core.Sequence, m)
+			}
+			dst[c] = dst[c][:m]
+			for off := 0; off < m; {
+				k, err := d.Read(dst[c][off:])
+				if err != nil {
+					b.Fatal(err)
+				}
+				off += k
+			}
 		}
-		b.ReportMetric(n*float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		if err := rn.Bind(dst); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rn.Run(params, policy.NewShared(lru()), nil); err != nil {
+			b.Fatal(err)
+		}
 	}
-
-	b.Run("hit", func(b *testing.B) {
-		// 4 cores cycling disjoint 16-page working sets inside K=128:
-		// everything past the first 64 requests is a hit.
-		rs := make(core.RequestSet, 4)
-		for c := range rs {
-			seq := make(core.Sequence, perCore)
-			for i := range seq {
-				seq[i] = core.PageID(c*16 + i%16)
-			}
-			rs[c] = seq
-		}
-		bench(b, rs, core.Params{K: 128, Tau: 8})
-	})
-
-	b.Run("fault", func(b *testing.B) {
-		// 4 cores scanning disjoint 512-page loops with K=128 under LRU:
-		// the classic sequential-flooding pattern, every request faults.
-		rs := make(core.RequestSet, 4)
-		for c := range rs {
-			seq := make(core.Sequence, perCore)
-			for i := range seq {
-				seq[i] = core.PageID(c*512 + i%512)
-			}
-			rs[c] = seq
-		}
-		bench(b, rs, core.Params{K: 128, Tau: 8})
-	})
-
-	b.Run("join", func(b *testing.B) {
-		// 4 cores issuing the same 512-page scan in lockstep with τ=8:
-		// core 0 faults and the rest join the in-flight fetch, so ~3/4 of
-		// all requests take the join path.
-		seq := make(core.Sequence, perCore)
-		for i := range seq {
-			seq[i] = core.PageID(i % 512)
-		}
-		rs := core.RequestSet{seq, seq, seq, seq}
-		bench(b, rs, core.Params{K: 128, Tau: 8})
-	})
+	b.ReportMetric(n*float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }

@@ -1,0 +1,13 @@
+package sim
+
+// SetParKnobs overrides the speculative engine's eligibility and
+// speculation-depth knobs for a test and returns a restore func. The
+// differential corpus uses tiny instances, so tests shrink the
+// thresholds to force the parallel engine to engage, turn epochs over,
+// and exercise rollback on workloads small enough to cross-check
+// event-for-event against the reference engine.
+func SetParKnobs(minRequests, budget, maxSegs int) (restore func()) {
+	m0, b0, s0 := parMinRequests, parBudget, parMaxSegs
+	parMinRequests, parBudget, parMaxSegs = minRequests, budget, maxSegs
+	return func() { parMinRequests, parBudget, parMaxSegs = m0, b0, s0 }
+}

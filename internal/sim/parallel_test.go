@@ -1,0 +1,345 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/policy"
+	"mcpaging/internal/sim"
+)
+
+// parWorkerCounts is the worker matrix every parallel differential test
+// sweeps: 1 exercises the epoch engine with inline scanning (fully
+// deterministic scheduling), 4 and 8 exercise the pool with fewer/more
+// lanes than the corpus's core counts.
+var parWorkerCounts = []int{1, 4, 8}
+
+// runParallelEvents runs the instance through a Runner with the given
+// worker setting and returns the result, event stream, and engine
+// stats.
+func runParallelEvents(t *testing.T, in core.Instance, s sim.Strategy, workers int) (sim.Result, []sim.Event, sim.EngineStats) {
+	t.Helper()
+	rn, err := sim.NewRunner(in.R)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn.SetParallel(workers)
+	var evs []sim.Event
+	res, err := rn.Run(in.P, s, func(e sim.Event) { evs = append(evs, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, evs, rn.Stats()
+}
+
+// TestParallelMatchesSequential replays the same randomized corpus as
+// TestDenseMatchesReference through the speculative parallel engine at
+// 1, 4, and 8 workers and requires byte-identical results and event
+// streams against both the sequential dense engine and the map-based
+// reference engine. The knobs are shrunk so the tiny corpus instances
+// actually engage the epoch engine, turn over many epochs, and hit the
+// rollback path; the stats assertions at the end prove the test is not
+// vacuously passing through the sequential fallback.
+func TestParallelMatchesSequential(t *testing.T) {
+	restore := sim.SetParKnobs(1, 7, 2)
+	defer restore()
+
+	var parallelRuns, epochs, cuts int64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		in := randomInstance(rng, i)
+		p := in.R.NumCores()
+		for si, mk := range diffStrategies(in.P.K, p) {
+			label := fmt.Sprintf("inst=%d strat=%d (p=%d K=%d tau=%d)", i, si, p, in.P.K, in.P.Tau)
+
+			var refEv []sim.Event
+			ref, err := sim.RunReference(in, mk(), func(e sim.Event) { refEv = append(refEv, e) })
+			if err != nil {
+				t.Fatalf("%s: reference: %v", label, err)
+			}
+
+			for _, w := range parWorkerCounts {
+				got, gotEv, stats := runParallelEvents(t, in, mk(), w)
+				parallelRuns += stats.ParallelRuns
+				epochs += stats.Epochs
+				cuts += stats.Cuts
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("%s w=%d: results differ:\nparallel  %+v\nreference %+v", label, w, got, ref)
+				}
+				if len(gotEv) != len(refEv) {
+					t.Fatalf("%s w=%d: %d events vs %d in reference", label, w, len(gotEv), len(refEv))
+				}
+				for j := range gotEv {
+					if gotEv[j] != refEv[j] {
+						t.Fatalf("%s w=%d: event %d differs:\nparallel  %+v\nreference %+v",
+							label, w, j, gotEv[j], refEv[j])
+					}
+				}
+			}
+		}
+	}
+	if parallelRuns == 0 || epochs == 0 {
+		t.Fatalf("parallel engine never engaged (runs=%d epochs=%d): differential test is vacuous", parallelRuns, epochs)
+	}
+	if cuts == 0 {
+		t.Fatalf("rollback path never exercised (epochs=%d): corpus or knobs too tame", epochs)
+	}
+}
+
+// TestParallelRollbackStress drives the engine through a workload built
+// to maximize speculation rollback: every core cycles through a small
+// private page set while the shared cache is far too small, so almost
+// every access faults and almost every eviction lands inside another
+// core's speculated future. The event stream must still match the
+// sequential engine exactly.
+func TestParallelRollbackStress(t *testing.T) {
+	restore := sim.SetParKnobs(1, 64, 16)
+	defer restore()
+
+	const p, perCore, cycle = 3, 3000, 4
+	rs := make(core.RequestSet, p)
+	for c := range rs {
+		seq := make(core.Sequence, perCore)
+		for i := range seq {
+			seq[i] = core.PageID(c*cycle + i%cycle)
+		}
+		rs[c] = seq
+	}
+	params := core.Params{K: 6, Tau: 3}
+	in := core.Instance{R: rs, P: params}
+
+	var refEv []sim.Event
+	ref, err := sim.Run(in, policy.NewShared(lru()), func(e sim.Event) { refEv = append(refEv, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parWorkerCounts {
+		got, gotEv, stats := runParallelEvents(t, in, policy.NewShared(lru()), w)
+		if stats.ParallelRuns != 1 {
+			t.Fatalf("w=%d: expected a parallel run, stats %+v", w, stats)
+		}
+		if stats.Cuts == 0 {
+			t.Fatalf("w=%d: rollback stress produced no cuts, stats %+v", w, stats)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("w=%d: results differ:\nparallel   %+v\nsequential %+v", w, got, ref)
+		}
+		if len(gotEv) != len(refEv) {
+			t.Fatalf("w=%d: %d events vs %d sequential", w, len(gotEv), len(refEv))
+		}
+		for j := range gotEv {
+			if gotEv[j] != refEv[j] {
+				t.Fatalf("w=%d: event %d differs:\nparallel   %+v\nsequential %+v", w, j, gotEv[j], refEv[j])
+			}
+		}
+	}
+}
+
+// tickerWrap turns any strategy into a (no-op) Ticker, which must force
+// the sequential engine: voluntary evictions are step-boundary
+// synchronization the epoch engine does not speculate across.
+type tickerWrap struct{ sim.Strategy }
+
+func (tickerWrap) OnTick(t int64, v sim.View) []core.PageID { return nil }
+
+// TestParallelFallback checks every eligibility rule: the speculative
+// engine must decline p=1, non-disjoint request sets, instances below
+// the size threshold, Ticker strategies, and workers=0 — and engage on
+// a large disjoint multi-core instance.
+func TestParallelFallback(t *testing.T) {
+	big := func(p int, disjoint bool) core.RequestSet {
+		rs := make(core.RequestSet, p)
+		for c := range rs {
+			seq := make(core.Sequence, 4096)
+			for i := range seq {
+				pg := core.PageID(i % 16)
+				if disjoint {
+					pg += core.PageID(c * 16)
+				}
+				seq[i] = pg
+			}
+			rs[c] = seq
+		}
+		return rs
+	}
+	params := core.Params{K: 48, Tau: 4}
+	cases := []struct {
+		name    string
+		rs      core.RequestSet
+		workers int
+		ticker  bool
+		want    bool // parallel engine engaged
+	}{
+		{"engages", big(2, true), 4, false, true},
+		{"workers=1 still engages", big(2, true), 1, false, true},
+		{"workers=0", big(2, true), 0, false, false},
+		{"p=1", big(1, true), 4, false, false},
+		{"shared pages", big(2, false), 4, false, false},
+		{"ticker strategy", big(2, true), 4, true, false},
+	}
+	for _, tc := range cases {
+		rn, err := sim.NewRunner(tc.rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn.SetParallel(tc.workers)
+		s := sim.Strategy(policy.NewShared(lru()))
+		if tc.ticker {
+			s = tickerWrap{s}
+		}
+		if _, err := rn.Run(params, s, nil); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		stats := rn.Stats()
+		if got := stats.ParallelRuns == 1; got != tc.want {
+			t.Fatalf("%s: parallel engaged=%v, want %v (stats %+v)", tc.name, got, tc.want, stats)
+		}
+	}
+
+	// Below the size threshold (with production knobs).
+	small := core.RequestSet{
+		{0, 1, 2, 0, 1, 2},
+		{3, 4, 5, 3, 4, 5},
+	}
+	rn, err := sim.NewRunner(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn.SetParallel(4)
+	if _, err := rn.Run(core.Params{K: 4, Tau: 2}, policy.NewShared(lru()), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := rn.Stats(); st.ParallelRuns != 0 || st.SequentialRuns != 1 {
+		t.Fatalf("tiny instance: expected sequential fallback, stats %+v", st)
+	}
+}
+
+// TestParallelRunnerReuse checks that a parallel Runner replayed over
+// the same instance produces identical results every time, and that
+// interleaving engines on one Runner is safe.
+func TestParallelRunnerReuse(t *testing.T) {
+	restore := sim.SetParKnobs(1, 64, 16)
+	defer restore()
+
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < 10; i++ {
+		in := randomInstance(rng, i+1) // skip sparse offset alignment of inst 0
+		rn, err := sim.NewRunner(in.R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := rn.Run(in.P, policy.NewShared(lru()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 4; rep++ {
+			rn.SetParallel(rep % 3 * 4) // 0, 4, 8, 0
+			got, err := rn.Run(in.P, policy.NewShared(lru()), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("inst=%d rep=%d (workers=%d): result drifted:\nfirst %+v\nnow   %+v",
+					i, rep, rn.Parallel(), want, got)
+			}
+		}
+	}
+}
+
+// TestRunParallelHelper checks the package-level one-shot entry point
+// against sim.Run.
+func TestRunParallelHelper(t *testing.T) {
+	restore := sim.SetParKnobs(1, 64, 16)
+	defer restore()
+
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 10; i++ {
+		in := randomInstance(rng, i)
+		want, err := sim.Run(in, policy.NewShared(lru()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sim.RunParallel(in, policy.NewShared(lru()), nil, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("inst=%d: RunParallel %+v vs Run %+v", i, got, want)
+		}
+	}
+}
+
+// TestParallelRunAllocBound extends the warmed-Runner allocation bound
+// to the speculative engine's steady state: after the first run has
+// sized the segment and overlay arrays, a parallel run may allocate no
+// more than the sequential per-run constants (the three Result slices
+// plus strategy Init) — no per-epoch or per-goroutine garbage.
+func TestParallelRunAllocBound(t *testing.T) {
+	rs := make(core.RequestSet, 4)
+	for c := range rs {
+		seq := make(core.Sequence, 4096)
+		for i := range seq {
+			seq[i] = core.PageID(c*16 + i%16)
+		}
+		rs[c] = seq
+	}
+	rn, err := sim.NewRunner(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn.SetParallel(4)
+	params := core.Params{K: 64, Tau: 4}
+	s := policy.NewShared(lru())
+	if _, err := rn.Run(params, s, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := rn.Stats(); st.ParallelRuns == 0 {
+		t.Fatalf("warmup did not engage the parallel engine: %+v", st)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := rn.Run(params, s, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const bound = 4
+	if allocs > bound {
+		t.Fatalf("warmed parallel Runner.Run: %v allocs/run, want at most %d (16384 requests served)", allocs, bound)
+	}
+}
+
+// FuzzParallelEquivalence is the property half of the differential
+// suite: for any generator seed, the parallel engine at 1, 4, and 8
+// workers must reproduce the sequential engine's result and event
+// stream exactly.
+func FuzzParallelEquivalence(f *testing.F) {
+	for _, seed := range []int64{1, 2, 3, 17, 42, 1 << 40} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		restore := sim.SetParKnobs(1, 7, 2)
+		defer restore()
+
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, int(uint64(seed)%6))
+		p := in.R.NumCores()
+		for si, mk := range diffStrategies(in.P.K, p) {
+			var refEv []sim.Event
+			ref, err := sim.Run(in, mk(), func(e sim.Event) { refEv = append(refEv, e) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parWorkerCounts {
+				got, gotEv, _ := runParallelEvents(t, in, mk(), w)
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("seed=%d strat=%d w=%d: %+v vs %+v", seed, si, w, got, ref)
+				}
+				if !reflect.DeepEqual(gotEv, refEv) {
+					t.Fatalf("seed=%d strat=%d w=%d: event streams differ", seed, si, w)
+				}
+			}
+		}
+	})
+}

@@ -231,6 +231,12 @@ type engine struct {
 	fwd map[core.PageID]core.PageID // original → dense (nil when direct)
 	inv []core.PageID               // dense → original (nil when direct)
 
+	// owner[pg] is the core whose sequence contains dense page pg (-1
+	// when unrequested), built lazily by disjointDense for the parallel
+	// engine; ownerState caches the disjointness verdict per bind.
+	owner      []int32
+	ownerState uint8
+
 	// Flat occurrence table for the oracle. The pairs of page pg occupy
 	// slotStart[pg]..slotStart[pg+1]-1, one per core that requests pg, in
 	// core order; pair s owns the contiguous range pos[pairStart[s]:
@@ -405,8 +411,10 @@ func densePageLimit(n int) int {
 // Runner is not safe for concurrent use — give each worker its own. The
 // request set must not be mutated while the Runner is in use.
 type Runner struct {
-	rs core.RequestSet
-	e  engine
+	rs    core.RequestSet
+	e     engine
+	par   parState
+	stats EngineStats
 }
 
 // NewRunner validates the request set and builds the reusable engine
@@ -469,6 +477,8 @@ func (r *Runner) bind(rs core.RequestSet) error {
 	e.readyAt = growSlice(e.readyAt, e.w)
 	e.occBuilt = false
 	e.occN = n
+	e.ownerState = ownerUnknown
+	r.par.flatBound = false
 	return nil
 }
 
@@ -600,6 +610,11 @@ func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy,
 	}
 	ticker, _ := s.(Ticker)
 	_, repart := s.(Repartitioner)
+	if ticker == nil && r.parallelReady() {
+		r.stats.ParallelRuns++
+		return r.runParallel(ctx, s, obs, &res)
+	}
+	r.stats.SequentialRuns++
 	seqs := e.seqs
 	var served, nextCheck int64 = 0, cancelCheckEvery
 
@@ -711,6 +726,9 @@ func (r *Runner) release() {
 	for i := range r.e.denseSeqs {
 		r.e.denseSeqs[i] = nil
 	}
+	r.par.workers = 0
+	r.par.flatBound = false
+	r.e.ownerState = ownerUnknown
 }
 
 // runnerPool recycles Runner state across Run calls so one-shot runs

@@ -30,6 +30,11 @@ type Grid struct {
 	Seed int64
 	// Workers bounds concurrency (0 = GOMAXPROCS).
 	Workers int
+	// Parallel enables intra-run speculation inside each grid point
+	// with that many scan workers (0 = sequential engine). Useful when
+	// the grid has fewer points than cores; points ineligible for the
+	// parallel engine fall back automatically with identical results.
+	Parallel int
 	// Observe, when non-nil, is called once per grid point — concurrently
 	// from worker goroutines, after the point's strategy is built — and
 	// may return an observer to attach to the point's run plus a done
@@ -108,6 +113,9 @@ func Run(g Grid) ([]Point, error) {
 		go func() {
 			defer wg.Done()
 			rn, err := sim.NewRunner(g.R)
+			if err == nil {
+				rn.SetParallel(g.Parallel)
+			}
 			for i := range jobs {
 				pt := &points[i]
 				if err != nil {

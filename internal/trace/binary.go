@@ -55,9 +55,52 @@ func WriteBinary(w io.Writer, r core.RequestSet) error {
 	return bw.Flush()
 }
 
-// ReadBinary parses the binary format.
+// ReadBinary parses the binary format, materializing the full request
+// set. Callers that can process requests core by core should use
+// Decoder instead, which never holds more than one caller-sized buffer
+// of decoded pages.
 func ReadBinary(r io.Reader) (core.RequestSet, error) {
-	br := bufio.NewReader(r)
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	return d.ReadAll()
+}
+
+// Decoder streams a binary trace without materializing it: the header
+// is parsed on construction, then each core's sequence is consumed
+// with NextCore followed by Read calls into a caller-owned buffer. The
+// caller controls all allocation, so a billion-request trace can feed
+// a consumer through a fixed-size buffer.
+//
+//	d, _ := trace.NewDecoder(f)
+//	buf := make([]core.PageID, 64<<10)
+//	for {
+//		n, err := d.NextCore()      // io.EOF after the last core
+//		...
+//		for {
+//			m, err := d.Read(buf)   // io.EOF at the end of the core
+//			consume(buf[:m])
+//			...
+//		}
+//	}
+type Decoder struct {
+	br *bufio.Reader
+	p  int // core count from the header
+
+	decoded int   // cores whose NextCore has been issued
+	left    int   // requests remaining in the current core
+	prev    int64 // delta-decoding accumulator for the current core
+}
+
+// NewDecoder parses the binary header (magic and core count) and
+// positions the stream at the first core. The reader is buffered
+// internally; r is consumed exactly up to the end of the trace.
+func NewDecoder(r io.Reader) (*Decoder, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
 	head := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: short binary header: %w", err)
@@ -74,31 +117,83 @@ func ReadBinary(r io.Reader) (core.RequestSet, error) {
 	if p < 1 || p > 1<<20 {
 		return nil, fmt.Errorf("trace: implausible core count %d", p)
 	}
-	rs := make(core.RequestSet, p)
-	for j := range rs {
-		n, err := binary.ReadUvarint(br)
+	return &Decoder{br: br, p: int(p)}, nil
+}
+
+// NumCores returns the trace's core count, known from the header.
+func (d *Decoder) NumCores() int { return d.p }
+
+// NextCore advances to the next core's sequence and returns its
+// length. It returns io.EOF after the last core. The previous core's
+// sequence must be fully consumed first (Read returned io.EOF).
+func (d *Decoder) NextCore() (int, error) {
+	if d.left != 0 {
+		return 0, fmt.Errorf("trace: NextCore with %d requests unread in core %d", d.left, d.decoded-1)
+	}
+	if d.decoded == d.p {
+		return 0, io.EOF
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil {
+		return 0, err
+	}
+	if n > 1<<28 {
+		return 0, fmt.Errorf("trace: implausible sequence length %d", n)
+	}
+	d.decoded++
+	d.left = int(n)
+	d.prev = 0
+	return int(n), nil
+}
+
+// Read decodes up to len(buf) pages of the current core's sequence
+// into buf and returns the count. At the end of the core it returns
+// 0, io.EOF; call NextCore to proceed.
+func (d *Decoder) Read(buf []core.PageID) (int, error) {
+	if d.left == 0 {
+		return 0, io.EOF
+	}
+	n := len(buf)
+	if n > d.left {
+		n = d.left
+	}
+	for i := 0; i < n; i++ {
+		delta, err := binary.ReadVarint(d.br)
+		if err != nil {
+			return i, err
+		}
+		d.prev += delta
+		if d.prev < 0 || d.prev > 1<<31-1 {
+			return i, fmt.Errorf("trace: page %d out of range", d.prev)
+		}
+		buf[i] = core.PageID(d.prev)
+	}
+	d.left -= n
+	return n, nil
+}
+
+// ReadAll drains the remaining cores into a request set — the
+// materializing path ReadBinary is built on.
+func (d *Decoder) ReadAll() (core.RequestSet, error) {
+	rs := make(core.RequestSet, 0, d.p-d.decoded)
+	for {
+		n, err := d.NextCore()
+		if err == io.EOF {
+			return rs, nil
+		}
 		if err != nil {
 			return nil, err
 		}
-		if n > 1<<28 {
-			return nil, fmt.Errorf("trace: implausible sequence length %d", n)
-		}
 		seq := make(core.Sequence, n)
-		prev := int64(0)
-		for i := range seq {
-			d, err := binary.ReadVarint(br)
+		for off := 0; off < n; {
+			m, err := d.Read(seq[off:])
 			if err != nil {
 				return nil, err
 			}
-			prev += d
-			if prev < 0 || prev > 1<<31-1 {
-				return nil, fmt.Errorf("trace: page %d out of range", prev)
-			}
-			seq[i] = core.PageID(prev)
+			off += m
 		}
-		rs[j] = seq
+		rs = append(rs, seq)
 	}
-	return rs, nil
 }
 
 // ReadAuto detects the format (text or binary) from the leading bytes

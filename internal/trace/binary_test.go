@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -93,6 +94,106 @@ func TestBinaryRejectsGarbage(t *testing.T) {
 		if _, err := ReadBinary(bytes.NewReader(c)); err == nil {
 			t.Errorf("case %d should fail", i)
 		}
+	}
+}
+
+// TestDecoderStreamsInChunks round-trips traces through the streaming
+// decoder with a deliberately tiny buffer, so every core crosses many
+// Read calls, and checks the reassembled set — including empty
+// sequences, which exercise the zero-length NextCore path.
+func TestDecoderStreamsInChunks(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rs := randomSet(rng)
+		var bin bytes.Buffer
+		if err := WriteBinary(&bin, rs); err != nil {
+			return false
+		}
+		d, err := NewDecoder(&bin)
+		if err != nil {
+			return false
+		}
+		if d.NumCores() != len(rs) {
+			return false
+		}
+		buf := make([]core.Sequence, 0, len(rs))
+		chunk := make(core.Sequence, 7)
+		for {
+			n, err := d.NextCore()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			seq := make(core.Sequence, 0, n)
+			for {
+				m, err := d.Read(chunk)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return false
+				}
+				seq = append(seq, chunk[:m]...)
+			}
+			buf = append(buf, seq)
+		}
+		got := core.RequestSet(buf)
+		if len(got) != len(rs) {
+			return false
+		}
+		for c := range rs {
+			if len(got[c]) != len(rs[c]) {
+				return false
+			}
+			for i := range rs[c] {
+				if got[c][i] != rs[c][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecoderMisuse pins the decoder's contract errors: NextCore with
+// pages unread, NextCore past the last core, and reads on a finished
+// core.
+func TestDecoderMisuse(t *testing.T) {
+	rs := core.RequestSet{{1, 2, 3}, {7}}
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, rs); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.NextCore(); n != 3 || err != nil {
+		t.Fatalf("NextCore = %d, %v", n, err)
+	}
+	if _, err := d.NextCore(); err == nil {
+		t.Fatal("NextCore with unread pages should fail")
+	}
+	buf := make(core.Sequence, 8)
+	if m, err := d.Read(buf); m != 3 || err != nil {
+		t.Fatalf("Read = %d, %v", m, err)
+	}
+	if _, err := d.Read(buf); err != io.EOF {
+		t.Fatalf("Read at core end = %v, want io.EOF", err)
+	}
+	if n, err := d.NextCore(); n != 1 || err != nil {
+		t.Fatalf("NextCore = %d, %v", n, err)
+	}
+	if m, err := d.Read(buf); m != 1 || err != nil {
+		t.Fatalf("Read = %d, %v", m, err)
+	}
+	if _, err := d.NextCore(); err != io.EOF {
+		t.Fatalf("NextCore past last core = %v, want io.EOF", err)
 	}
 }
 

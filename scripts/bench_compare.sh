@@ -1,14 +1,22 @@
 #!/bin/sh
-# bench_compare.sh OLD NEW — compare two `go test -bench` output files.
+# bench_compare.sh [-strict] OLD NEW — compare two `go test -bench`
+# output files.
 #
 # Uses benchstat when it is on PATH (the statistically honest comparison:
 # run both sides with -count 5 or more). Otherwise falls back to an awk
 # table of per-benchmark mean ns/op, B/op, and allocs/op with the ratio
-# old/new, which is good enough for a quick local look.
+# old/new, which is good enough for a quick local look. With -strict the
+# fallback is an error instead — the mode for CI artifacts, where a
+# non-statistical table would silently degrade the comparison.
 set -eu
 
+strict=0
+if [ "${1:-}" = "-strict" ]; then
+    strict=1
+    shift
+fi
 if [ "$#" -ne 2 ]; then
-    echo "usage: $0 old.txt new.txt" >&2
+    echo "usage: $0 [-strict] old.txt new.txt" >&2
     exit 2
 fi
 old=$1
@@ -22,6 +30,12 @@ done
 
 if command -v benchstat >/dev/null 2>&1; then
     exec benchstat "$old" "$new"
+fi
+
+if [ "$strict" = 1 ]; then
+    echo "bench_compare: benchstat is required in -strict mode; install it with:" >&2
+    echo "    go install golang.org/x/perf/cmd/benchstat@latest" >&2
+    exit 1
 fi
 
 echo "benchstat not installed; falling back to mean comparison" >&2

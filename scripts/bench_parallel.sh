@@ -1,0 +1,47 @@
+#!/bin/sh
+# bench_parallel.sh [-strict] [workers] — measure the sequential engine
+# against the speculative parallel engine on the sim serve benchmarks.
+#
+# Runs BenchmarkSimServe once (every shape × engine sub-benchmark), then
+# splits the seq and par<workers> rows into two files with the engine
+# suffix stripped, so both sides carry identical benchmark names —
+# which is what benchstat joins on. The comparison itself goes through
+# bench_compare.sh; pass -strict to require benchstat (CI mode).
+#
+# Environment: BENCH_COUNT (default 5) repetitions for statistics,
+# BENCH_TIME (default 1s) per-measurement budget.
+set -eu
+
+strict=""
+if [ "${1:-}" = "-strict" ]; then
+    strict="-strict"
+    shift
+fi
+workers=${1:-4}
+count=${BENCH_COUNT:-5}
+benchtime=${BENCH_TIME:-1s}
+raw=bench_parallel_raw.txt
+seqf=bench_parallel_seq.txt
+parf=bench_parallel_par.txt
+
+go test -run XXX -bench BenchmarkSimServe -benchmem \
+    -count "$count" -benchtime "$benchtime" ./internal/sim/ | tee "$raw"
+
+# `BenchmarkSimServe/hit/seq-8` and `BenchmarkSimServe/hit/par4-8` both
+# become `BenchmarkSimServe/hit-8`: same name, different engine. (The
+# -N cpu suffix is absent when GOMAXPROCS=1, so match both forms.)
+pick_engine() {
+    awk -v tag="$1" '
+        $1 ~ ("/" tag "(-[0-9]+)?$") { sub("/" tag, "", $1); print }
+    ' "$raw"
+}
+pick_engine seq > "$seqf"
+pick_engine "par$workers" > "$parf"
+if [ ! -s "$parf" ]; then
+    echo "bench_parallel: no par$workers results in $raw (valid workers: 2 4 8)" >&2
+    exit 1
+fi
+
+echo
+echo "== sequential engine (old) vs parallel engine, $workers workers (new) =="
+exec ./scripts/bench_compare.sh $strict "$seqf" "$parf"
