@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint bench bench-baseline bench-parallel benchstat soak experiments cover cover-gate smoke serve clean
+.PHONY: all build test vet fmt lint bench bench-baseline bench-parallel benchstat soak experiments cover cover-gate smoke serve verify verify-quick verify-baseline clean
 
 # Benchmarks the comparison targets track: the simulator serve paths and
 # the batch harness, plus the root throughput benches.
@@ -65,6 +65,20 @@ experiments:
 smoke:
 	./scripts/smoke.sh
 
+# Statistical verification of the committed claim manifest
+# (verify/claims.json; see docs/verify.md). verify-quick is the per-PR
+# CI gate; verify is the full run the nightly workflow scales up.
+verify:
+	$(GO) run ./cmd/mcverify -workers 4 -v
+
+verify-quick:
+	$(GO) run ./cmd/mcverify -quick -workers 4 -v
+
+# Refresh verify/baseline.json after intentionally changing claims or
+# prover semantics (runs both quick and full modes).
+verify-baseline:
+	$(GO) run ./cmd/mcverify -update-baseline -workers 4 -v
+
 # Run the simulation service locally (see docs/server.md for the API).
 SERVE_ADDR ?= :8080
 serve:
@@ -76,9 +90,10 @@ cover:
 	$(GO) test -short -coverprofile=cover.out ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-# CI's coverage floor, runnable locally (floor = seed baseline).
+# CI's coverage floor, runnable locally (raised from the 83.4% seed
+# baseline when internal/verify landed).
 cover-gate:
-	./scripts/coverage_gate.sh 83.4
+	./scripts/coverage_gate.sh 84.5
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt bench_old.txt bench_new.txt

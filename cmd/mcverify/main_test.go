@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mcpaging/internal/verify"
+)
+
+// writeManifest writes a manifest with the given claims into dir and
+// returns its path. Claims use the thm1 family, where S(LRU) <=
+// sP[even](LRU) holds on every draw.
+func writeManifest(t *testing.T, dir, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, "claims.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const holdsManifest = `{"claims": [{
+  "name": "cli-holds",
+  "family": "thm1(p=2,k=4,tau=1,x=4)",
+  "baseline": "S(LRU)", "challenger": "sP[even](LRU)", "relation": "<=",
+  "mode": "universal", "k": 4, "tau": 1, "samples": 6, "seed": 31
+}]}`
+
+const refutedManifest = `{"claims": [{
+  "name": "cli-refuted",
+  "family": "thm1(p=2,k=4,tau=1,x=4)",
+  "baseline": "sP[even](LRU)", "challenger": "S(LRU)", "relation": "<=",
+  "mode": "universal", "k": 4, "tau": 1, "samples": 6, "seed": 32
+}]}`
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunHoldsExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir, holdsManifest)
+	report := filepath.Join(dir, "verdicts.jsonl")
+	code, stdout, stderr := runCLI(t,
+		"-manifest", manifest, "-baseline", "", "-o", report)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "cli-holds") || !strings.Contains(stdout, "HOLDS") {
+		t.Errorf("table missing verdict row:\n%s", stdout)
+	}
+	f, err := os.Open(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	verdicts, err := verify.ReadReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 1 || verdicts[0].Status != verify.Holds {
+		t.Errorf("report = %+v", verdicts)
+	}
+}
+
+func TestRunRefutedExitsOne(t *testing.T) {
+	manifest := writeManifest(t, t.TempDir(), refutedManifest)
+	code, _, stderr := runCLI(t, "-manifest", manifest, "-baseline", "")
+	if code != 1 {
+		t.Fatalf("exit %d for a REFUTED claim, want 1 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "REFUTED") {
+		t.Errorf("stderr does not name the refutation: %s", stderr)
+	}
+}
+
+func TestRunBaselineRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir, holdsManifest)
+	// A baseline that expects better than reality is a regression even
+	// though nothing is REFUTED: the committed expectation is HOLDS with
+	// rank above what an INCONCLUSIVE-grade run would produce, so here
+	// we instead pin the baseline ABOVE by marking the claim refutable.
+	baseline := filepath.Join(dir, "baseline.json")
+	b := `{"claims": {"cli-holds": {"full": "HOLDS", "quick": "HOLDS"}}}`
+	if err := os.WriteFile(baseline, []byte(b), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Matching baseline: exit 0.
+	code, _, stderr := runCLI(t, "-manifest", manifest, "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("exit %d with matching baseline (stderr: %s)", code, stderr)
+	}
+	// Now demand HOLDS of the refuted manifest under the same name.
+	manifest2 := writeManifest(t, dir, strings.ReplaceAll(refutedManifest, "cli-refuted", "cli-holds"))
+	code, _, stderr = runCLI(t, "-manifest", manifest2, "-baseline", baseline)
+	if code != 1 {
+		t.Fatalf("exit %d for a baseline regression, want 1", code)
+	}
+	if !strings.Contains(stderr, "regression") {
+		t.Errorf("stderr does not report the regression: %s", stderr)
+	}
+}
+
+func TestRunMissingBaselineIsSkipped(t *testing.T) {
+	manifest := writeManifest(t, t.TempDir(), holdsManifest)
+	code, _, stderr := runCLI(t,
+		"-manifest", manifest, "-baseline", "/does/not/exist.json")
+	if code != 0 {
+		t.Fatalf("exit %d with absent baseline, want 0 (stderr: %s)", code, stderr)
+	}
+}
+
+func TestRunUpdateBaseline(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeManifest(t, dir, holdsManifest)
+	baseline := filepath.Join(dir, "baseline.json")
+	code, _, stderr := runCLI(t,
+		"-manifest", manifest, "-baseline", baseline, "-update-baseline")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	b, err := verify.LoadBaseline(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := b.Claims["cli-holds"]
+	if !ok || e.Full != verify.Holds || e.Quick != verify.Holds {
+		t.Errorf("baseline entry = %+v (present: %v)", e, ok)
+	}
+}
+
+func TestRunUsageAndManifestErrorsExitTwo(t *testing.T) {
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-manifest", "/does/not/exist.json"); code != 2 {
+		t.Errorf("missing manifest: exit %d, want 2", code)
+	}
+	manifest := writeManifest(t, t.TempDir(), holdsManifest)
+	if code, _, _ := runCLI(t, "-manifest", manifest, "-claims", "zzz"); code != 2 {
+		t.Errorf("empty claim filter: exit %d, want 2", code)
+	}
+}
+
+func TestRunListFamilies(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list-families")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, fam := range []string{"zipf", "thm1", "trace", "corr"} {
+		if !strings.Contains(stdout, fam) {
+			t.Errorf("family listing missing %s:\n%s", fam, stdout)
+		}
+	}
+}
+
+// TestCommittedManifestQuick proves the real committed manifest in
+// quick mode against the committed baseline — the exact CI-gate
+// invocation, run from the repo root.
+func TestCommittedManifestQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("committed manifest is not short-mode work")
+	}
+	// The committed trace fixture path is repo-root-relative, so the
+	// gate must run from the repo root, exactly as CI invokes it.
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(filepath.Join("..", "..")); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	code, stdout, stderr := runCLI(t,
+		"-manifest", filepath.Join("verify", "claims.json"),
+		"-baseline", filepath.Join("verify", "baseline.json"),
+		"-quick", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("committed manifest gate failed: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}

@@ -97,6 +97,7 @@ var criticalPrefixes = []string{
 	"mcpaging/internal/offline",
 	"mcpaging/internal/server",
 	"mcpaging/internal/workload",
+	"mcpaging/internal/verify",
 }
 
 // IsCritical reports whether pkgPath is determinism-critical, i.e.

@@ -1,0 +1,36 @@
+package sim
+
+// Seed plumbing for sampled experiments. The verification harness
+// (internal/verify) runs every claim over N seeded instances, and each
+// instance needs several independent deterministic randomness streams:
+// the workload sample, the strategy's own seed (RAND, RMARK), and the
+// resampling done by the statistics layer. Deriving them all from one
+// root seed with ad-hoc arithmetic (root+i, root*31+j, ...) invites
+// correlated streams; DeriveSeed gives a single well-mixed derivation
+// that every sampling layer shares, so a claim's seed alone replays the
+// exact instance that produced a verdict or counterexample.
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a bijective
+// mixer whose output is equidistributed over 64-bit inputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// DeriveSeed derives an independent sub-seed from a root seed, a stream
+// identifier and an index within the stream. The derivation is a pure
+// function — the same (root, stream, index) always yields the same
+// sub-seed — and distinct inputs yield decorrelated outputs, so callers
+// can fan one user-visible seed out into per-sample, per-strategy and
+// per-bootstrap streams without overlap.
+func DeriveSeed(root int64, stream, index int64) int64 {
+	h := splitmix64(uint64(root))
+	h = splitmix64(h ^ (uint64(stream) * 0xff51afd7ed558ccd))
+	h = splitmix64(h ^ (uint64(index) * 0xc4ceb9fe1a85ec53))
+	return int64(h)
+}

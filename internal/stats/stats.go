@@ -7,6 +7,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 )
 
@@ -139,4 +140,87 @@ func Ratio(a, b int64) float64 {
 		return math.NaN()
 	}
 	return float64(a) / float64(b)
+}
+
+// BootstrapCI is a percentile-bootstrap confidence interval for the
+// mean of a sample.
+type BootstrapCI struct {
+	Lo, Hi float64
+}
+
+// defaultBootstrapRounds balances CI stability against prover
+// throughput: 1000 resamples put the percentile estimates well inside
+// the jitter of the verdict thresholds.
+const defaultBootstrapRounds = 1000
+
+// BootstrapMeanCI estimates a two-sided confidence interval for the
+// mean of xs by seeded percentile bootstrap: rounds resamples with
+// replacement (0 = a 1000-round default), conf the coverage (e.g. 0.95).
+// The estimate is deterministic in (xs, rounds, conf, seed). For an
+// empty sample both bounds are NaN; a single observation collapses the
+// interval to that value.
+func BootstrapMeanCI(xs []float64, rounds int, conf float64, seed int64) BootstrapCI {
+	n := len(xs)
+	if n == 0 {
+		return BootstrapCI{Lo: math.NaN(), Hi: math.NaN()}
+	}
+	if rounds <= 0 {
+		rounds = defaultBootstrapRounds
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, rounds)
+	for r := range means {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += xs[rng.Intn(n)]
+		}
+		means[r] = sum / float64(n)
+	}
+	sort.Float64s(means)
+	alpha := (1 - conf) / 2
+	lo := int(alpha * float64(rounds))
+	hi := int((1 - alpha) * float64(rounds))
+	if hi >= rounds {
+		hi = rounds - 1
+	}
+	return BootstrapCI{Lo: means[lo], Hi: means[hi]}
+}
+
+// SignTest is the one-sided exact sign test: given wins successes and
+// losses failures of a paired comparison (ties excluded), it returns
+// the probability of observing at least wins successes in wins+losses
+// fair coin flips — the p-value against the null "the comparison is a
+// toss-up" in favor of "wins dominate". With no informative pairs the
+// test is vacuous and the p-value is 1.
+func SignTest(wins, losses int) float64 {
+	if wins < 0 || losses < 0 {
+		panic("stats: negative counts in SignTest")
+	}
+	n := wins + losses
+	if n == 0 {
+		return 1
+	}
+	// P[X >= wins], X ~ Binomial(n, 1/2), via log-space terms so n in
+	// the thousands cannot overflow.
+	logHalfN := -float64(n) * math.Ln2
+	var p float64
+	for k := wins; k <= n; k++ {
+		p += math.Exp(logChoose(n, k) + logHalfN)
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// logChoose returns log(n choose k) via lgamma.
+func logChoose(n, k int) float64 {
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
 }

@@ -116,3 +116,53 @@ func TestCI95ShrinksWithN(t *testing.T) {
 		t.Fatalf("CI should shrink with n: %v vs %v", large.CI95(), small.CI95())
 	}
 }
+
+func TestBootstrapMeanCI(t *testing.T) {
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i % 10) // mean 4.5
+	}
+	ci := BootstrapMeanCI(xs, 500, 0.95, 1)
+	if !(ci.Lo <= 4.5 && 4.5 <= ci.Hi) {
+		t.Fatalf("CI [%v, %v] excludes the true mean", ci.Lo, ci.Hi)
+	}
+	if ci.Hi-ci.Lo > 2 {
+		t.Fatalf("CI [%v, %v] implausibly wide for n=200", ci.Lo, ci.Hi)
+	}
+	if again := BootstrapMeanCI(xs, 500, 0.95, 1); again != ci {
+		t.Fatal("bootstrap is not deterministic in the seed")
+	}
+	if other := BootstrapMeanCI(xs, 500, 0.95, 2); other == ci {
+		t.Fatal("distinct seeds produced identical resamples")
+	}
+	one := BootstrapMeanCI([]float64{3}, 100, 0.95, 1)
+	if one.Lo != 3 || one.Hi != 3 {
+		t.Fatalf("single-observation CI = %+v, want [3,3]", one)
+	}
+	empty := BootstrapMeanCI(nil, 100, 0.95, 1)
+	if !math.IsNaN(empty.Lo) || !math.IsNaN(empty.Hi) {
+		t.Fatalf("empty-sample CI = %+v, want NaNs", empty)
+	}
+}
+
+func TestSignTest(t *testing.T) {
+	if p := SignTest(0, 0); p != 1 {
+		t.Fatalf("vacuous test p = %v, want 1", p)
+	}
+	// Exact small case: P[X >= 9 | n=10] = (10+1)/1024.
+	if p, want := SignTest(9, 1), 11.0/1024; math.Abs(p-want) > 1e-12 {
+		t.Fatalf("SignTest(9,1) = %v, want %v", p, want)
+	}
+	// Symmetric case is exactly the upper half plus the middle term.
+	if p := SignTest(5, 5); p < 0.5 || p > 0.75 {
+		t.Fatalf("SignTest(5,5) = %v, want in (0.5, 0.75)", p)
+	}
+	// Monotone: more wins at fixed n means smaller p.
+	if SignTest(8, 2) >= SignTest(6, 4) {
+		t.Fatal("p-value not monotone in wins")
+	}
+	// Large n stays finite and tiny.
+	if p := SignTest(900, 100); !(p > 0 && p < 1e-100) {
+		t.Fatalf("SignTest(900,100) = %v, want tiny positive", p)
+	}
+}

@@ -1,0 +1,61 @@
+package verify
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden verdict report")
+
+// TestGoldenVerdictReport proves the committed tiny manifest and
+// requires the JSONL report to match testdata/golden_verdicts.jsonl
+// byte for byte. Because every field of a Verdict is deterministic in
+// the claim (seeded sampling, seeded bootstrap, no wall-clock), any
+// diff here means prover semantics changed — the same property the
+// mcverify CI gate relies on. Regenerate with:
+//
+//	go test ./internal/verify -run Golden -update
+func TestGoldenVerdictReport(t *testing.T) {
+	m, err := LoadManifest(filepath.Join("testdata", "claims_tiny.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts, err := NewProver(Options{}).ProveAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, verdicts); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "golden_verdicts.jsonl")
+	if *update {
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden missing (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("verdict report differs from golden (regenerate with -update if the change is intended)\ngot:\n%s\nwant:\n%s",
+			buf.Bytes(), want)
+	}
+
+	// The golden fixture must exercise all three statuses, or it loses
+	// its power to pin the decision logic.
+	seen := map[Status]bool{}
+	for _, v := range verdicts {
+		seen[v.Status] = true
+	}
+	for _, s := range []Status{Holds, Refuted, Inconclusive} {
+		if !seen[s] {
+			t.Errorf("tiny manifest no longer produces a %s verdict", s)
+		}
+	}
+}

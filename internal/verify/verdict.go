@@ -1,0 +1,204 @@
+package verify
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Status is a verdict outcome.
+type Status string
+
+const (
+	// Holds: the claim's ordering is supported — every sample for
+	// universal claims, significantly and beyond the margin for
+	// statistical ones.
+	Holds Status = "HOLDS"
+	// Refuted: the opposite ordering is witnessed (universal) or
+	// significant (statistical). CounterSeeds replay it.
+	Refuted Status = "REFUTED"
+	// Inconclusive: neither direction is significant at alpha.
+	Inconclusive Status = "INCONCLUSIVE"
+)
+
+// rank orders statuses for regression comparison: higher is better.
+func (s Status) rank() int {
+	switch s {
+	case Holds:
+		return 2
+	case Inconclusive:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Verdict is the machine-readable outcome of proving one claim. All
+// fields are deterministic in the claim (seeded sampling, seeded
+// bootstrap, no wall-clock), so verdict reports diff cleanly across
+// commits.
+type Verdict struct {
+	Claim      string `json:"claim"`
+	Family     string `json:"family"`
+	Metric     Metric `json:"metric"`
+	Baseline   string `json:"baseline"`
+	Challenger string `json:"challenger,omitempty"`
+	Relation   string `json:"relation"`
+	Mode       Mode   `json:"mode"`
+	Status     Status `json:"status"`
+	// Samples is the number of instances drawn; every sample is a win
+	// (supports the claim), a loss (violates it) or a tie.
+	Samples int `json:"samples"`
+	Wins    int `json:"wins"`
+	Losses  int `json:"losses"`
+	Ties    int `json:"ties"`
+	// PValue is the one-sided sign-test p-value for "wins dominate".
+	PValue float64 `json:"p_value"`
+	// EffectMean is the mean oriented effect (positive supports the
+	// claim), with its 95% bootstrap interval and the margin it was
+	// required to clear.
+	EffectMean float64 `json:"effect_mean"`
+	EffectLo   float64 `json:"effect_lo"`
+	EffectHi   float64 `json:"effect_hi"`
+	Margin     float64 `json:"margin"`
+	// WitnessSeeds replay supporting samples; CounterSeeds replay
+	// violations (workload.ParseFamily(Family).Sample(seed) rebuilds
+	// the exact instance).
+	WitnessSeeds []int64 `json:"witness_seeds,omitempty"`
+	CounterSeeds []int64 `json:"counter_seeds,omitempty"`
+}
+
+// WriteReport writes verdicts as JSONL, one verdict per line, in the
+// given order.
+func WriteReport(w io.Writer, verdicts []Verdict) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range verdicts {
+		if err := enc.Encode(&verdicts[i]); err != nil {
+			return fmt.Errorf("verify: writing report: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadReport parses a JSONL verdict report.
+func ReadReport(r io.Reader) ([]Verdict, error) {
+	var out []Verdict
+	dec := json.NewDecoder(r)
+	for {
+		var v Verdict
+		if err := dec.Decode(&v); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("verify: bad report: %w", err)
+		}
+		out = append(out, v)
+	}
+}
+
+// BaselineEntry records the committed expected statuses of one claim,
+// per prover mode. Quick and full runs are both deterministic, so the
+// entries are exact expectations, not flaky thresholds.
+type BaselineEntry struct {
+	Full  Status `json:"full"`
+	Quick Status `json:"quick"`
+}
+
+// Baseline is the committed verdict baseline (verify/baseline.json)
+// the CI gate compares against.
+type Baseline struct {
+	Claims map[string]BaselineEntry `json:"claims"`
+}
+
+// LoadBaseline reads a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %w", err)
+	}
+	defer f.Close()
+	var b Baseline
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("verify: bad baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline renders a baseline deterministically (sorted keys,
+// indented) so the committed file diffs cleanly.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b) // json.Marshal sorts map keys
+}
+
+// Merge folds one mode's verdicts into the baseline, creating entries
+// as needed and leaving the other mode's statuses untouched.
+func (b *Baseline) Merge(verdicts []Verdict, quick bool) {
+	if b.Claims == nil {
+		b.Claims = make(map[string]BaselineEntry, len(verdicts))
+	}
+	for _, v := range verdicts {
+		e := b.Claims[v.Claim]
+		if quick {
+			e.Quick = v.Status
+		} else {
+			e.Full = v.Status
+		}
+		b.Claims[v.Claim] = e
+	}
+}
+
+// Regression is one confidence regression against the baseline.
+type Regression struct {
+	Claim string
+	// Was and Now are the baseline and observed statuses; a regression
+	// is a strict rank drop (HOLDS > INCONCLUSIVE > REFUTED).
+	Was, Now Status
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s -> %s", r.Claim, r.Was, r.Now)
+}
+
+// Compare checks verdicts against the baseline for the given mode and
+// returns the confidence regressions, sorted by claim name. Claims
+// missing from the baseline are not regressions (new claims merge in
+// via -update-baseline); a baseline entry whose mode status is empty is
+// skipped likewise.
+func (b *Baseline) Compare(verdicts []Verdict, quick bool) []Regression {
+	var out []Regression
+	for _, v := range verdicts {
+		e, ok := b.Claims[v.Claim]
+		if !ok {
+			continue
+		}
+		want := e.Full
+		if quick {
+			want = e.Quick
+		}
+		if want == "" {
+			continue
+		}
+		if v.Status.rank() < want.rank() {
+			out = append(out, Regression{Claim: v.Claim, Was: want, Now: v.Status})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Claim < out[j].Claim })
+	return out
+}
+
+// AnyRefuted reports whether any verdict is REFUTED.
+func AnyRefuted(verdicts []Verdict) bool {
+	for _, v := range verdicts {
+		if v.Status == Refuted {
+			return true
+		}
+	}
+	return false
+}

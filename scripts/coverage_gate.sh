@@ -1,6 +1,7 @@
 #!/bin/sh
-# Coverage floor gate for CI: run the short test suite with coverage and
-# fail if total statement coverage drops below the floor (percent).
+# Coverage floor gate for CI: run the short test suite with coverage,
+# print a per-package breakdown with each package's delta against the
+# floor, and fail if total statement coverage drops below the floor.
 #
 # Usage: scripts/coverage_gate.sh <floor> [profile]
 #   floor    minimum total coverage, e.g. 83.4 (the seed baseline)
@@ -17,6 +18,37 @@ go test -short -coverprofile="$profile" ./... > /dev/null
 # floor measuring the libraries instead of punishing every new tool.
 grep -v -E '^mcpaging/cmd/' "$profile" > "$profile.filtered"
 mv "$profile.filtered" "$profile"
+
+# Per-package statement coverage, aggregated straight from the profile
+# (each body line is "file.go:span numStmts hitCount"), with the delta
+# against the floor so the laggard packages are visible at a glance.
+awk -v floor="$floor" '
+NR == 1 { next }  # "mode:" header
+{
+    n = split($1, parts, "/")
+    pkg = $1
+    sub("/" parts[n], "", pkg)   # strip file.go:span -> package path
+    stmts[pkg] += $2
+    total_stmts += $2
+    if ($3 > 0) { covered[pkg] += $2; total_covered += $2 }
+}
+END {
+    printf "%-40s %8s %8s %8s\n", "package", "stmts", "cover", "vs floor"
+    for (pkg in stmts) line[++k] = pkg
+    # insertion sort: package count is small and this keeps us POSIX-awk
+    for (i = 2; i <= k; i++) {
+        v = line[i]
+        for (j = i - 1; j >= 1 && line[j] > v; j--) line[j + 1] = line[j]
+        line[j + 1] = v
+    }
+    for (i = 1; i <= k; i++) {
+        pkg = line[i]
+        pct = 100 * covered[pkg] / stmts[pkg]
+        printf "%-40s %8d %7.1f%% %+7.1f%%\n", pkg, stmts[pkg], pct, pct - floor
+    }
+    printf "%-40s %8d %7.1f%%\n", "total", total_stmts, 100 * total_covered / total_stmts
+}' "$profile"
+
 total="$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $3); print $3}')"
 echo "coverage: total=${total}% floor=${floor}%"
 awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t+0 >= f+0) }' || {

@@ -44,6 +44,14 @@ echo "== mcadv =="
 go run ./cmd/mcadv -strategy 'S(LRU)' -p 2 -k 3 -tau 1 -iters 60 -restarts 2 -o "$dir/witness.txt" > /dev/null
 go run ./cmd/mcsim -trace "$dir/witness.txt" -k 3 -tau 1 > /dev/null
 
+echo "== mcverify (tiny manifest, report, baseline gate) =="
+go run ./cmd/mcverify -list-families | grep -q zipf
+go run ./cmd/mcverify -manifest internal/verify/testdata/claims_tiny.json \
+    -baseline "" -claims tiny-thm1 -o "$dir/verdicts.jsonl" > /dev/null
+grep -q '"status":"HOLDS"' "$dir/verdicts.jsonl"
+# The committed manifest gate itself (quick mode) runs in its own CI
+# job and in cmd/mcverify's tests; smoke only proves the plumbing.
+
 echo "== mcexp (quick, parallel, markdown) =="
 go run ./cmd/mcexp -quick -parallel 4 > /dev/null
 go run ./cmd/mcexp -exp E7 -quick -format md > /dev/null
