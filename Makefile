@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt lint bench bench-baseline bench-parallel benchstat soak experiments cover cover-gate smoke serve verify verify-quick verify-baseline clean
+.PHONY: all build test vet fmt lint bench bench-baseline bench-parallel benchstat soak experiments cover cover-gate smoke serve fleet verify verify-quick verify-baseline clean
 
 # Benchmarks the comparison targets track: the simulator serve paths and
 # the batch harness, plus the root throughput benches.
@@ -83,6 +83,13 @@ verify-baseline:
 SERVE_ADDR ?= :8080
 serve:
 	$(GO) run ./cmd/mcservd -addr $(SERVE_ADDR)
+
+# Run a local fleet: FLEET_WORKERS mcservd workers on random ports plus
+# the mcfleet coordinator on FLEET_ADDR (see docs/fleet.md).
+FLEET_ADDR ?= :9090
+FLEET_WORKERS ?= 2
+fleet:
+	./scripts/fleet.sh $(FLEET_ADDR) $(FLEET_WORKERS)
 
 # Short mode: the soak tests are excluded from coverage passes (run
 # `make soak` for them); this matches the CI coverage gate.

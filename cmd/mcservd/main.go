@@ -47,9 +47,19 @@ func main() {
 		maxRequests  = flag.Int("max-requests", 0, "per-job total request budget (0 = 8M)")
 		maxBody      = flag.Int64("max-body", 0, "request body limit in bytes (0 = 64MiB)")
 		jobParallel  = flag.Int("job-parallel", 0, "intra-job speculation workers when the queue is idle (0 = off)")
+		workerID     = flag.String("worker-id", "", "Fleet-Worker-ID echoed on every response (default: the bound address)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
 	)
 	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *workerID == "" {
+		*workerID = bound
+	}
 
 	s := server.New(server.Config{
 		Workers:      *workers,
@@ -59,13 +69,8 @@ func main() {
 		MaxRequests:  *maxRequests,
 		MaxBody:      *maxBody,
 		JobParallel:  *jobParallel,
+		WorkerID:     *workerID,
 	})
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(err)
-	}
-	bound := ln.Addr().String()
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
 			fatal(err)

@@ -98,6 +98,7 @@ var criticalPrefixes = []string{
 	"mcpaging/internal/server",
 	"mcpaging/internal/workload",
 	"mcpaging/internal/verify",
+	"mcpaging/internal/fleet",
 }
 
 // IsCritical reports whether pkgPath is determinism-critical, i.e.

@@ -20,12 +20,16 @@ var wallclockBanned = map[string]bool{
 }
 
 // DefaultWallclockAllow is the standard wallclock allowlist: functions
-// that measure request latency for the mcservd /metrics endpoint.
-// Latency is operational telemetry about the service, not simulation
-// output — it never reaches a result, manifest or cache key.
+// that measure request latency for the mcservd /metrics endpoint, and
+// the fleet's injected system clock. Latency, probe timing and quota
+// refill are operational telemetry about the service, not simulation
+// output — they never reach a result, manifest or cache key. The fleet
+// funnels every time read through its Clock interface, so sysClock's
+// two methods are the package's only clock call sites.
 func DefaultWallclockAllow() map[string][]string {
 	return map[string][]string{
 		"internal/server": {"(*Server).handleJob", "(*Server).finishJob"},
+		"internal/fleet":  {"(sysClock).Now", "(sysClock).After"},
 	}
 }
 

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mcpaging/internal/core"
+	"mcpaging/internal/server"
+)
+
+func jobReqFixture() server.JobRequest {
+	return server.JobRequest{
+		Trace:    server.TraceInput{Inline: []core.Sequence{{1, 2, 3, 1, 2, 3}}},
+		Strategy: "S(LRU)",
+		K:        4,
+		Tau:      1,
+	}
+}
+
+func TestClientRetriesBusyThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+			return
+		}
+		w.Header().Set("Fleet-Worker-ID", "worker-a")
+		json.NewEncoder(w).Encode(server.JobResponse{Key: "deadbeef"})
+	}))
+	defer ts.Close()
+
+	clk := newFakeClock()
+	c := NewClient(ts.URL, nil, clk, Backoff{Base: 10 * time.Millisecond, Attempts: 3}, 1)
+	resp, remoteID, err := c.RunJob(context.Background(), jobReqFixture())
+	if err != nil {
+		t.Fatalf("RunJob: %v", err)
+	}
+	if resp.Key != "deadbeef" || remoteID != "worker-a" {
+		t.Fatalf("got key %q worker %q", resp.Key, remoteID)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("worker saw %d calls, want 3", got)
+	}
+	// Both backoffs must have been floored at the 2s Retry-After hint.
+	for i, d := range clk.sleepLog() {
+		if d < 2*time.Second {
+			t.Fatalf("sleep %d was %v, below the Retry-After floor", i, d)
+		}
+	}
+}
+
+func TestClientBusyExhaustsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"error": "draining"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil, newFakeClock(), Backoff{Base: time.Millisecond, Attempts: 2}, 1)
+	_, _, err := c.RunJob(context.Background(), jobReqFixture())
+	if !errors.Is(err, errWorkerBusy) {
+		t.Fatalf("err = %v, want errWorkerBusy", err)
+	}
+	if got := calls.Load(); got != 3 { // initial + 2 retries
+		t.Fatalf("worker saw %d calls, want 3", got)
+	}
+}
+
+func TestClientPermanentErrorNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{"error": "unknown policy NOPE"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, nil, newFakeClock(), Backoff{}, 1)
+	_, _, err := c.RunJob(context.Background(), jobReqFixture())
+	var perm errPermanent
+	if !errors.As(err, &perm) {
+		t.Fatalf("err = %v, want errPermanent", err)
+	}
+	if perm.StatusCode() != http.StatusUnprocessableEntity || perm.Error() != "unknown policy NOPE" {
+		t.Fatalf("got status %d msg %q", perm.StatusCode(), perm.Error())
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("permanent errors must not retry; saw %d calls", calls.Load())
+	}
+}
+
+func TestClientWorkerDown(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // dead peer: connection refused
+
+	c := NewClient(url, nil, newFakeClock(), Backoff{}, 1)
+	_, _, err := c.RunJob(context.Background(), jobReqFixture())
+	if !errors.Is(err, errWorkerDown) {
+		t.Fatalf("err = %v, want errWorkerDown", err)
+	}
+}
+
+func TestReadyClassification(t *testing.T) {
+	var status atomic.Int64
+	status.Store(http.StatusOK)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(int(status.Load()))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil, newFakeClock(), Backoff{}, 1)
+
+	if _, err := c.Ready(context.Background()); err != nil {
+		t.Fatalf("Ready on 200: %v", err)
+	}
+	status.Store(http.StatusServiceUnavailable)
+	if _, err := c.Ready(context.Background()); !errors.Is(err, errWorkerBusy) {
+		t.Fatalf("Ready on 503: %v, want errWorkerBusy", err)
+	}
+	status.Store(http.StatusInternalServerError)
+	if _, err := c.Ready(context.Background()); !errors.Is(err, errWorkerDown) {
+		t.Fatalf("Ready on 500: %v, want errWorkerDown", err)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0}, {"2", 2 * time.Second}, {"0", 0}, {"-1", 0}, {"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	c := NewClient("http://x", nil, newFakeClock(), Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Attempts: 5}, 42)
+	for attempt := 0; attempt < 8; attempt++ {
+		d := c.delay(attempt, 0)
+		if d <= 0 || d > time.Second {
+			t.Fatalf("attempt %d: delay %v outside (0, cap]", attempt, d)
+		}
+	}
+	if d := c.delay(0, 3*time.Second); d != 3*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+}

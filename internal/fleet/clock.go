@@ -1,0 +1,44 @@
+package fleet
+
+import (
+	"context"
+	"time"
+)
+
+// Clock is the package's only source of time. Everything in the fleet
+// that samples the clock — probe latency, token-bucket refill, backoff
+// sleeps — goes through this interface, so tests substitute a fake and
+// the wallclock analyzer has exactly two allowlisted call sites
+// (sysClock's methods) to audit.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that receives after d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// sysClock is the real wall clock. Its two methods are the package's
+// only direct time-package reads; they are allowlisted for the
+// wallclock analyzer because fleet timing is operational (backoff,
+// probes, quotas) and never reaches a simulation result or cache key.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time                         { return time.Now() }
+func (sysClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// SystemClock is the production Clock.
+var SystemClock Clock = sysClock{}
+
+// sleep waits for d on clk, returning early with ctx's error if the
+// context ends first.
+func sleep(ctx context.Context, clk Clock, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-clk.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Clock for tests. After fires
+// immediately, advancing the fake time by the requested duration and
+// recording it, so backoff schedules can be asserted without sleeping.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	now := c.now
+	c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- now
+	return ch
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func (c *fakeClock) sleepLog() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]time.Duration, len(c.sleeps))
+	copy(out, c.sleeps)
+	return out
+}
+
+func TestSleepHonorsContext(t *testing.T) {
+	clk := newFakeClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := sleep(ctx, clk, 0); err == nil {
+		t.Fatal("sleep(canceled, 0) must return the context error")
+	}
+	if err := sleep(context.Background(), clk, time.Second); err != nil {
+		t.Fatalf("sleep: %v", err)
+	}
+	if got := clk.sleepLog(); len(got) != 1 || got[0] != time.Second {
+		t.Fatalf("sleep log = %v, want [1s]", got)
+	}
+}

@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync/atomic"
+)
+
+// fleetMetrics holds the coordinator counters exposed on /metrics.
+// All fields are atomics, bumped from the gateway and dispatcher.
+type fleetMetrics struct {
+	jobs       atomic.Int64 // single jobs routed via POST /v1/jobs
+	sweeps     atomic.Int64 // sweeps accepted
+	cells      atomic.Int64 // sweep cells completed successfully
+	cellErrors atomic.Int64 // cells that exhausted retry/failover
+
+	routedOwner atomic.Int64 // cells served by their ring owner
+	routedSpill atomic.Int64 // cells spilled to a ring successor
+	failovers   atomic.Int64 // hard worker failures observed while routing
+	retryRounds atomic.Int64 // full failover rotations that ended in backoff
+
+	quotaDenied atomic.Int64 // requests bounced by a tenant quota
+	shed        atomic.Int64 // requests shed because the fleet was saturated
+
+	cellsInflight atomic.Int64 // gauge: cells currently in flight
+}
+
+// writePrometheus emits the coordinator metrics in Prometheus text
+// format (version 0.0.4): the mcfleet_* counter family, then the
+// per-worker gauge families labelled by worker ID in sorted order, so
+// scrapes are stable.
+func (m *fleetMetrics) writePrometheus(w io.Writer, workers []WorkerInfo, tenants int, ready bool) error {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("mcfleet_jobs_total", "Single jobs routed onto the fleet.", m.jobs.Load())
+	counter("mcfleet_sweeps_total", "Sweeps accepted by the coordinator.", m.sweeps.Load())
+	counter("mcfleet_cells_total", "Sweep cells completed successfully.", m.cells.Load())
+	counter("mcfleet_cell_errors_total", "Sweep cells that failed after retry and failover.", m.cellErrors.Load())
+	counter("mcfleet_routed_owner_total", "Cells served by their consistent-hash ring owner.", m.routedOwner.Load())
+	counter("mcfleet_routed_spill_total", "Cells spilled to a ring successor (owner saturated or down).", m.routedSpill.Load())
+	counter("mcfleet_failovers_total", "Hard worker failures observed while routing.", m.failovers.Load())
+	counter("mcfleet_retry_rounds_total", "Failover rotations that exhausted all candidates and backed off.", m.retryRounds.Load())
+	counter("mcfleet_quota_denied_total", "Requests bounced by a per-tenant quota.", m.quotaDenied.Load())
+	counter("mcfleet_shed_total", "Requests shed because the fleet was saturated.", m.shed.Load())
+	gauge("mcfleet_cells_inflight", "Sweep cells currently in flight.", float64(m.cellsInflight.Load()))
+	gauge("mcfleet_tenants", "Tenants with an active quota bucket.", float64(tenants))
+	readyVal := 0.0
+	if ready {
+		readyVal = 1
+	}
+	gauge("mcfleet_ready", "1 while the coordinator admits work, 0 once draining.", readyVal)
+
+	labelled := func(name, help, typ string, value func(WorkerInfo) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, wi := range workers {
+			fmt.Fprintf(&b, "%s{worker=%q} %g\n", name, wi.ID, value(wi))
+		}
+	}
+	labelled("mcfleet_worker_up", "1 while the worker is healthy, 0 while draining or down.", "gauge", func(wi WorkerInfo) float64 {
+		if wi.Status == StatusHealthy.String() {
+			return 1
+		}
+		return 0
+	})
+	labelled("mcfleet_worker_latency_seconds", "EWMA of the worker's observed latency.", "gauge", func(wi WorkerInfo) float64 {
+		return wi.LatencyMS / 1000
+	})
+	labelled("mcfleet_worker_weight", "Latency weight scaling the spill work this worker absorbs.", "gauge", func(wi WorkerInfo) float64 {
+		return wi.Weight
+	})
+	labelled("mcfleet_worker_inflight", "Cells currently in flight on this worker.", "gauge", func(wi WorkerInfo) float64 {
+		return float64(wi.Inflight)
+	})
+	labelled("mcfleet_worker_served_total", "Jobs this worker has served for the coordinator.", "counter", func(wi WorkerInfo) float64 {
+		return float64(wi.Served)
+	})
+	labelled("mcfleet_worker_probe_fails_total", "Failed /readyz probes against this worker.", "counter", func(wi WorkerInfo) float64 {
+		return float64(wi.ProbeFails)
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+)
+
+func sampleKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing(64, []string{"w1", "w2", "w3"})
+	b := NewRing(64, []string{"w3", "w1", "w2", "w1"}) // shuffled + dup
+	for _, k := range sampleKeys(256) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("key %s: owner differs between equal rings: %s vs %s", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndComplete(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4"}
+	r := NewRing(32, members)
+	for _, k := range sampleKeys(64) {
+		succ := r.Successors(k, 100) // over-ask: clamped to member count
+		if len(succ) != len(members) {
+			t.Fatalf("key %s: got %d successors, want %d", k, len(succ), len(members))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("key %s: duplicate successor %s", k, m)
+			}
+			seen[m] = true
+		}
+		if succ[0] != r.Lookup(k) {
+			t.Fatalf("key %s: Successors[0]=%s but Lookup=%s", k, succ[0], r.Lookup(k))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"w1", "w2", "w3"}
+	r := NewRing(128, members)
+	counts := map[string]int{}
+	keys := sampleKeys(3000)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(keys))
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("member %s owns %.0f%% of keys — ring badly unbalanced: %v", m, share*100, counts)
+		}
+	}
+}
+
+func TestKeyPointHexFastPath(t *testing.T) {
+	// A job key's first 16 hex digits are its ring position directly.
+	if got := KeyPoint("ffff0000000000001234"); got != 0xffff000000000000 {
+		t.Fatalf("KeyPoint hex fast path: got %#x", got)
+	}
+	if got := KeyPoint("0000000000000001"); got != 1 {
+		t.Fatalf("KeyPoint hex fast path: got %#x", got)
+	}
+	// Non-hex keys hash; same key, same point.
+	if KeyPoint("not a hex key!!!") != KeyPoint("not a hex key!!!") {
+		t.Fatal("KeyPoint not deterministic for non-hex keys")
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	empty := NewRing(8, nil)
+	if got := empty.Lookup("abc"); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want empty", got)
+	}
+	single := NewRing(8, []string{"only"})
+	for _, k := range sampleKeys(16) {
+		if single.Lookup(k) != "only" {
+			t.Fatal("single-member ring must own every key")
+		}
+	}
+}
+
+// checkRebalance asserts the consistent-hashing contract between a ring
+// and the same ring without one member: keys not owned by the removed
+// member keep their owner, and keys it did own move to exactly its
+// successor (the next distinct member clockwise).
+func checkRebalance(t *testing.T, replicas int, members []string, removed string, keys []string) {
+	t.Helper()
+	var rest []string
+	for _, m := range members {
+		if m != removed {
+			rest = append(rest, m)
+		}
+	}
+	full := NewRing(replicas, members)
+	less := NewRing(replicas, rest)
+	for _, k := range keys {
+		owner := full.Lookup(k)
+		after := less.Lookup(k)
+		if owner != removed {
+			if after != owner {
+				t.Fatalf("key %.16s moved %s → %s though %s was removed", k, owner, after, removed)
+			}
+			continue
+		}
+		succ := full.Successors(k, 2)
+		if len(succ) < 2 {
+			continue // two-member ring: everything lands on the survivor
+		}
+		if after != succ[1] {
+			t.Fatalf("key %.16s owned by removed %s went to %s, want successor %s", k, removed, after, succ[1])
+		}
+	}
+}
+
+func TestRingRebalanceOnRemoval(t *testing.T) {
+	members := []string{"w1", "w2", "w3", "w4", "w5"}
+	keys := sampleKeys(500)
+	for _, removed := range members {
+		checkRebalance(t, 64, members, removed, keys)
+	}
+}
+
+// FuzzRingRebalance fuzzes the rebalance invariant over membership
+// size, replica count, removed index, and key material.
+func FuzzRingRebalance(f *testing.F) {
+	f.Add(uint8(3), uint8(16), uint8(1), []byte("seed"))
+	f.Add(uint8(7), uint8(1), uint8(0), []byte{0xff, 0x00})
+	f.Add(uint8(2), uint8(64), uint8(5), []byte("abcdef0123456789"))
+	f.Fuzz(func(t *testing.T, nMembers, replicas, removeIdx uint8, keyData []byte) {
+		n := 2 + int(nMembers)%7
+		reps := 1 + int(replicas)%64
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("w%02d", i)
+		}
+		removed := members[int(removeIdx)%n]
+		sum := sha256.Sum256(keyData)
+		keys := []string{
+			hex.EncodeToString(sum[:]), // job-key shape: hex fast path
+			string(keyData),            // arbitrary bytes: hash fallback
+		}
+		checkRebalance(t, reps, members, removed, keys)
+	})
+}

@@ -44,11 +44,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready() {
+		w.Header().Set("Retry-After", s.retryAfterHint())
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
 		return
 	}
 	io.WriteString(w, "ready\n")
+}
+
+// retryAfterHint renders the configured Retry-After hint in whole
+// seconds (rounded up), the format both the 429 queue-full and the 503
+// draining responses share so clients can back off uniformly.
+func (s *Server) retryAfterHint() string {
+	return strconv.Itoa(int((s.cfg.RetryAfter + time.Second - 1) / time.Second))
 }
 
 // handleMetrics serves the server-level counters followed by the
@@ -91,16 +99,43 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rs, err := req.Trace.resolve(s.cfg.MaxRequests)
+	rs, err := req.Trace.Resolve(s.cfg.MaxRequests)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	key := jobKey(rs, req.Strategy, params, req.Seed)
-	if v, ok := s.cache.get(key); ok {
-		writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Result: v})
-		return
+	key := JobKey(rs, req.Strategy, params, req.Seed)
+	// Cache lookup with per-key singleflight: concurrent misses on one
+	// key elect a leader that computes; followers wait for the flight
+	// to finish and re-check the cache instead of duplicating the run.
+	for {
+		if v, ok := s.cache.get(key); ok {
+			writeJSON(w, http.StatusOK, JobResponse{Key: key, Cached: true, Result: v})
+			return
+		}
+		// While draining, refuse instead of joining (or leading) a
+		// flight: drain must not park new requests behind in-flight
+		// work. Cache hits above are still served.
+		if !s.ready() {
+			w.Header().Set("Retry-After", s.retryAfterHint())
+			httpError(w, http.StatusServiceUnavailable, "%v", ErrDraining)
+			return
+		}
+		leader, wait := s.cache.join(key)
+		if leader {
+			break
+		}
+		s.metrics.coalesced.Add(1)
+		select {
+		case <-wait:
+			// Leader finished: loop to re-check the cache. On a leader
+			// error the entry is still absent and this caller becomes
+			// the next leader.
+		case <-r.Context().Done():
+			return
+		}
 	}
+	defer s.cache.leave(key)
 	start := time.Now()
 	j := &job{
 		rs:      rs,
@@ -115,9 +150,10 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	if err := s.submit(j); err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", s.retryAfterHint())
 			httpError(w, http.StatusTooManyRequests, "%v", err)
 		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", s.retryAfterHint())
 			httpError(w, http.StatusServiceUnavailable, "%v", err)
 		default:
 			httpError(w, http.StatusInternalServerError, "%v", err)
@@ -175,7 +211,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decoding sweep: %v", err)
 		return
 	}
-	rs, err := req.Trace.resolve(s.cfg.MaxRequests)
+	rs, err := req.Trace.Resolve(s.cfg.MaxRequests)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -191,29 +227,25 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		j    *job
 	}
 	var pts []*point
-	for _, k := range grid.Ks {
-		for _, tau := range grid.Taus {
-			for _, spec := range grid.Specs {
-				pt := &point{line: SweepLine{K: k, Tau: tau, Spec: spec}}
-				params := core.Params{K: k, Tau: tau}
-				pt.line.Key = jobKey(rs, spec, params, req.Seed)
-				if v, ok := s.cache.get(pt.line.Key); ok {
-					pt.hit = &v
-				} else {
-					pt.j = &job{
-						rs:      rs,
-						spec:    spec,
-						params:  params,
-						seed:    req.Seed,
-						key:     pt.line.Key,
-						ctx:     r.Context(),
-						timeout: s.cfg.JobTimeout,
-						res:     make(chan outcome, 1),
-					}
-				}
-				pts = append(pts, pt)
+	for _, c := range grid.Cells() {
+		pt := &point{line: SweepLine{K: c.K, Tau: c.Tau, Spec: c.Spec}}
+		params := core.Params{K: c.K, Tau: c.Tau}
+		pt.line.Key = JobKey(rs, c.Spec, params, req.Seed)
+		if v, ok := s.cache.get(pt.line.Key); ok {
+			pt.hit = &v
+		} else {
+			pt.j = &job{
+				rs:      rs,
+				spec:    c.Spec,
+				params:  params,
+				seed:    req.Seed,
+				key:     pt.line.Key,
+				ctx:     r.Context(),
+				timeout: s.cfg.JobTimeout,
+				res:     make(chan outcome, 1),
 			}
 		}
+		pts = append(pts, pt)
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

@@ -9,7 +9,7 @@ import (
 	"mcpaging/internal/core"
 )
 
-// jobKey computes the content-addressed cache key of one simulation
+// JobKey computes the content-addressed cache key of one simulation
 // job: a SHA-256 over a canonical encoding of (request set, strategy
 // spec, K, τ, seed). The request set is hashed by content, so the same
 // instance reaches the same key whether it arrived inline, as a binary
@@ -17,7 +17,12 @@ import (
 // same way strategyspec.Build trims it; seed is always included because
 // it changes the behaviour of randomized policies (for deterministic
 // policies two seeds simply occupy two cache entries).
-func jobKey(rs core.RequestSet, spec string, p core.Params, seed int64) string {
+//
+// The key is exported because it is also the fleet's routing key:
+// mcfleet consistent-hashes it onto the worker ring, so a job lands on
+// the worker whose result cache is most likely to already hold it —
+// the per-worker caches compose into one logical distributed cache.
+func JobKey(rs core.RequestSet, spec string, p core.Params, seed int64) string {
 	h := sha256.New()
 	var buf [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) {

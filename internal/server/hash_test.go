@@ -20,31 +20,31 @@ func TestJobKeyCanonicalAcrossInputModes(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := TraceInput{BinaryB64: base64.StdEncoding.EncodeToString(buf.Bytes())}
-	decoded, err := in.resolve(1 << 20)
+	decoded, err := in.Resolve(1 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	k1 := jobKey(rs, "S(LRU)", p, 1)
-	k2 := jobKey(decoded, "S(LRU)", p, 1)
+	k1 := JobKey(rs, "S(LRU)", p, 1)
+	k2 := JobKey(decoded, "S(LRU)", p, 1)
 	if k1 != k2 {
 		t.Fatalf("binary round-trip changed the key: %s vs %s", k1, k2)
 	}
 
 	// Spec whitespace is canonicalized away, matching Build's trim.
-	if jobKey(rs, "  S(LRU)  ", p, 1) != k1 {
+	if JobKey(rs, "  S(LRU)  ", p, 1) != k1 {
 		t.Fatal("spec whitespace changed the key")
 	}
 
 	// Every parameter is load-bearing.
 	distinct := map[string]string{
 		"base":     k1,
-		"spec":     jobKey(rs, "S(FIFO)", p, 1),
-		"k":        jobKey(rs, "S(LRU)", core.Params{K: 5, Tau: 2}, 1),
-		"tau":      jobKey(rs, "S(LRU)", core.Params{K: 4, Tau: 3}, 1),
-		"seed":     jobKey(rs, "S(LRU)", p, 2),
-		"requests": jobKey(core.RequestSet{{1, 2, 3, 1}, {9, 8, 8}}, "S(LRU)", p, 1),
+		"spec":     JobKey(rs, "S(FIFO)", p, 1),
+		"k":        JobKey(rs, "S(LRU)", core.Params{K: 5, Tau: 2}, 1),
+		"tau":      JobKey(rs, "S(LRU)", core.Params{K: 4, Tau: 3}, 1),
+		"seed":     JobKey(rs, "S(LRU)", p, 2),
+		"requests": JobKey(core.RequestSet{{1, 2, 3, 1}, {9, 8, 8}}, "S(LRU)", p, 1),
 		// Same flattened content, different core structure.
-		"shape": jobKey(core.RequestSet{{1, 2, 3, 1, 9}, {8, 9}}, "S(LRU)", p, 1),
+		"shape": JobKey(core.RequestSet{{1, 2, 3, 1, 9}, {8, 9}}, "S(LRU)", p, 1),
 	}
 	seen := map[string]string{}
 	for name, k := range distinct {

@@ -27,9 +27,11 @@ type TraceInput struct {
 	BinaryB64 string `json:"binary_b64,omitempty"`
 }
 
-// resolve materialises the request set, enforcing the server's per-job
-// size budget.
-func (t TraceInput) resolve(maxRequests int) (core.RequestSet, error) {
+// Resolve materialises the request set, enforcing a per-job size
+// budget. It is exported for the fleet coordinator, which resolves the
+// trace once to compute routing keys and forwards the compact input
+// form to workers unchanged.
+func (t TraceInput) Resolve(maxRequests int) (core.RequestSet, error) {
 	modes := 0
 	if t.Inline != nil {
 		modes++

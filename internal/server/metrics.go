@@ -24,6 +24,7 @@ type serverMetrics struct {
 	completed atomic.Int64 // jobs that produced a result
 	failed    atomic.Int64 // jobs that errored (build, validation, run)
 	timeouts  atomic.Int64 // jobs aborted by the per-job timeout
+	coalesced atomic.Int64 // duplicate concurrent jobs folded into one flight
 
 	mu       sync.Mutex
 	lat      [latWindow]float64 // seconds
@@ -97,6 +98,7 @@ func (m *serverMetrics) writePrometheus(w io.Writer, g gauges) error {
 	counter("mcservd_jobs_completed_total", "Jobs that produced a result.", m.completed.Load())
 	counter("mcservd_jobs_failed_total", "Jobs that ended in an error (including timeouts).", m.failed.Load())
 	counter("mcservd_jobs_timeout_total", "Jobs aborted by the per-job timeout.", m.timeouts.Load())
+	counter("mcservd_jobs_coalesced_total", "Duplicate concurrent jobs folded into another job's flight (singleflight).", m.coalesced.Load())
 	counter("mcservd_cache_hits_total", "Result-cache hits.", g.cacheHits)
 	counter("mcservd_cache_misses_total", "Result-cache misses.", g.cacheMisses)
 	gauge("mcservd_cache_entries", "Results currently cached.", float64(g.cacheEntries))

@@ -21,6 +21,11 @@ type resultCache struct {
 	free    []core.PageID
 	next    core.PageID
 
+	// inflight is the per-key singleflight table: while a leader
+	// computes a key, concurrent misses on the same key wait on its
+	// flight instead of duplicating the simulation (stampede control).
+	inflight map[string]chan struct{}
+
 	hits, misses int64
 }
 
@@ -32,13 +37,45 @@ type cacheEntry struct {
 // newResultCache returns a cache bounded to budget entries; a budget of
 // 0 disables caching (every lookup misses, every store is dropped).
 func newResultCache(budget int) *resultCache {
-	c := &resultCache{budget: budget}
+	c := &resultCache{budget: budget, inflight: make(map[string]chan struct{})}
 	if budget > 0 {
 		c.lru = cache.NewLRU()
 		c.byKey = make(map[string]core.PageID, budget)
 		c.entries = make(map[core.PageID]cacheEntry, budget)
 	}
 	return c
+}
+
+// join registers interest in computing key. The first caller per key is
+// the leader (leader == true) and must call leave(key) when its flight
+// is over — after the result has been stored via put, on whatever path
+// it exits. Other callers get leader == false and a channel that is
+// closed when the current flight ends; they should then re-check the
+// cache (a hit on success, a miss — and leadership — when the leader
+// failed). With caching disabled there is nothing to share, so every
+// caller leads and computes independently, as before.
+func (c *resultCache) join(key string) (leader bool, wait <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget <= 0 {
+		return true, nil
+	}
+	if ch, ok := c.inflight[key]; ok {
+		return false, ch
+	}
+	ch := make(chan struct{})
+	c.inflight[key] = ch
+	return true, ch
+}
+
+// leave ends key's flight, waking every waiter.
+func (c *resultCache) leave(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.inflight[key]; ok {
+		delete(c.inflight, key)
+		close(ch)
+	}
 }
 
 // get returns the cached result for key, refreshing its recency.

@@ -61,6 +61,10 @@ type Config struct {
 	// intra-job parallelism only engages when a job would run alone;
 	// results are byte-identical either way.
 	JobParallel int
+	// WorkerID, when non-empty, is echoed on every response as the
+	// Fleet-Worker-ID header. mcfleet uses it to confirm which fleet
+	// member answered a routed job (cache-affinity accounting).
+	WorkerID string
 
 	// testJobStarted/testJobRelease, when non-nil, make workers
 	// announce each dequeued job and wait for release — deterministic
@@ -132,8 +136,19 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the server's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler. With a configured
+// WorkerID the handler stamps every response with the Fleet-Worker-ID
+// header so a coordinator can attribute answers to fleet members.
+func (s *Server) Handler() http.Handler {
+	if s.cfg.WorkerID == "" {
+		return s.mux
+	}
+	id := s.cfg.WorkerID
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Fleet-Worker-ID", id)
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // Drain stops intake and waits for queued and in-flight jobs to finish.
 // Submissions after Drain fail with ErrDraining (503 at the HTTP

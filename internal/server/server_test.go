@@ -566,3 +566,128 @@ func TestJobParallelMatchesSequential(t *testing.T) {
 		t.Fatalf("parallel job diverges from sequential:\n seq %s\n par %s", rawSeq, rawPar)
 	}
 }
+
+// TestDrainingResponsesCarryRetryAfter pins the uniform backoff
+// contract: both the 429 queue-full path and every 503 draining path
+// (job submission and /readyz) carry a Retry-After hint, so a fleet
+// coordinator treats them with one backoff policy.
+func TestDrainingResponsesCarryRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.Drain() // idle server: drain completes immediately
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 1,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("job during drain: %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 draining job response without Retry-After")
+	} else if _, err := strconv.Atoi(ra); err != nil {
+		t.Fatalf("Retry-After %q is not whole seconds", ra)
+	}
+
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during drain: %d, want 503", rz.StatusCode)
+	}
+	if ra := rz.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 draining /readyz without Retry-After")
+	}
+}
+
+// TestConcurrentSameKeyMissesRunOnce pins the stampede control on the
+// result cache: two concurrent misses on one job key must produce a
+// single simulation run — the follower waits for the leader's flight
+// and is answered from the cache.
+func TestConcurrentSameKeyMissesRunOnce(t *testing.T) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers:        2,
+		testJobStarted: started,
+		testJobRelease: release,
+	})
+	req := JobRequest{Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 2}
+
+	type posted struct {
+		resp *http.Response
+		err  error
+	}
+	results := make(chan posted, 2)
+	post := func() {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(mustJSON(t, req)))
+		results <- posted{resp, err}
+	}
+	go post()
+	<-started // the leader's job is held on a worker
+	go post()
+	// The duplicate must coalesce into the leader's flight, not queue a
+	// second job.
+	waitFor(t, func() bool { return s.metrics.coalesced.Load() == 1 })
+
+	release <- struct{}{}
+	var cached, fresh int
+	for i := 0; i < 2; i++ {
+		p := <-results
+		if p.err != nil {
+			t.Fatal(p.err)
+		}
+		env, _ := decodeJob(t, p.resp)
+		if env.Cached {
+			cached++
+		} else {
+			fresh++
+		}
+	}
+	if fresh != 1 || cached != 1 {
+		t.Fatalf("fresh=%d cached=%d, want exactly one of each", fresh, cached)
+	}
+	if n := s.metrics.completed.Load(); n != 1 {
+		t.Fatalf("completed = %d, want 1 (duplicate compute)", n)
+	}
+	if n := s.metrics.accepted.Load(); n != 1 {
+		t.Fatalf("accepted = %d, want 1 (duplicate reached the queue)", n)
+	}
+	select {
+	case <-started:
+		t.Fatal("a second simulation run started for the same key")
+	default:
+	}
+}
+
+// TestFleetWorkerIDHeader pins the coordinator-facing identity header:
+// set, every response carries it; unset, the header is absent.
+func TestFleetWorkerIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, WorkerID: "worker-7"})
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 4, Tau: 1,
+	})
+	resp.Body.Close()
+	if got := resp.Header.Get("Fleet-Worker-ID"); got != "worker-7" {
+		t.Fatalf("Fleet-Worker-ID = %q, want worker-7", got)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if got := hz.Header.Get("Fleet-Worker-ID"); got != "worker-7" {
+		t.Fatalf("/healthz Fleet-Worker-ID = %q, want worker-7", got)
+	}
+
+	_, plain := newTestServer(t, Config{Workers: 1})
+	hz2, err := http.Get(plain.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz2.Body.Close()
+	if got := hz2.Header.Get("Fleet-Worker-ID"); got != "" {
+		t.Fatalf("unexpected Fleet-Worker-ID %q without WorkerID config", got)
+	}
+}

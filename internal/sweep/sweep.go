@@ -66,6 +66,30 @@ func (g Grid) Validate() error {
 	return nil
 }
 
+// Cell is one grid coordinate. Cells — not Points — are the unit the
+// fleet coordinator routes: a Cell plus the shared workload fully
+// determines one job.
+type Cell struct {
+	K, Tau int
+	Spec   string
+}
+
+// Cells enumerates the grid in canonical order — K-major, then τ, then
+// spec. This single definition of "grid order" is shared by Run (point
+// order), mcservd's /v1/sweep stream, and mcfleet's re-merge of results
+// arriving out of order from many workers.
+func (g Grid) Cells() []Cell {
+	cells := make([]Cell, 0, len(g.Ks)*len(g.Taus)*len(g.Specs))
+	for _, k := range g.Ks {
+		for _, tau := range g.Taus {
+			for _, spec := range g.Specs {
+				cells = append(cells, Cell{K: k, Tau: tau, Spec: spec})
+			}
+		}
+	}
+	return cells
+}
+
 // Point is one grid cell's result.
 type Point struct {
 	K, Tau   int
@@ -94,13 +118,10 @@ func Run(g Grid) ([]Point, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	points := make([]Point, 0, len(g.Ks)*len(g.Taus)*len(g.Specs))
-	for _, k := range g.Ks {
-		for _, tau := range g.Taus {
-			for _, spec := range g.Specs {
-				points = append(points, Point{K: k, Tau: tau, Spec: spec})
-			}
-		}
+	cells := g.Cells()
+	points := make([]Point, len(cells))
+	for i, c := range cells {
+		points[i] = Point{K: c.K, Tau: c.Tau, Spec: c.Spec}
 	}
 	if workers > len(points) {
 		workers = len(points)

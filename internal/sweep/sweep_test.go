@@ -256,3 +256,39 @@ func TestSweepParallelEngineMatches(t *testing.T) {
 		t.Fatal("sweep results depend on intra-run parallelism")
 	}
 }
+
+// TestCellsCanonicalOrder pins the shared definition of grid order:
+// K-major, then τ, then spec — and that sweep.Run returns points in exactly
+// that order.
+func TestCellsCanonicalOrder(t *testing.T) {
+	g := sweep.Grid{
+		R:     core.RequestSet{{1, 2, 1}, {5, 6, 5}},
+		Ks:    []int{2, 4},
+		Taus:  []int{0, 1},
+		Specs: []string{"S(LRU)", "S(FIFO)"},
+	}
+	cells := g.Cells()
+	want := []sweep.Cell{
+		{2, 0, "S(LRU)"}, {2, 0, "S(FIFO)"},
+		{2, 1, "S(LRU)"}, {2, 1, "S(FIFO)"},
+		{4, 0, "S(LRU)"}, {4, 0, "S(FIFO)"},
+		{4, 1, "S(LRU)"}, {4, 1, "S(FIFO)"},
+	}
+	if len(cells) != len(want) {
+		t.Fatalf("%d cells, want %d", len(cells), len(want))
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("cell %d = %+v, want %+v", i, cells[i], want[i])
+		}
+	}
+	pts, err := sweep.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		if (sweep.Cell{p.K, p.Tau, p.Spec}) != cells[i] {
+			t.Fatalf("point %d (%+v) out of cell order (%+v)", i, p, cells[i])
+		}
+	}
+}

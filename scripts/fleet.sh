@@ -1,0 +1,39 @@
+#!/bin/sh
+# Run a local mcfleet: N mcservd workers on random ports plus the
+# coordinator in the foreground. Ctrl-C stops everything.
+#
+# Usage: fleet.sh [coordinator-addr] [workers]
+set -eu
+
+addr="${1:-:9090}"
+n="${2:-2}"
+
+dir="$(mktemp -d)"
+pids=""
+cleanup() {
+    for p in $pids; do kill "$p" 2> /dev/null || true; done
+    rm -rf "$dir"
+}
+trap cleanup EXIT INT TERM
+cd "$(dirname "$0")/.."
+
+go build -o "$dir/mcservd" ./cmd/mcservd
+go build -o "$dir/mcfleet" ./cmd/mcfleet
+
+workers=""
+i=1
+while [ "$i" -le "$n" ]; do
+    "$dir/mcservd" -addr 127.0.0.1:0 -addr-file "$dir/w$i.addr" -worker-id "w$i" &
+    pids="$pids $!"
+    j=0
+    while [ ! -s "$dir/w$i.addr" ]; do
+        j=$((j + 1))
+        [ "$j" -gt 100 ] && { echo "worker w$i did not start" >&2; exit 1; }
+        sleep 0.1
+    done
+    workers="$workers${workers:+,}http://$(cat "$dir/w$i.addr")"
+    i=$((i + 1))
+done
+
+echo "fleet: $n workers: $workers" >&2
+"$dir/mcfleet" -addr "$addr" -worker "$workers"

@@ -6,8 +6,10 @@ set -eu
 
 dir="$(mktemp -d)"
 servd_pid=""
+fleet_pids=""
 cleanup() {
     [ -n "$servd_pid" ] && kill "$servd_pid" 2> /dev/null || true
+    for p in $fleet_pids; do kill -9 "$p" 2> /dev/null || true; done
     rm -rf "$dir"
 }
 trap cleanup EXIT
@@ -85,5 +87,75 @@ test "$(curl -sf -X POST -H 'Content-Type: application/json' -d "$sweep" "$base/
 kill -TERM "$servd_pid"
 wait "$servd_pid"   # graceful drain must exit 0
 servd_pid=""
+
+echo "== mcfleet (routing, byte-identical merge, mid-sweep worker kill) =="
+go build -o "$dir/mcfleet" ./cmd/mcfleet
+start_worker() {
+    # $1: name. Appends the worker's pid to fleet_pids; its base URL is
+    # read from "$dir/$1.addr" afterwards. Runs in the parent shell (no
+    # command substitution: a subshell's pid bookkeeping would be lost,
+    # and the background child would hold the substitution pipe open).
+    "$dir/mcservd" -addr 127.0.0.1:0 -addr-file "$dir/$1.addr" -workers 2 \
+        -worker-id "$1" > /dev/null 2> "$dir/$1.log" &
+    fleet_pids="$fleet_pids $!"
+    i=0
+    while [ ! -s "$dir/$1.addr" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && { echo "worker $1 did not start"; cat "$dir/$1.log"; exit 1; }
+        sleep 0.1
+    done
+}
+start_worker wa; wa_pid="${fleet_pids##* }"; wa="http://$(cat "$dir/wa.addr")"
+start_worker wb; wb="http://$(cat "$dir/wb.addr")"
+start_worker wc; wc_="http://$(cat "$dir/wc.addr")"
+"$dir/mcfleet" -addr 127.0.0.1:0 -addr-file "$dir/fleet.addr" \
+    -worker "$wa,$wb,$wc_" 2> "$dir/fleet.log" &
+fleet_pids="$fleet_pids $!"
+fleet_coord_pid=$!
+i=0
+while [ ! -s "$dir/fleet.addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "mcfleet did not start"; cat "$dir/fleet.log"; exit 1; }
+    sleep 0.1
+done
+fbase="http://$(cat "$dir/fleet.addr")"
+curl -sf "$fbase/healthz" > /dev/null
+curl -sf "$fbase/readyz" > /dev/null
+curl -sf "$fbase/v1/workers" | grep -q '"healthy"'
+curl -sf "$fbase/strategies" | grep -q 'S(LRU)'
+# Acceptance check 1: the fleet's merged sweep stream is byte-identical
+# to the same sweep on one fresh standalone node (both compute every
+# cell, so the caches cannot mask a divergence).
+"$dir/mcservd" -addr 127.0.0.1:0 -addr-file "$dir/solo.addr" -workers 2 \
+    2> "$dir/solo.log" &
+fleet_pids="$fleet_pids $!"
+i=0
+while [ ! -s "$dir/solo.addr" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "solo mcservd did not start"; cat "$dir/solo.log"; exit 1; }
+    sleep 0.1
+done
+solo="http://$(cat "$dir/solo.addr")"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$sweep" "$fbase/v1/sweep" > "$dir/fleet_sweep.jsonl"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$sweep" "$solo/v1/sweep" > "$dir/solo_sweep.jsonl"
+cmp "$dir/fleet_sweep.jsonl" "$dir/solo_sweep.jsonl"
+# Acceptance check 2: SIGKILL a worker mid-sweep; the coordinator must
+# re-route its cells and still deliver every cell exactly once. The
+# bigger grid keeps the sweep in flight long enough for the kill to
+# land mid-stream (and the check holds either way).
+big='{"trace":{"workload":{"cores":4,"length":60000,"pages":256,"kind":"zipf","seed":11}},"ks":[8,16,32,64],"taus":[0,2,4],"strategies":["S(LRU)","S(FIFO)","dP[ucp](LRU)"]}'
+curl -sf --no-buffer -X POST -H 'Content-Type: application/json' -d "$big" \
+    "$fbase/v1/sweep" > "$dir/kill_sweep.jsonl" &
+sweep_curl=$!
+sleep 0.5
+kill -9 "$wa_pid"
+wait "$sweep_curl"
+test "$(wc -l < "$dir/kill_sweep.jsonl")" -eq 36   # 4*3*3 cells, none lost
+! grep -q '"error"' "$dir/kill_sweep.jsonl"
+test "$(grep -o '"key":"[0-9a-f]*"' "$dir/kill_sweep.jsonl" | sort | wc -l)" -eq 36
+test "$(grep -o '"key":"[0-9a-f]*"' "$dir/kill_sweep.jsonl" | sort -u | wc -l)" -eq 36
+curl -sf "$fbase/metrics" | grep -q '^mcfleet_ready 1$'
+kill -TERM "$fleet_coord_pid"
+wait "$fleet_coord_pid"   # graceful coordinator drain must exit 0
 
 echo "smoke: all tools OK"
