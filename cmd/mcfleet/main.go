@@ -107,9 +107,11 @@ func main() {
 	}, nil, nil)
 
 	// One synchronous probe round before serving, so the first request
-	// already sees real health instead of optimistic defaults.
+	// already sees real health instead of optimistic defaults. The probe
+	// loop runs under the process root context: reg.Close (below)
+	// cancels any round still in flight at drain time.
 	reg.ProbeAll(context.Background())
-	reg.Start()
+	reg.Start(context.Background())
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -3,12 +3,19 @@
 //
 //	go run ./cmd/mcvet ./...
 //
-// It prints one line per finding and exits non-zero if any survive the
-// //mcvet:ignore directives. See docs/lint.md for the analyzer
+// Packages are analyzed whole-program: in-module dependencies of the
+// named packages are loaded too, so interprocedural facts (blocking,
+// clock reads, seed provenance, cancellation paths) flow across
+// package boundaries; diagnostics are only reported for the packages
+// the patterns named. mcvet prints one line per finding — and, with
+// -json, writes the same findings as a machine-readable array for CI
+// artifacts and problem matchers — and exits non-zero if any survive
+// the //mcvet:ignore directives. See docs/lint.md for the analyzer
 // catalogue, the annotation conventions and how to add an analyzer.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,10 +23,23 @@ import (
 	"mcpaging/internal/analysis"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic, stable
+// for CI consumers (the GitHub Actions problem matcher parses the
+// plain-text lines; the JSON artifact carries the same fields
+// structured).
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	jsonPath := flag.String("json", "", "also write findings as a JSON array to this file ('-' for stdout)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mcvet [-list] <packages>\n\nAnalyzers (see docs/lint.md):\n")
+		fmt.Fprintf(os.Stderr, "usage: mcvet [-list] [-json file] <packages>\n\nAnalyzers (see docs/lint.md):\n")
 		for _, a := range analysis.DefaultSuite() {
 			scope := "all packages"
 			if a.Critical {
@@ -45,15 +65,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcvet:", err)
 		os.Exit(2)
 	}
-	bad := 0
-	for _, pkg := range pkgs {
-		for _, d := range analysis.RunSuite(suite, pkg) {
-			fmt.Println(d)
-			bad++
+	diags := analysis.RunAll(suite, pkgs)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *jsonPath != "" {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		buf, err := json.MarshalIndent(findings, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", err)
+			os.Exit(2)
+		}
+		buf = append(buf, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(buf)
+		} else if err := os.WriteFile(*jsonPath, buf, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mcvet:", err)
+			os.Exit(2)
 		}
 	}
-	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "mcvet: %d finding(s)\n", bad)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "mcvet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
 }

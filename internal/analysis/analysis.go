@@ -40,12 +40,24 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
-	// Critical restricts the analyzer to determinism-critical packages
-	// (see IsCritical). Non-critical analyzers run on every package.
+	// Critical restricts the analyzer's *diagnostics* to
+	// determinism-critical packages (see IsCritical). Non-critical
+	// analyzers report on every package. Under RunAll a Critical
+	// analyzer still runs on non-critical packages in facts-only mode:
+	// its diagnostics are discarded but the facts it exports remain,
+	// so interprocedural properties propagate through non-critical
+	// code into critical callers.
 	Critical bool
 	// Run inspects the package behind pass and reports findings via
 	// pass.Reportf.
 	Run func(pass *Pass)
+	// Finish, when set, runs once after every package of a RunAll
+	// sweep, deriving whole-suite diagnostics (e.g. lock-order cycles)
+	// from the accumulated facts. Positions in the returned
+	// diagnostics must be pre-rendered token.Position values carried
+	// through the facts — a token.Pos is meaningless once its package
+	// pass is over.
+	Finish func(facts *FactStore) []Diagnostic
 }
 
 // A Pass is one analyzer's view of one type-checked package.
@@ -59,6 +71,12 @@ type Pass struct {
 	// testdata keep their fixture path here, so analyzers must not
 	// assume module-rooted paths.
 	PkgPath string
+	// Facts is the suite-wide fact store. Packages are analyzed in
+	// dependency order, so facts exported while analyzing an import
+	// are visible here. Never nil.
+	Facts *FactStore
+	// Graph is this package's flow-insensitive call graph. Never nil.
+	Graph *CallGraph
 
 	diags []Diagnostic
 }
@@ -112,46 +130,146 @@ func IsCritical(pkgPath string) bool {
 	return false
 }
 
-// RunAnalyzer runs one analyzer over a loaded package and returns its
-// diagnostics with //mcvet:ignore suppressions already applied. It does
-// not apply Critical scoping — that is the suite driver's job — so
-// fixture tests can exercise critical analyzers on arbitrary packages.
-func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
-	pass := &Pass{
+// newPass builds one analyzer's view of one package.
+func newPass(a *Analyzer, pkg *Package, facts *FactStore, graph *CallGraph) *Pass {
+	return &Pass{
 		Analyzer:  a,
 		Fset:      pkg.Fset,
 		Files:     pkg.Files,
 		Pkg:       pkg.Types,
 		TypesInfo: pkg.TypesInfo,
 		PkgPath:   pkg.PkgPath,
+		Facts:     facts,
+		Graph:     graph,
 	}
-	a.Run(pass)
-	return filterIgnored(pass.diags, ignoreIndexFor(pkg))
 }
 
-// RunSuite runs every applicable analyzer of the suite over the package
-// (Critical analyzers only on critical packages), plus the directive
-// hygiene check, and returns the surviving diagnostics sorted by
-// position.
-func RunSuite(suite []*Analyzer, pkg *Package) []Diagnostic {
+// RunAnalyzer runs one analyzer over a loaded package and returns its
+// diagnostics with //mcvet:ignore suppressions already applied. It does
+// not apply Critical scoping — that is the suite driver's job — so
+// fixture tests can exercise critical analyzers on arbitrary packages.
+func RunAnalyzer(a *Analyzer, pkg *Package) []Diagnostic {
+	return RunAnalyzerPkgs(a, []*Package{pkg})
+}
+
+// RunAnalyzerPkgs runs one analyzer over several packages in order with
+// a shared fact store — the multi-package fixture harness. Packages
+// must be given in dependency order so facts flow downstream. Critical
+// scoping is not applied, Finish diagnostics are included, and ignores
+// are honored across all the packages.
+func RunAnalyzerPkgs(a *Analyzer, pkgs []*Package) []Diagnostic {
+	facts := NewFactStore()
+	idx := make(map[string][]*ignoreDirective)
 	var out []Diagnostic
-	idx := ignoreIndexFor(pkg)
-	for _, a := range suite {
-		if a.Critical && !IsCritical(pkg.PkgPath) {
-			continue
+	for _, pkg := range pkgs {
+		pkgIdx, _ := ignoreIndexFor(pkg)
+		for k, v := range pkgIdx {
+			idx[k] = append(idx[k], v...)
 		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			PkgPath:   pkg.PkgPath,
-		}
+		pass := newPass(a, pkg, facts, BuildCallGraph(pkg))
 		a.Run(pass)
 		out = append(out, filterIgnored(pass.diags, idx)...)
 	}
+	if a.Finish != nil {
+		out = append(out, filterIgnored(a.Finish(facts), idx)...)
+	}
+	return out
+}
+
+// RunSuite runs every applicable analyzer of the suite over one package
+// in isolation (Critical analyzers only on critical packages), plus the
+// directive hygiene check, and returns the surviving diagnostics sorted
+// by position. Interprocedural facts do not cross packages here — use
+// RunAll for whole-program analysis.
+func RunSuite(suite []*Analyzer, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	idx, _ := ignoreIndexFor(pkg)
+	facts := NewFactStore()
+	graph := BuildCallGraph(pkg)
+	for _, a := range suite {
+		pass := newPass(a, pkg, facts, graph)
+		a.Run(pass)
+		if a.Critical && !IsCritical(pkg.PkgPath) {
+			continue
+		}
+		out = append(out, filterIgnored(pass.diags, idx)...)
+	}
 	out = append(out, checkDirectives(suite, pkg)...)
+	sortDiags(out)
+	return out
+}
+
+// RunAll is mcvet's whole-program driver: it runs the suite over every
+// package in dependency order with one shared fact store, so
+// interprocedural analyzers see the facts of everything a package
+// imports. Per package it runs *every* analyzer — Critical analyzers
+// on non-critical packages and the whole suite on dep-only packages
+// run in facts-only mode (diagnostics discarded, exports kept) — then
+// applies ignore directives, directive hygiene, Finish passes, and the
+// stale-directive check: a well-formed //mcvet:ignore that suppressed
+// nothing anywhere in the sweep is itself reported.
+func RunAll(suite []*Analyzer, pkgs []*Package) []Diagnostic {
+	facts := NewFactStore()
+	known := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	mergedIdx := make(map[string][]*ignoreDirective)
+	var directives []*ignoreDirective
+	reportable := make(map[string]bool)
+	for _, pkg := range pkgs {
+		graph := BuildCallGraph(pkg)
+		idx, dirs := ignoreIndexFor(pkg)
+		critical := IsCritical(pkg.PkgPath)
+		var raw []Diagnostic
+		for _, a := range suite {
+			pass := newPass(a, pkg, facts, graph)
+			a.Run(pass)
+			if pkg.DepOnly || (a.Critical && !critical) {
+				continue // facts-only: keep exports, drop findings
+			}
+			raw = append(raw, pass.diags...)
+		}
+		if pkg.DepOnly {
+			continue
+		}
+		out = append(out, filterIgnored(raw, idx)...)
+		out = append(out, checkDirectives(suite, pkg)...)
+		for k, v := range idx {
+			mergedIdx[k] = append(mergedIdx[k], v...)
+		}
+		directives = append(directives, dirs...)
+		for _, f := range pkg.Files {
+			reportable[pkg.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	for _, a := range suite {
+		if a.Finish == nil {
+			continue
+		}
+		for _, d := range a.Finish(facts) {
+			if !reportable[d.Pos.Filename] || suppressed(d, mergedIdx) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	// Stale directives: hygiene problems are already reported above;
+	// here a directive that *could* suppress but matched nothing in the
+	// entire sweep is flagged so dead annotations cannot accumulate.
+	for _, dir := range directives {
+		if dir.analyzer == "" || !known[dir.analyzer] || dir.reason == "" || dir.used {
+			continue
+		}
+		out = append(out, Diagnostic{Pos: dir.pos, Analyzer: "mcvet",
+			Message: fmt.Sprintf("mcvet:ignore %s directive suppresses nothing — drop it", dir.analyzer)})
+	}
+	sortDiags(out)
+	return out
+}
+
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i].Pos, out[j].Pos
 		if a.Filename != b.Filename {
@@ -165,10 +283,11 @@ func RunSuite(suite []*Analyzer, pkg *Package) []Diagnostic {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }
 
-// DefaultSuite returns the standard mcvet analyzer suite.
+// DefaultSuite returns the standard mcvet analyzer suite: the five
+// per-function checks from the original mcvet plus the five
+// interprocedural concurrency/determinism analyzers.
 func DefaultSuite() []*Analyzer {
 	return []*Analyzer{
 		Detmap(),
@@ -176,24 +295,32 @@ func DefaultSuite() []*Analyzer {
 		Globalrand(),
 		Hotalloc(),
 		Obsguard(),
+		Lockheld(),
+		Goleak(),
+		Ctxflow(),
+		Seedflow(),
+		Clockflow(),
 	}
 }
 
-// ignoreDirective is one parsed //mcvet:ignore comment.
+// ignoreDirective is one parsed //mcvet:ignore comment. used flips when
+// the directive suppresses a diagnostic, feeding the stale check.
 type ignoreDirective struct {
 	analyzer string
 	reason   string
 	pos      token.Position
+	used     bool
 }
 
 const ignorePrefix = "//mcvet:ignore"
 
-// ignoreIndexFor collects the package's ignore directives, keyed by
-// file name and the line they suppress. A directive suppresses its own
-// line and the line below, so both trailing and standalone-line
-// placements work.
-func ignoreIndexFor(pkg *Package) map[string][]ignoreDirective {
-	idx := make(map[string][]ignoreDirective)
+// ignoreIndexFor collects the package's ignore directives: the index is
+// keyed by file name and the line a directive suppresses (its own line
+// and the line below, so both trailing and standalone-line placements
+// work); the slice lists each directive once, in source order.
+func ignoreIndexFor(pkg *Package) (map[string][]*ignoreDirective, []*ignoreDirective) {
+	idx := make(map[string][]*ignoreDirective)
+	var all []*ignoreDirective
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -203,20 +330,22 @@ func ignoreIndexFor(pkg *Package) map[string][]ignoreDirective {
 				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
 				name, reason, _ := strings.Cut(rest, " ")
 				pos := pkg.Fset.Position(c.Pos())
-				d := ignoreDirective{analyzer: name, reason: strings.TrimSpace(reason), pos: pos}
+				d := &ignoreDirective{analyzer: name, reason: strings.TrimSpace(reason), pos: pos}
 				idx[key(pos.Filename, pos.Line)] = append(idx[key(pos.Filename, pos.Line)], d)
 				idx[key(pos.Filename, pos.Line+1)] = append(idx[key(pos.Filename, pos.Line+1)], d)
+				all = append(all, d)
 			}
 		}
 	}
-	return idx
+	return idx, all
 }
 
 func key(file string, line int) string { return fmt.Sprintf("%s:%d", file, line) }
 
 // filterIgnored drops diagnostics whose line carries (or follows) a
-// matching //mcvet:ignore directive with a non-empty reason.
-func filterIgnored(diags []Diagnostic, idx map[string][]ignoreDirective) []Diagnostic {
+// matching //mcvet:ignore directive with a non-empty reason, marking
+// the directives that earned their keep.
+func filterIgnored(diags []Diagnostic, idx map[string][]*ignoreDirective) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range diags {
 		if suppressed(d, idx) {
@@ -227,13 +356,15 @@ func filterIgnored(diags []Diagnostic, idx map[string][]ignoreDirective) []Diagn
 	return out
 }
 
-func suppressed(d Diagnostic, idx map[string][]ignoreDirective) bool {
+func suppressed(d Diagnostic, idx map[string][]*ignoreDirective) bool {
+	hit := false
 	for _, dir := range idx[key(d.Pos.Filename, d.Pos.Line)] {
 		if dir.analyzer == d.Analyzer && dir.reason != "" {
-			return true
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // checkDirectives enforces directive hygiene: every //mcvet:ignore must

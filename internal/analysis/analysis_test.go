@@ -75,7 +75,31 @@ func TestDefaultSuite(t *testing.T) {
 	for _, a := range analysis.DefaultSuite() {
 		names = append(names, a.Name)
 	}
-	if got, want := strings.Join(names, ","), "detmap,wallclock,globalrand,hotalloc,obsguard"; got != want {
+	if got, want := strings.Join(names, ","), "detmap,wallclock,globalrand,hotalloc,obsguard,lockheld,goleak,ctxflow,seedflow,clockflow"; got != want {
 		t.Fatalf("DefaultSuite = %s, want %s", got, want)
+	}
+}
+
+// TestStaleDirectives checks RunAll's dead-annotation detection: a
+// well-formed //mcvet:ignore that suppressed nothing anywhere in the
+// sweep is itself a finding, while one that earned its keep is not.
+// The diagnostic lands on the directive's own line, which cannot carry
+// a separate want comment, so this is a direct assertion instead of a
+// fixture-want test.
+func TestStaleDirectives(t *testing.T) {
+	pkg := analysistest.Load(t, "staleignore")
+	diags := analysis.RunAll(analysis.DefaultSuite(), []*analysis.Package{pkg})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the stale directive: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "mcvet" {
+		t.Errorf("stale directive attributed to %q, want mcvet", d.Analyzer)
+	}
+	if want := "mcvet:ignore lockheld directive suppresses nothing — drop it"; d.Message != want {
+		t.Errorf("message = %q, want %q", d.Message, want)
+	}
+	if !strings.Contains(d.Pos.Filename, "staleignore") || d.Pos.Line != 22 {
+		t.Errorf("diagnostic at %s:%d, want the stale directive's line 22", d.Pos.Filename, d.Pos.Line)
 	}
 }

@@ -49,6 +49,26 @@ func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
 	Check(t, analysis.RunAnalyzer(a, pkg), pkg)
 }
 
+// RunDirs loads a multi-package fixture — each dir under testdata/src
+// becomes a package importable by later dirs under its fixture path —
+// runs the analyzer over all of them in order through one shared fact
+// store, and checks the combined diagnostics against every package's
+// want comments. This is the harness for cross-package fact
+// propagation: a fact exported while analyzing an earlier package must
+// survive into the later packages' passes for their wants to match.
+func RunDirs(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	specs := make([]analysis.FixtureDir, len(dirs))
+	for i, d := range dirs {
+		specs[i] = analysis.FixtureDir{PkgPath: d, Dir: filepath.Join("testdata", "src", d)}
+	}
+	pkgs, err := analysis.LoadDirs(".", specs)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", dirs, err)
+	}
+	CheckPkgs(t, analysis.RunAnalyzerPkgs(a, pkgs), pkgs)
+}
+
 // Load parses and type-checks one fixture package.
 func Load(t *testing.T, fixture string) *analysis.Package {
 	t.Helper()
@@ -63,7 +83,17 @@ func Load(t *testing.T, fixture string) *analysis.Package {
 // to one per line.
 func Check(t *testing.T, diags []analysis.Diagnostic, pkg *analysis.Package) {
 	t.Helper()
-	wants := collectWants(t, pkg)
+	CheckPkgs(t, diags, []*analysis.Package{pkg})
+}
+
+// CheckPkgs is Check over the combined want comments of several fixture
+// packages.
+func CheckPkgs(t *testing.T, diags []analysis.Diagnostic, pkgs []*analysis.Package) {
+	t.Helper()
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
 	for _, d := range diags {
 		if !matchWant(wants, d) {
 			t.Errorf("unexpected diagnostic: %s", d)

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A CallEdge is one syntactic call site attributed to the function whose
+// body contains it. Calls inside a `go func(){…}()` literal are NOT
+// edges of the enclosing function — that body runs on another
+// goroutine, so properties like "blocks" or "reads the clock" must not
+// propagate across the spawn; goleak inspects spawned bodies directly.
+// A `go f()` with a named callee is recorded with InGo set so goleak
+// can resolve f, but propagation helpers skip it for the same reason.
+type CallEdge struct {
+	Callee    *types.Func // possibly from export data, or an interface method
+	CalleeKey string      // FuncKey(Callee)
+	Pos       token.Pos
+	InGo      bool // the call is the operand of a go statement
+}
+
+// A CallGraph is the flow-insensitive per-package call graph: every
+// function declared in the package, with one edge per call expression
+// whose callee resolves to a named function or method (static calls,
+// method calls, and interface method calls; function-valued variables
+// do not resolve and produce no edge).
+type CallGraph struct {
+	// Funcs maps FuncKey to the locally declared function object.
+	Funcs map[string]*types.Func
+	// Decls maps FuncKey to the declaration, for position reporting.
+	Decls map[string]*ast.FuncDecl
+	// Edges maps a local caller's FuncKey to its call sites.
+	Edges map[string][]CallEdge
+
+	keys []string // sorted caller keys, for deterministic iteration
+}
+
+// CallerKeys returns the sorted FuncKeys of all locally declared
+// functions.
+func (g *CallGraph) CallerKeys() []string { return g.keys }
+
+// ResolveCallee returns the named function or method a call expression
+// invokes, or nil when the callee is dynamic (a function value) or the
+// expression is really a type conversion.
+func ResolveCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.IndexExpr: // generic instantiation f[T](…)
+		return ResolveCallee(info, &ast.CallExpr{Fun: f.X})
+	}
+	return nil
+}
+
+// BuildCallGraph constructs the call graph for one type-checked package.
+func BuildCallGraph(pkg *Package) *CallGraph {
+	g := &CallGraph{
+		Funcs: make(map[string]*types.Func),
+		Decls: make(map[string]*ast.FuncDecl),
+		Edges: make(map[string][]CallEdge),
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			key := FuncKey(fn)
+			g.Funcs[key] = fn
+			g.Decls[key] = fd
+			g.collect(pkg.TypesInfo, key, fd.Body)
+		}
+	}
+	g.keys = make([]string, 0, len(g.Funcs))
+	for key := range g.Funcs {
+		g.keys = append(g.keys, key)
+	}
+	sort.Strings(g.keys)
+	return g
+}
+
+// collect records the call edges of one function body, attributing
+// nested (non-go) function literals to the enclosing declaration and
+// stopping at go-spawned literal bodies.
+func (g *CallGraph) collect(info *types.Info, caller string, body ast.Node) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if _, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				// Spawned literal: arguments evaluate on the caller's
+				// goroutine, the body does not.
+				for _, arg := range n.Call.Args {
+					ast.Inspect(arg, walk)
+				}
+				return false
+			}
+			if fn := ResolveCallee(info, n.Call); fn != nil {
+				g.Edges[caller] = append(g.Edges[caller], CallEdge{
+					Callee: fn, CalleeKey: FuncKey(fn), Pos: n.Call.Pos(), InGo: true,
+				})
+			}
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, walk)
+			}
+			return false
+		case *ast.CallExpr:
+			if fn := ResolveCallee(info, n); fn != nil {
+				g.Edges[caller] = append(g.Edges[caller], CallEdge{
+					Callee: fn, CalleeKey: FuncKey(fn), Pos: n.Pos(),
+				})
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// Fixpoint repeatedly offers every non-go call edge to derive until a
+// full sweep changes nothing. derive reports whether it newly exported
+// a fact for the caller — typically: the callee carries a fact (check
+// the store) and the caller does not yet. Iteration order is
+// deterministic (sorted caller keys, source-order edges), so diagnostic
+// output derived from the resulting facts is stable.
+func (g *CallGraph) Fixpoint(derive func(caller *types.Func, edge CallEdge) bool) {
+	for {
+		changed := false
+		for _, key := range g.keys {
+			caller := g.Funcs[key]
+			for _, e := range g.Edges[key] {
+				if e.InGo {
+					continue
+				}
+				if derive(caller, e) {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

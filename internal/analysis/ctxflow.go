@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow returns the ctxflow analyzer: cancellation scope must flow
+// down from cmd/ entry points, never be re-rooted below them. In
+// critical packages it forbids context.Background()/context.TODO() —
+// a fresh root context detaches everything beneath it from the
+// caller's deadline and shutdown — and, inside functions that take a
+// ctx, it forbids blocking without consulting it: time.Sleep, bare
+// channel sends/receives, and selects offering neither a default nor
+// a ctx.Done() case.
+//
+// One idiom is exempt: the documented nil-guard
+//
+//	if ctx == nil { ctx = context.Background() }
+//
+// which roots the context only when the caller explicitly opted out.
+func Ctxflow() *Analyzer {
+	a := &Analyzer{
+		Name:     "ctxflow",
+		Doc:      "forbids re-rooting contexts below cmd/ and blocking without consulting a held ctx",
+		Critical: true,
+	}
+	a.Run = runCtxflow
+	return a
+}
+
+// ctxRootCall resolves a call to context.Background or context.TODO.
+func ctxRootCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name, ok := pkgFunc(info, call, "context")
+	if !ok || (name != "Background" && name != "TODO") {
+		return "", false
+	}
+	return name, true
+}
+
+// nilGuardExempt collects the context.Background()/TODO() calls that sit
+// in the nil-guard idiom: `if x == nil { x = context.Background() }`.
+func nilGuardExempt(info *types.Info, f *ast.File) map[*ast.CallExpr]bool {
+	exempt := make(map[*ast.CallExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || ifs.Init != nil || len(ifs.Body.List) != 1 {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL {
+			return true
+		}
+		var guarded ast.Expr
+		switch {
+		case exprString(cond.Y) == "nil":
+			guarded = cond.X
+		case exprString(cond.X) == "nil":
+			guarded = cond.Y
+		default:
+			return true
+		}
+		assign, ok := ifs.Body.List[0].(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 || assign.Tok != token.ASSIGN {
+			return true
+		}
+		if exprString(assign.Lhs[0]) != exprString(guarded) {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := ctxRootCall(info, call); ok {
+			exempt[call] = true
+		}
+		return true
+	})
+	return exempt
+}
+
+// ctxParams returns the context-typed parameters (including receivers,
+// not that a ctx receiver is idiomatic) of a function declaration.
+func ctxParams(info *types.Info, ft *ast.FuncType) []*types.Var {
+	var out []*types.Var
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// selectConsultsCtx reports whether a select statement has a default
+// clause or a comm case receiving from a Done() channel (or any method
+// call / channel derived from a ctx-typed value).
+func selectConsultsCtx(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc := c.(*ast.CommClause)
+		if cc.Comm == nil {
+			return true // default: non-blocking
+		}
+		consults := false
+		ast.Inspect(cc.Comm, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := ResolveCallee(info, call); fn != nil && fn.Name() == "Done" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && isContextType(sig.Recv().Type()) {
+						consults = true
+					}
+				}
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && isContextType(v.Type()) {
+					consults = true
+				}
+			}
+			return true
+		})
+		if consults {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxflow(pass *Pass) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		exempt := nilGuardExempt(info, f)
+
+		// Rule 1: no fresh root contexts.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := ctxRootCall(info, call); ok && !exempt[call] {
+				pass.Reportf(call.Pos(),
+					"context.%s() re-roots the context below the cmd/ entry point — thread the caller's ctx instead (//mcvet:ignore ctxflow <reason> to override)",
+					name)
+			}
+			return true
+		})
+
+		// Rule 2: a function that takes a ctx must consult it when
+		// blocking. Select statements carrying a ctx.Done (or default)
+		// case pass; their comm atoms are not re-flagged.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || len(ctxParams(info, fd.Type)) == 0 {
+				continue
+			}
+			inComm := make(map[ast.Node]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if sel, ok := n.(*ast.SelectStmt); ok {
+					for _, c := range sel.Body.List {
+						cc := c.(*ast.CommClause)
+						if cc.Comm != nil {
+							ast.Inspect(cc.Comm, func(m ast.Node) bool {
+								switch m.(type) {
+								case *ast.SendStmt, *ast.UnaryExpr:
+									inComm[m] = true
+								}
+								return true
+							})
+						}
+					}
+				}
+				return true
+			})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if n == nil {
+					return true
+				}
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					// A literal has its own (possibly ctx-free) contract;
+					// only the declared function's body is judged.
+					return false
+				case *ast.SelectStmt:
+					if !selectConsultsCtx(info, n) {
+						pass.Reportf(n.Pos(),
+							"select blocks without a ctx.Done() or default case although %s takes a ctx (//mcvet:ignore ctxflow <reason> to override)",
+							fd.Name.Name)
+					}
+				case *ast.SendStmt:
+					if !inComm[n] {
+						pass.Reportf(n.Pos(),
+							"bare channel send although %s takes a ctx — use a select with ctx.Done() (//mcvet:ignore ctxflow <reason> to override)",
+							fd.Name.Name)
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW && !inComm[n] {
+						pass.Reportf(n.Pos(),
+							"bare channel receive although %s takes a ctx — use a select with ctx.Done() (//mcvet:ignore ctxflow <reason> to override)",
+							fd.Name.Name)
+					}
+				case *ast.CallExpr:
+					if name, ok := pkgFunc(info, n, "time"); ok && name == "Sleep" {
+						pass.Reportf(n.Pos(),
+							"time.Sleep ignores the ctx held by %s — select on ctx.Done() and a timer instead (//mcvet:ignore ctxflow <reason> to override)",
+							fd.Name.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/analysis"
+	"mcpaging/internal/analysis/analysistest"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysis.Ctxflow(), "ctxflow")
+}

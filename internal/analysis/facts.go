@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// A Fact is a unit of interprocedural knowledge an analyzer attaches to
+// a function and later retrieves from another package — the stdlib-only
+// analogue of golang.org/x/tools/go/analysis facts. Facts are keyed by
+// the *canonical object key* of the function (FuncKey), not by object
+// identity: every package is type-checked separately here, so the same
+// function is one *types.Func when its package is analyzed from source
+// and a different *types.Func when a downstream package sees it through
+// compiler export data. The key is identical in both views, which is
+// what lets a fact exported while analyzing internal/sim survive the
+// "export/import" boundary and be imported while analyzing
+// internal/verify.
+type Fact interface {
+	// AFact marks the type as a fact. It is never called.
+	AFact()
+}
+
+// FuncKey renders a function's canonical cross-package key:
+// "path/to/pkg.F" for package functions and "(path/to/pkg.T).M" or
+// "(*path/to/pkg.T).M" for methods — types.Func.FullName, which is
+// stable across the source and export-data views of the same object.
+func FuncKey(fn *types.Func) string { return fn.FullName() }
+
+// A FactStore holds every fact exported during one suite run, keyed by
+// (function key, fact type). The driver threads a single store through
+// all packages in dependency order, so by the time a package is
+// analyzed, the facts of everything it imports are present.
+type FactStore struct {
+	m map[string]map[reflect.Type]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{m: make(map[string]map[reflect.Type]Fact)}
+}
+
+// ExportFuncFact records fact for fn, replacing any previous fact of
+// the same dynamic type.
+func (s *FactStore) ExportFuncFact(fn *types.Func, fact Fact) {
+	s.exportKey(FuncKey(fn), fact)
+}
+
+func (s *FactStore) exportKey(key string, fact Fact) {
+	byType := s.m[key]
+	if byType == nil {
+		byType = make(map[reflect.Type]Fact)
+		s.m[key] = byType
+	}
+	byType[reflect.TypeOf(fact)] = fact
+}
+
+// ImportFuncFact reports whether a fact with target's dynamic type was
+// exported for fn, copying it into target (which must be a non-nil
+// pointer to a Fact type) when so.
+func (s *FactStore) ImportFuncFact(fn *types.Func, target Fact) bool {
+	return s.importKey(FuncKey(fn), target)
+}
+
+func (s *FactStore) importKey(key string, target Fact) bool {
+	t := reflect.TypeOf(target)
+	if t.Kind() != reflect.Pointer {
+		panic(fmt.Sprintf("analysis: ImportFuncFact target %T is not a pointer", target))
+	}
+	fact, ok := s.m[key][t.Elem()]
+	if !ok {
+		return false
+	}
+	reflect.ValueOf(target).Elem().Set(reflect.ValueOf(fact))
+	return true
+}
+
+// HasFuncFact reports whether fn carries a fact of example's type,
+// without copying it out.
+func (s *FactStore) HasFuncFact(fn *types.Func, example Fact) bool {
+	_, ok := s.m[FuncKey(fn)][reflect.TypeOf(example)]
+	return ok
+}
+
+// hasKeyFact is HasFuncFact by pre-rendered key.
+func (s *FactStore) hasKeyFact(key string, example Fact) bool {
+	_, ok := s.m[key][reflect.TypeOf(example)]
+	return ok
+}
+
+// Keys returns every function key holding a fact of example's type,
+// sorted — the deterministic iteration surface for whole-suite passes
+// like lock-order cycle detection.
+func (s *FactStore) Keys(example Fact) []string {
+	t := reflect.TypeOf(example)
+	var out []string
+	for key, byType := range s.m {
+		if _, ok := byType[t]; ok {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cancelFact marks a function whose body contains a reachable
+// cancellation/coordination atom — a select, a channel receive or
+// send, a range over a channel, ctx.Done()/ctx.Err(), a WaitGroup
+// Done/Wait, or a context.Context forwarded to a callee. A goroutine
+// running such a function has a path by which the rest of the program
+// can stop or observe it.
+type cancelFact struct {
+	Via string
+}
+
+func (cancelFact) AFact() {}
+
+// loopFact marks a function that (transitively) runs an unbounded
+// construct — a for loop or a non-channel range. A goroutine that
+// never loops terminates by itself and needs no cancellation path; one
+// that loops must have one.
+type loopFact struct{}
+
+func (loopFact) AFact() {}
+
+// Goleak returns the goleak analyzer: every `go` statement in a
+// critical package must either provably terminate (no loop reachable
+// from the spawned body through the call graph) or have a reachable
+// cancellation path (context, done channel, channel coordination, or
+// WaitGroup), also proven via the call graph. Otherwise the goroutine
+// can outlive its work — the textbook leak.
+func Goleak() *Analyzer {
+	a := &Analyzer{
+		Name:     "goleak",
+		Doc:      "requires a reachable cancellation path for every goroutine in critical packages",
+		Critical: true,
+	}
+	a.Run = runGoleak
+	return a
+}
+
+// goBodyScan walks root (a function body), skipping go-spawned literal
+// bodies, and accumulates whether a cancellation atom or a loop is
+// reachable — directly or through facts of resolved callees.
+type goBodyScan struct {
+	pass      *Pass
+	hasCancel bool
+	via       string
+	hasLoop   bool
+}
+
+func (s *goBodyScan) note(via string) {
+	if !s.hasCancel {
+		s.hasCancel = true
+		s.via = via
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func (s *goBodyScan) scan(root ast.Node) {
+	info := s.pass.TypesInfo
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A nested spawn's atoms belong to the nested goroutine.
+			if _, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				for _, arg := range n.Call.Args {
+					s.scan(arg)
+				}
+				return false
+			}
+			return true
+		case *ast.SelectStmt:
+			s.note("select")
+		case *ast.SendStmt:
+			s.note("channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				s.note("channel receive")
+			}
+		case *ast.ForStmt:
+			s.hasLoop = true
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					s.note("range over channel")
+					return true
+				}
+			}
+			s.hasLoop = true
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if t := info.TypeOf(arg); t != nil && isContextType(t) {
+					s.note("context forwarded to " + exprString(n.Fun))
+				}
+			}
+			fn := ResolveCallee(info, n)
+			if fn == nil {
+				return true
+			}
+			switch fn.FullName() {
+			case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Wait":
+				s.note("WaitGroup " + fn.Name())
+			case "(context.Context).Done", "(context.Context).Err":
+				s.note("ctx." + fn.Name())
+			}
+			var cf cancelFact
+			if s.pass.Facts.ImportFuncFact(fn, &cf) {
+				s.note("call to " + shortFuncKey(FuncKey(fn)) + " (" + cf.Via + ")")
+			}
+			if s.pass.Facts.HasFuncFact(fn, loopFact{}) {
+				s.hasLoop = true
+			}
+		}
+		return true
+	})
+}
+
+func runGoleak(pass *Pass) {
+	// Per-function facts, then same-package fixpoint. The facts scan
+	// must not consult callee facts (those are what the fixpoint adds),
+	// but reusing the combined scanner is harmless: at worst a function
+	// picks up its callee's property one sweep early.
+	for _, fnKey := range pass.Graph.CallerKeys() {
+		fd := pass.Graph.Decls[fnKey]
+		fn := pass.Graph.Funcs[fnKey]
+		sc := &goBodyScan{pass: pass}
+		sc.scan(fd.Body)
+		if sc.hasCancel && !pass.Facts.HasFuncFact(fn, cancelFact{}) {
+			pass.Facts.ExportFuncFact(fn, cancelFact{Via: sc.via})
+		}
+		if sc.hasLoop && !pass.Facts.HasFuncFact(fn, loopFact{}) {
+			pass.Facts.ExportFuncFact(fn, loopFact{})
+		}
+	}
+	pass.Graph.Fixpoint(func(caller *types.Func, e CallEdge) bool {
+		changed := false
+		var cf cancelFact
+		if pass.Facts.ImportFuncFact(e.Callee, &cf) && !pass.Facts.HasFuncFact(caller, cancelFact{}) {
+			pass.Facts.ExportFuncFact(caller, cancelFact{
+				Via: "call to " + shortFuncKey(e.CalleeKey) + " (" + cf.Via + ")",
+			})
+			changed = true
+		}
+		if pass.Facts.HasFuncFact(e.Callee, loopFact{}) && !pass.Facts.HasFuncFact(caller, loopFact{}) {
+			pass.Facts.ExportFuncFact(caller, loopFact{})
+			changed = true
+		}
+		return changed
+	})
+
+	// Judge every go statement.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var sc goBodyScan
+			sc.pass = pass
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				sc.scan(lit.Body)
+			} else if fn := ResolveCallee(pass.TypesInfo, g.Call); fn != nil {
+				var cf cancelFact
+				if pass.Facts.ImportFuncFact(fn, &cf) {
+					sc.note("call to " + shortFuncKey(FuncKey(fn)) + " (" + cf.Via + ")")
+				}
+				if pass.Facts.HasFuncFact(fn, loopFact{}) {
+					sc.hasLoop = true
+				}
+			} else {
+				// Dynamic callee: nothing provable either way.
+				return true
+			}
+			if sc.hasLoop && !sc.hasCancel {
+				pass.Reportf(g.Pos(),
+					"goroutine loops but has no reachable cancellation path (ctx, done channel, or WaitGroup) — it can outlive its work (//mcvet:ignore goleak <reason> to override)")
+			}
+			return true
+		})
+	}
+}

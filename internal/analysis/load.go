@@ -13,6 +13,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"sync"
 )
 
@@ -24,29 +25,41 @@ type Package struct {
 	Files     []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+	// DepOnly marks an in-module package that was loaded only because a
+	// named target imports it. RunAll analyzes it in facts-only mode:
+	// interprocedural facts propagate out of it, diagnostics do not.
+	DepOnly bool
 }
 
 // Load loads, parses and type-checks the non-test Go files of every
-// package matched by the go-list patterns, resolving imports through
-// the compiler's export data (`go list -export`). dir is the directory
-// the patterns are interpreted in (any directory inside the module).
+// package matched by the go-list patterns — plus, for interprocedural
+// analysis, every in-module package those targets depend on — resolving
+// imports through the compiler's export data (`go list -export`). dir
+// is the directory the patterns are interpreted in (any directory
+// inside the module).
+//
+// Packages are returned in dependency order (imports before importers),
+// so a driver sweeping them front to back sees the facts of a package's
+// imports before the package itself. In-module packages the patterns
+// did not name directly carry DepOnly.
 //
 // Test files are not loaded: mcvet guards the invariants of shipped
 // code, and the export-data path has no compiled form of test packages
 // to import.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	exports, targets, err := goList(dir, patterns)
+	exports, list, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, exports)
 	var pkgs []*Package
-	for _, t := range targets {
+	for _, t := range list {
 		pkg, err := typeCheck(fset, imp, t.ImportPath, t.Dir, t.GoFiles)
 		if err != nil {
 			return nil, err
 		}
+		pkg.DepOnly = t.DepOnly
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -57,14 +70,19 @@ type listPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Deps       []string
 	Export     string
+	Standard   bool
 	DepOnly    bool
 	Error      *struct{ Err string }
 }
 
 // goList runs `go list -export -json -deps` and splits the result into
-// the export-data index (all packages) and the target packages (those
-// the patterns named directly).
+// the export-data index (all packages) and the module's packages —
+// targets plus in-module deps — in dependency order. Ordering leans on
+// Deps being *transitive*: if A imports B then Deps(A) ⊋ Deps(B), so
+// sorting by dep count (ties by path, for determinism) is a
+// topological order.
 func goList(dir string, patterns []string) (map[string]string, []listPkg, error) {
 	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -77,7 +95,7 @@ func goList(dir string, patterns []string) (map[string]string, []listPkg, error)
 	}
 	dec := json.NewDecoder(bytes.NewReader(out))
 	exports := make(map[string]string)
-	var targets []listPkg
+	var mod []listPkg
 	for {
 		var p listPkg
 		if err := dec.Decode(&p); err == io.EOF {
@@ -91,11 +109,19 @@ func goList(dir string, patterns []string) (map[string]string, []listPkg, error)
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			targets = append(targets, p)
+		// The module is stdlib-only, so every non-standard package in
+		// the listing is an in-module package.
+		if !p.Standard {
+			mod = append(mod, p)
 		}
 	}
-	return exports, targets, nil
+	sort.Slice(mod, func(i, j int) bool {
+		if len(mod[i].Deps) != len(mod[j].Deps) {
+			return len(mod[i].Deps) < len(mod[j].Deps)
+		}
+		return mod[i].ImportPath < mod[j].ImportPath
+	})
+	return exports, mod, nil
 }
 
 // exportImporter returns a types.Importer that reads compiler export
@@ -223,4 +249,111 @@ func LoadDir(moduleDir, pkgPath, dir string) (*Package, error) {
 	}
 	fset = token.NewFileSet()
 	return typeCheck(fset, exportImporter(fset, exports), pkgPath, "", goFiles)
+}
+
+// A FixtureDir names one package of a multi-package fixture: the
+// synthetic import path later fixture packages use to import it, and
+// the directory (relative to the fixture root) holding its files.
+type FixtureDir struct {
+	PkgPath string
+	Dir     string
+}
+
+// chainImporter resolves fixture-local import paths to the packages
+// type-checked earlier in the same LoadDirs call, falling back to
+// export data for everything else (stdlib, mcpaging packages).
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// LoadDirs parses and type-checks a multi-package analysistest fixture:
+// each entry's directory becomes a package under its synthetic import
+// path, and later entries may import earlier ones by that path — the
+// fixture-level stand-in for a dependency edge, so fact export/import
+// across package boundaries can be exercised without the fixture being
+// part of the module's build graph. Entries must therefore be listed
+// in dependency order. Packages come back in the same order, ready for
+// a facts-threading driver.
+func LoadDirs(moduleDir string, dirs []FixtureDir) ([]*Package, error) {
+	local := make(map[string]*types.Package)
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, d := range dirs {
+		ents, err := os.ReadDir(d.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		var goFiles []string
+		need := make(map[string]bool)
+		for _, e := range ents {
+			if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+				continue
+			}
+			name := filepath.Join(d.Dir, e.Name())
+			goFiles = append(goFiles, name)
+			f, err := parser.ParseFile(token.NewFileSet(), name, nil, parser.ImportsOnly)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: %v", err)
+			}
+			for _, im := range f.Imports {
+				p := im.Path.Value
+				need[p[1:len(p)-1]] = true
+			}
+		}
+		if len(goFiles) == 0 {
+			return nil, fmt.Errorf("analysis: no .go files in %s", d.Dir)
+		}
+		exports, err := cachedExports(moduleDir, need, local)
+		if err != nil {
+			return nil, err
+		}
+		imp := chainImporter{local: local, fallback: exportImporter(fset, exports)}
+		pkg, err := typeCheck(fset, imp, d.PkgPath, "", goFiles)
+		if err != nil {
+			return nil, err
+		}
+		local[d.PkgPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// cachedExports resolves the import paths in need — minus those already
+// satisfied locally — to export-data files via the shared cache.
+func cachedExports(moduleDir string, need map[string]bool, local map[string]*types.Package) (map[string]string, error) {
+	exports := make(map[string]string)
+	var missing []string
+	exportCache.Lock()
+	for p := range need {
+		if _, ok := local[p]; ok {
+			continue
+		}
+		if f, ok := exportCache.m[p]; ok {
+			exports[p] = f
+		} else {
+			missing = append(missing, p)
+		}
+	}
+	exportCache.Unlock()
+	if len(missing) > 0 {
+		more, _, err := goList(moduleDir, missing)
+		if err != nil {
+			return nil, err
+		}
+		exportCache.Lock()
+		for p, f := range more {
+			exportCache.m[p] = f
+			exports[p] = f
+		}
+		exportCache.Unlock()
+	}
+	return exports, nil
 }

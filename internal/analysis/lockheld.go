@@ -1,0 +1,515 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// blockFact marks a function that may block the calling goroutine:
+// its body (or something it transitively calls) performs a channel
+// operation, sleeps, waits on a WaitGroup/Cond, or issues an HTTP
+// request. Exported across packages so lockheld can flag a call chain
+// that ends in a block even when the blocking atom is three packages
+// away.
+type blockFact struct {
+	Why string         // human description of the underlying atom
+	At  token.Position // where the atom is
+}
+
+func (blockFact) AFact() {}
+
+// lockAcquireFact lists the lock classes a function (transitively)
+// acquires, so acquiring a lock and then calling the function yields
+// lock-order edges across function and package boundaries.
+type lockAcquireFact struct {
+	Classes []string
+}
+
+func (lockAcquireFact) AFact() {}
+
+// lockEdgeFact records one observed acquisition order: To was acquired
+// at At while From was held. Keyed in the fact store by "From→To"; the
+// Finish pass reports pairs that also occur inverted.
+type lockEdgeFact struct {
+	From, To string
+	At       token.Position
+}
+
+func (lockEdgeFact) AFact() {}
+
+// mutexMethod classifies calls on sync.Mutex/RWMutex receivers.
+var mutexAcquire = map[string]bool{
+	"(*sync.Mutex).Lock":    true,
+	"(*sync.RWMutex).Lock":  true,
+	"(*sync.RWMutex).RLock": true,
+}
+
+var mutexRelease = map[string]string{
+	"(*sync.Mutex).Unlock":    "(*sync.Mutex).Lock",
+	"(*sync.RWMutex).Unlock":  "(*sync.RWMutex).Lock",
+	"(*sync.RWMutex).RUnlock": "(*sync.RWMutex).RLock",
+}
+
+var httpBlockingMethods = map[string]bool{
+	"(*net/http.Client).Do":       true,
+	"(*net/http.Client).Get":      true,
+	"(*net/http.Client).Post":     true,
+	"(*net/http.Client).PostForm": true,
+	"(*net/http.Client).Head":     true,
+}
+
+var httpBlockingFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true, "Do": true,
+}
+
+// Lockheld returns the lockheld analyzer: no operation that can block
+// the goroutine — channel send/receive, select without default, range
+// over a channel, time.Sleep, WaitGroup/Cond waits, HTTP round trips,
+// Clock.After, or a call whose chain provably blocks — may run while a
+// sync.Mutex or sync.RWMutex is held, and lock acquisition order must
+// be globally consistent (an A-then-B order in one place and B-then-A
+// in another is reported as a deadlock hazard by the suite-level
+// Finish pass).
+func Lockheld() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld",
+		Doc:  "forbids blocking operations while a mutex is held and inconsistent lock-acquisition order",
+	}
+	a.Run = runLockheld
+	a.Finish = finishLockheld
+	return a
+}
+
+func runLockheld(pass *Pass) {
+	// Pass 1: per-function direct facts — does the body itself block,
+	// and which lock classes does it acquire?
+	for _, fnKey := range pass.Graph.CallerKeys() {
+		fd := pass.Graph.Decls[fnKey]
+		fn := pass.Graph.Funcs[fnKey]
+		sc := newLockScan(pass, fd)
+		if why, at, ok := sc.firstBlockingAtom(); ok {
+			pass.Facts.ExportFuncFact(fn, blockFact{Why: why, At: at})
+		}
+		if classes := sc.directAcquires(); len(classes) > 0 {
+			pass.Facts.ExportFuncFact(fn, lockAcquireFact{Classes: classes})
+		}
+	}
+
+	// Pass 2: same-package fixpoint — blocking and acquisition
+	// propagate up the call graph. Imported facts from dependency
+	// packages are already in the store, so cross-package chains
+	// resolve here too.
+	pass.Graph.Fixpoint(func(caller *types.Func, e CallEdge) bool {
+		changed := false
+		var bf blockFact
+		if pass.Facts.ImportFuncFact(e.Callee, &bf) && !pass.Facts.HasFuncFact(caller, bf) {
+			pass.Facts.ExportFuncFact(caller, blockFact{
+				Why: fmt.Sprintf("call to %s (%s)", shortFuncKey(e.CalleeKey), bf.Why),
+				At:  pass.Fset.Position(e.Pos),
+			})
+			changed = true
+		}
+		var af lockAcquireFact
+		if pass.Facts.ImportFuncFact(e.Callee, &af) {
+			var cur lockAcquireFact
+			pass.Facts.ImportFuncFact(caller, &cur)
+			merged := mergeClasses(cur.Classes, af.Classes)
+			if len(merged) > len(cur.Classes) {
+				pass.Facts.ExportFuncFact(caller, lockAcquireFact{Classes: merged})
+				changed = true
+			}
+		}
+		return changed
+	})
+
+	// Pass 3: the held-lock scan — walk each body in source order
+	// tracking which mutexes are held, and report blocking atoms and
+	// record ordering edges encountered under a lock.
+	for _, fnKey := range pass.Graph.CallerKeys() {
+		newLockScan(pass, pass.Graph.Decls[fnKey]).checkHeld()
+	}
+}
+
+// shortFuncKey trims the package path of a FuncKey down to its last
+// element for readable diagnostics: "(mcpaging/internal/verify.Prover).ProveAll"
+// → "(verify.Prover).ProveAll".
+func shortFuncKey(key string) string {
+	i := strings.LastIndex(key, "/")
+	if i < 0 {
+		return key
+	}
+	if strings.HasPrefix(key, "(") {
+		return "(" + key[i+1:]
+	}
+	return key[i+1:]
+}
+
+func mergeClasses(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockScan is the shared walking machinery for one function body.
+type lockScan struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+
+	goLits      map[*ast.FuncLit]bool // bodies spawned on another goroutine
+	commAtoms   map[ast.Node]bool     // send/recv heading any select clause
+	nonblocking map[ast.Node]bool     // selects that have a default clause
+}
+
+func newLockScan(pass *Pass, fd *ast.FuncDecl) *lockScan {
+	s := &lockScan{
+		pass:        pass,
+		fd:          fd,
+		goLits:      make(map[*ast.FuncLit]bool),
+		commAtoms:   make(map[ast.Node]bool),
+		nonblocking: make(map[ast.Node]bool),
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				s.goLits[lit] = true
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CommClause)
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				// Mark the clause-heading atom so it is not reported a
+				// second time: the select itself carries the verdict.
+				ast.Inspect(cc.Comm, func(m ast.Node) bool {
+					switch m.(type) {
+					case *ast.SendStmt, *ast.UnaryExpr:
+						s.commAtoms[m] = true
+					}
+					return true
+				})
+			}
+			if hasDefault {
+				s.nonblocking[n] = true
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// walk visits the body in source order, skipping go-spawned literal
+// bodies and defer arguments (both run on a different schedule than
+// the surrounding statements).
+func (s *lockScan) walk(f func(n ast.Node) bool) {
+	ast.Inspect(s.fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			if s.goLits[nn] {
+				return false
+			}
+		case *ast.DeferStmt:
+			return false
+		}
+		return f(n)
+	})
+}
+
+// blockingAtom classifies n as an operation that can block this
+// goroutine, returning a description.
+func (s *lockScan) blockingAtom(n ast.Node) (string, bool) {
+	info := s.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		if s.commAtoms[n] {
+			return "", false
+		}
+		return "channel send", true
+	case *ast.UnaryExpr:
+		if n.Op != token.ARROW || s.commAtoms[n] {
+			return "", false
+		}
+		return "channel receive", true
+	case *ast.SelectStmt:
+		if s.nonblocking[n] {
+			return "", false
+		}
+		return "select without default", true
+	case *ast.RangeStmt:
+		if t := info.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				return "range over channel", true
+			}
+		}
+	case *ast.CallExpr:
+		if name, ok := pkgFunc(info, n, "time"); ok && name == "Sleep" {
+			return "time.Sleep", true
+		}
+		if name, ok := pkgFunc(info, n, "net/http"); ok && httpBlockingFuncs[name] {
+			return "http." + name, true
+		}
+		if fn := ResolveCallee(info, n); fn != nil {
+			full := fn.FullName()
+			switch {
+			case full == "(*sync.WaitGroup).Wait":
+				return "sync.WaitGroup.Wait", true
+			case full == "(*sync.Cond).Wait":
+				return "sync.Cond.Wait", true
+			case httpBlockingMethods[full]:
+				return "http.Client round trip", true
+			case isClockInterfaceMethod(fn, "After"):
+				return "Clock.After", true
+			}
+		}
+	}
+	return "", false
+}
+
+// isClockInterfaceMethod reports whether fn is the named method of an
+// interface type called "Clock" (any package) — the injected-clock
+// convention.
+func isClockInterfaceMethod(fn *types.Func, method string) bool {
+	if fn.Name() != method {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if !isInterface(t) {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Clock"
+}
+
+// firstBlockingAtom finds the first directly blocking operation of the
+// body, for the blockFact export.
+func (s *lockScan) firstBlockingAtom() (why string, at token.Position, found bool) {
+	s.walk(func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if w, ok := s.blockingAtom(n); ok {
+			why, at, found = w, s.pass.Fset.Position(n.Pos()), true
+			return false
+		}
+		return true
+	})
+	return why, at, found
+}
+
+// mutexCall resolves n to a mutex acquire/release, returning the
+// receiver expression (the lock value) and whether it acquires.
+func (s *lockScan) mutexCall(n *ast.CallExpr) (recv ast.Expr, acquire bool, ok bool) {
+	fn := ResolveCallee(s.pass.TypesInfo, n)
+	if fn == nil {
+		return nil, false, false
+	}
+	full := fn.FullName()
+	if !mutexAcquire[full] {
+		if _, rel := mutexRelease[full]; !rel {
+			return nil, false, false
+		}
+	}
+	sel, selOk := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return nil, false, false
+	}
+	return sel.X, mutexAcquire[full], true
+}
+
+// lockClass renders a stable cross-package identity for a lock value:
+// "<pkg>.<Type>.<field>" for struct-field mutexes, "<pkg>.<name>" for
+// variables.
+func (s *lockScan) lockClass(recv ast.Expr) string {
+	recv = ast.Unparen(recv)
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if selection, ok := s.pass.TypesInfo.Selections[sel]; ok && selection.Kind() == types.FieldVal {
+			if v, ok := selection.Obj().(*types.Var); ok && v.IsField() {
+				return fieldKeyOf(s.pass.TypesInfo, sel, v)
+			}
+		}
+	}
+	return s.pass.PkgPath + "." + exprString(recv)
+}
+
+// directAcquires lists the lock classes the body acquires.
+func (s *lockScan) directAcquires() []string {
+	seen := make(map[string]bool)
+	var out []string
+	s.walk(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, acquire, ok := s.mutexCall(call); ok && acquire {
+			if c := s.lockClass(recv); !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	sort.Strings(out)
+	return out
+}
+
+// checkHeld runs the source-order held-lock scan, reporting blocking
+// atoms and recording lock-order edges observed under a held lock.
+// The scan is flow-insensitive: a lock stays "held" from its Lock call
+// to the matching Unlock in source order (deferred unlocks hold to the
+// end of the function), which matches the overwhelmingly dominant
+// straight-line critical-section idiom. Every function literal is its
+// own held-scope — a closure that locks does so on its own schedule,
+// not at its definition site.
+func (s *lockScan) checkHeld() {
+	s.checkHeldIn(s.fd.Body)
+	// Every literal — including go-spawned ones — is scanned as its own
+	// scope: a goroutine body that blocks under its own lock is just as
+	// wrong as a plain function that does.
+	var lits []*ast.FuncLit
+	ast.Inspect(s.fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+		return true
+	})
+	for _, lit := range lits {
+		s.checkHeldIn(lit.Body)
+	}
+}
+
+// checkHeldIn scans one body, stopping at nested function literals
+// (each gets its own scan) and defer statements.
+func (s *lockScan) checkHeldIn(body ast.Node) {
+	held := make(map[string]string) // exprString(recv) → lock class
+	heldList := func() []string {
+		var names []string
+		for name := range held {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	// body is a block statement, so any FuncLit seen below is strictly
+	// nested and belongs to another scope's scan.
+	walkScope := func(f func(n ast.Node) bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			switch n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			}
+			return f(n)
+		})
+	}
+	walkScope(func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, acquire, ok := s.mutexCall(call); ok {
+				name := exprString(recv)
+				if acquire {
+					class := s.lockClass(recv)
+					for _, heldClass := range held {
+						if heldClass == class {
+							continue // re-entrant RLock of same class: not an order edge
+						}
+						s.pass.Facts.exportKey("lockedge:"+heldClass+"→"+class, lockEdgeFact{
+							From: heldClass, To: class, At: s.pass.Fset.Position(call.Pos()),
+						})
+					}
+					held[name] = class
+				} else {
+					delete(held, name)
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if fn := ResolveCallee(s.pass.TypesInfo, call); fn != nil {
+					var bf blockFact
+					if s.pass.Facts.ImportFuncFact(fn, &bf) {
+						if _, direct := s.blockingAtom(call); !direct {
+							s.pass.Reportf(call.Pos(),
+								"call to %s may block (%s at %s) while %s is held",
+								shortFuncKey(FuncKey(fn)), bf.Why, bf.At, strings.Join(heldList(), ", "))
+						}
+					}
+					var af lockAcquireFact
+					if s.pass.Facts.ImportFuncFact(fn, &af) {
+						for _, class := range af.Classes {
+							for _, heldClass := range held {
+								if heldClass == class {
+									continue
+								}
+								s.pass.Facts.exportKey("lockedge:"+heldClass+"→"+class, lockEdgeFact{
+									From: heldClass, To: class, At: s.pass.Fset.Position(call.Pos()),
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+		if len(held) == 0 {
+			return true
+		}
+		if why, ok := s.blockingAtom(n); ok {
+			s.pass.Reportf(n.Pos(), "%s while %s is held blocks the critical section (//mcvet:ignore lockheld <reason> to override)",
+				why, strings.Join(heldList(), ", "))
+		}
+		return true
+	})
+}
+
+// finishLockheld reports inverted lock-order pairs across the whole
+// sweep: A acquired under B somewhere and B acquired under A somewhere
+// else is a classic deadlock recipe even when each site is individually
+// fine.
+func finishLockheld(facts *FactStore) []Diagnostic {
+	var out []Diagnostic
+	for _, k := range facts.Keys(lockEdgeFact{}) {
+		var e lockEdgeFact
+		facts.importKey(k, &e)
+		inverse := "lockedge:" + e.To + "→" + e.From
+		if !facts.hasKeyFact(inverse, lockEdgeFact{}) {
+			continue
+		}
+		var inv lockEdgeFact
+		facts.importKey(inverse, &inv)
+		out = append(out, Diagnostic{
+			Pos:      e.At,
+			Analyzer: "lockheld",
+			Message: fmt.Sprintf("inconsistent lock order: %s acquired while holding %s, but the opposite order is taken at %s",
+				shortLock(e.To), shortLock(e.From), inv.At),
+		})
+	}
+	return out
+}
+
+// shortLock trims a lock class's package path for readability.
+func shortLock(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}

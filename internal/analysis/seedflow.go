@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// seedParamFact marks parameters of a function that flow into a
+// math/rand source constructor (directly or transitively): arguments
+// passed at those positions are seed values, so call sites inherit the
+// provenance obligation.
+type seedParamFact struct {
+	Positions []int
+}
+
+func (seedParamFact) AFact() {}
+
+// seedFieldFact marks a struct field whose value flows into a
+// math/rand source constructor (e.g. workload.Spec.Seed): every
+// assignment or composite-literal value of that field is a seed sink.
+// Keyed in the store by "seedfield:<pkg>.<Type>.<Field>".
+type seedFieldFact struct {
+	At token.Position
+}
+
+func (seedFieldFact) AFact() {}
+
+// Seedflow returns the seedflow analyzer: every seed reaching a
+// math/rand source in a critical package must derive from the
+// sim.DeriveSeed splitmix64 chain (or arrive opaquely via a parameter,
+// field or call, whose provenance is checked at its own origin) — not
+// from a hard-coded literal, hand-rolled arithmetic like
+// `base + i*1000003` (stride arithmetic correlates the streams the
+// paper's claims need independent), or the wall clock.
+func Seedflow() *Analyzer {
+	a := &Analyzer{
+		Name:     "seedflow",
+		Doc:      "requires rand seeds in critical packages to derive from the sim.DeriveSeed chain",
+		Critical: true,
+	}
+	a.Run = runSeedflow
+	return a
+}
+
+// seedSink is one expression whose value becomes a seed.
+type seedSink struct {
+	arg    ast.Expr
+	walker *TaintWalker
+	fn     *types.Func // enclosing function (nil at package scope)
+	desc   string
+}
+
+// randSourceCtor reports whether call constructs a math/rand source
+// whose arguments are seeds.
+func randSourceCtor(info *types.Info, call *ast.CallExpr) bool {
+	name, ok := pkgFunc(info, call, "math/rand", "math/rand/v2")
+	return ok && (name == "NewSource" || name == "NewPCG")
+}
+
+// paramPositions maps a declaration's flattened parameter variables to
+// their call-argument positions.
+func paramPositions(info *types.Info, ft *ast.FuncType) map[*types.Var]int {
+	out := make(map[*types.Var]int)
+	if ft.Params == nil {
+		return out
+	}
+	i := 0
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := info.Defs[name].(*types.Var); ok {
+				out[v] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return out
+}
+
+// structFieldKey resolves the field key of a composite-literal entry.
+func structFieldKey(info *types.Info, lit *ast.CompositeLit, kv *ast.KeyValueExpr) (string, bool) {
+	id, ok := kv.Key.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	t := info.TypeOf(lit)
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return "", false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == id.Name {
+			return FieldKeyOfDef(named, st.Field(i)), true
+		}
+	}
+	return "", false
+}
+
+func runSeedflow(pass *Pass) {
+	info := pass.TypesInfo
+
+	// collect walks every function body and gathers the current sink
+	// set: direct source-constructor arguments, arguments at
+	// fact-carrying parameter positions, and writes to fact-carrying
+	// fields. The sink set grows as facts accumulate, so collection and
+	// fact export iterate to a fixpoint before anything is reported —
+	// Generate(spec) feeding spec.Seed into NewSource is what turns
+	// Mix's `s.Seed = …` assignment into a sink at all.
+	collect := func() []seedSink {
+		var sinks []seedSink
+		for _, fnKey := range pass.Graph.CallerKeys() {
+			fd := pass.Graph.Decls[fnKey]
+			fn := pass.Graph.Funcs[fnKey]
+			w := NewTaintWalker(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if randSourceCtor(info, n) {
+						for _, arg := range n.Args {
+							sinks = append(sinks, seedSink{arg: arg, walker: w, fn: fn, desc: "rand source seed"})
+						}
+						return true
+					}
+					if callee := ResolveCallee(info, n); callee != nil {
+						var pf seedParamFact
+						if pass.Facts.ImportFuncFact(callee, &pf) {
+							for _, i := range pf.Positions {
+								if i < len(n.Args) {
+									sinks = append(sinks, seedSink{arg: n.Args[i], walker: w, fn: fn,
+										desc: "seed argument of " + shortFuncKey(FuncKey(callee))})
+								}
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					if len(n.Lhs) != len(n.Rhs) {
+						return true
+					}
+					for i, lhs := range n.Lhs {
+						sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+						if !ok {
+							continue
+						}
+						selection, ok := info.Selections[sel]
+						if !ok || selection.Kind() != types.FieldVal {
+							continue
+						}
+						v, ok := selection.Obj().(*types.Var)
+						if !ok || !v.IsField() {
+							continue
+						}
+						fkey := fieldKeyOf(info, sel, v)
+						if pass.Facts.hasKeyFact("seedfield:"+fkey, seedFieldFact{}) {
+							sinks = append(sinks, seedSink{arg: n.Rhs[i], walker: w, fn: fn,
+								desc: "seed field " + shortLock(fkey)})
+						}
+					}
+				case *ast.CompositeLit:
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if fkey, ok := structFieldKey(info, n, kv); ok &&
+							pass.Facts.hasKeyFact("seedfield:"+fkey, seedFieldFact{}) {
+							sinks = append(sinks, seedSink{arg: kv.Value, walker: w, fn: fn,
+								desc: "seed field " + shortLock(fkey)})
+						}
+					}
+				}
+				return true
+			})
+		}
+		return sinks
+	}
+
+	// exportFacts turns param/field leaves of the sinks' provenance
+	// into facts, reporting whether anything new appeared.
+	exportFacts := func(sinks []seedSink) bool {
+		changed := false
+		for _, s := range sinks {
+			prov := s.walker.Origins(s.arg)
+			for _, o := range prov.Origins {
+				switch o.Kind {
+				case OriginParam:
+					if s.fn == nil || o.Var == nil {
+						continue
+					}
+					fd := pass.Graph.Decls[FuncKey(s.fn)]
+					if fd == nil {
+						continue
+					}
+					pos, ok := paramPositions(info, fd.Type)[o.Var]
+					if !ok {
+						continue
+					}
+					var cur seedParamFact
+					pass.Facts.ImportFuncFact(s.fn, &cur)
+					if !containsInt(cur.Positions, pos) {
+						cur.Positions = append(cur.Positions, pos)
+						sort.Ints(cur.Positions)
+						pass.Facts.ExportFuncFact(s.fn, seedParamFact{Positions: cur.Positions})
+						changed = true
+					}
+				case OriginField:
+					if o.FieldKey == "" {
+						continue
+					}
+					if !pass.Facts.hasKeyFact("seedfield:"+o.FieldKey, seedFieldFact{}) {
+						pass.Facts.exportKey("seedfield:"+o.FieldKey, seedFieldFact{At: pass.Fset.Position(o.Pos)})
+						changed = true
+					}
+				}
+			}
+		}
+		return changed
+	}
+
+	var sinks []seedSink
+	for {
+		sinks = collect()
+		if !exportFacts(sinks) {
+			break
+		}
+	}
+
+	reported := make(map[token.Pos]bool)
+	for _, s := range sinks {
+		if reported[s.arg.Pos()] {
+			continue
+		}
+		prov := s.walker.Origins(s.arg)
+		var verdict string
+		switch {
+		case prov.Arith:
+			verdict = "is derived with ad-hoc arithmetic — decorrelate sub-seeds with sim.DeriveSeed(root, stream, index) instead"
+		case prov.Any(OriginLiteral):
+			verdict = "is a hard-coded literal — derive it from the run's root seed via sim.DeriveSeed"
+		default:
+			for _, o := range prov.Origins {
+				if o.Kind == OriginCall && o.Fn != nil && o.Fn.Pkg() != nil && o.Fn.Pkg().Path() == "time" {
+					verdict = "samples the wall clock — seeds must be reproducible from the recorded root seed"
+					break
+				}
+			}
+		}
+		if verdict == "" {
+			continue
+		}
+		reported[s.arg.Pos()] = true
+		pass.Reportf(s.arg.Pos(), "%s %s (//mcvet:ignore seedflow <reason> to override)", s.desc, verdict)
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/analysis"
+	"mcpaging/internal/analysis/analysistest"
+)
+
+func TestSeedflow(t *testing.T) {
+	analysistest.Run(t, analysis.Seedflow(), "seedflow")
+}
+
+// TestSeedflowAcrossPackages is the fact-propagation test: seedlib's
+// parameter fact must survive the package boundary for seedapp's
+// literal-seed call site to be flagged.
+func TestSeedflowAcrossPackages(t *testing.T) {
+	analysistest.RunDirs(t, analysis.Seedflow(), "seedflowmulti/seedlib", "seedflowmulti/seedapp")
+}

@@ -1,0 +1,278 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// OriginKind classifies where a value ultimately came from, as far as a
+// flow-insensitive walk of one function body can tell.
+type OriginKind int
+
+const (
+	// OriginLiteral: a basic literal (a hard-coded constant).
+	OriginLiteral OriginKind = iota
+	// OriginParam: a parameter (or receiver) of the enclosing function —
+	// provenance is the caller's responsibility.
+	OriginParam
+	// OriginField: a struct field read — provenance is whoever populated
+	// the struct.
+	OriginField
+	// OriginCall: the result of a function or method call; Fn names it
+	// when the callee is static.
+	OriginCall
+	// OriginVar: a non-local (package-level) variable.
+	OriginVar
+	// OriginUnknown: anything the walker cannot classify (index into a
+	// slice of unknown provenance, dynamic call, …).
+	OriginUnknown
+)
+
+// An Origin is one leaf of a value's provenance tree.
+type Origin struct {
+	Kind OriginKind
+	Pos  token.Pos
+	// Fn is the callee for OriginCall leaves with a static callee.
+	Fn *types.Func
+	// FieldKey identifies the field for OriginField leaves, as rendered
+	// by fieldKeyOf.
+	FieldKey string
+	// Var is the parameter for OriginParam leaves.
+	Var *types.Var
+}
+
+// A Provenance summarizes every leaf an expression's value may
+// originate from, plus whether any arithmetic was applied along the
+// way — `base+i*k` has Arith set even though its leaves are a field
+// and a literal, which is exactly the "hand-rolled seed derivation"
+// shape seedflow bans.
+type Provenance struct {
+	Origins []Origin
+	Arith   bool
+}
+
+// Any reports whether any leaf has the given kind.
+func (p Provenance) Any(kind OriginKind) bool {
+	for _, o := range p.Origins {
+		if o.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// A TaintWalker resolves expression provenance inside one function
+// body. It is flow-insensitive: a local variable's provenance is the
+// union over every assignment to it anywhere in the body.
+type TaintWalker struct {
+	info    *types.Info
+	params  map[*types.Var]bool
+	assigns map[*types.Var][]ast.Expr
+}
+
+// NewTaintWalker indexes the assignments and parameters of fn, which
+// must be an *ast.FuncDecl or *ast.FuncLit.
+func NewTaintWalker(info *types.Info, fn ast.Node) *TaintWalker {
+	w := &TaintWalker{
+		info:    info,
+		params:  make(map[*types.Var]bool),
+		assigns: make(map[*types.Var][]ast.Expr),
+	}
+	var typ *ast.FuncType
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		typ, body = fn.Type, fn.Body
+		if fn.Recv != nil {
+			w.addParams(fn.Recv.List)
+		}
+	case *ast.FuncLit:
+		typ, body = fn.Type, fn.Body
+	default:
+		return w
+	}
+	if typ.Params != nil {
+		w.addParams(typ.Params.List)
+	}
+	if body == nil {
+		return w
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if v := w.localVar(lhs); v != nil {
+						w.assigns[v] = append(w.assigns[v], n.Rhs[i])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i, name := range n.Names {
+					if v, ok := w.info.Defs[name].(*types.Var); ok {
+						w.assigns[v] = append(w.assigns[v], n.Values[i])
+					}
+				}
+			}
+		}
+		return true
+	})
+	return w
+}
+
+func (w *TaintWalker) addParams(fields []*ast.Field) {
+	for _, f := range fields {
+		for _, name := range f.Names {
+			if v, ok := w.info.Defs[name].(*types.Var); ok {
+				w.params[v] = true
+			}
+		}
+	}
+}
+
+// localVar resolves an assignment target to the variable it names, or
+// nil for anything other than a plain identifier (field writes and
+// index writes are sinks, not locals).
+func (w *TaintWalker) localVar(lhs ast.Expr) *types.Var {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := w.info.Defs[id]
+	if obj == nil {
+		obj = w.info.Uses[id]
+	}
+	v, _ := obj.(*types.Var)
+	return v
+}
+
+// Origins resolves the provenance of e.
+func (w *TaintWalker) Origins(e ast.Expr) Provenance {
+	var p Provenance
+	w.walk(e, &p, make(map[*types.Var]bool))
+	return p
+}
+
+func (w *TaintWalker) walk(e ast.Expr, p *Provenance, visited map[*types.Var]bool) {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		p.Origins = append(p.Origins, Origin{Kind: OriginLiteral, Pos: e.Pos()})
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+			token.AND, token.OR, token.XOR, token.SHL, token.SHR, token.AND_NOT:
+			p.Arith = true
+		}
+		w.walk(e.X, p, visited)
+		w.walk(e.Y, p, visited)
+	case *ast.UnaryExpr:
+		w.walk(e.X, p, visited)
+	case *ast.CallExpr:
+		// A conversion is transparent; a real call is a leaf — its
+		// arguments' provenance belongs to the callee's contract, not to
+		// the value it returned.
+		if tv, ok := w.info.Types[ast.Unparen(e.Fun)]; ok && tv.IsType() {
+			for _, arg := range e.Args {
+				w.walk(arg, p, visited)
+			}
+			return
+		}
+		p.Origins = append(p.Origins, Origin{Kind: OriginCall, Pos: e.Pos(), Fn: ResolveCallee(w.info, e)})
+	case *ast.SelectorExpr:
+		if sel, ok := w.info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok && v.IsField() {
+				p.Origins = append(p.Origins, Origin{
+					Kind:     OriginField,
+					Pos:      e.Pos(),
+					FieldKey: fieldKeyOf(w.info, e, v),
+				})
+				return
+			}
+		}
+		// Qualified identifier (pkg.Var) or something stranger.
+		if obj, ok := w.info.Uses[e.Sel]; ok {
+			w.walkObj(obj, e.Pos(), p, visited)
+			return
+		}
+		p.Origins = append(p.Origins, Origin{Kind: OriginUnknown, Pos: e.Pos()})
+	case *ast.Ident:
+		if obj := w.info.Uses[e]; obj != nil {
+			w.walkObj(obj, e.Pos(), p, visited)
+			return
+		}
+		p.Origins = append(p.Origins, Origin{Kind: OriginUnknown, Pos: e.Pos()})
+	case *ast.IndexExpr:
+		// The element inherits the container's provenance.
+		w.walk(e.X, p, visited)
+	default:
+		p.Origins = append(p.Origins, Origin{Kind: OriginUnknown, Pos: e.Pos()})
+	}
+}
+
+func (w *TaintWalker) walkObj(obj types.Object, pos token.Pos, p *Provenance, visited map[*types.Var]bool) {
+	switch obj := obj.(type) {
+	case *types.Const:
+		p.Origins = append(p.Origins, Origin{Kind: OriginLiteral, Pos: pos})
+	case *types.Var:
+		switch {
+		case w.params[obj]:
+			p.Origins = append(p.Origins, Origin{Kind: OriginParam, Pos: pos, Var: obj})
+		case obj.IsField():
+			p.Origins = append(p.Origins, Origin{Kind: OriginField, Pos: pos})
+		case obj.Parent() != nil && obj.Parent().Parent() == types.Universe:
+			// Package-scope variable.
+			p.Origins = append(p.Origins, Origin{Kind: OriginVar, Pos: pos})
+		default:
+			rhss := w.assigns[obj]
+			if len(rhss) == 0 || visited[obj] {
+				p.Origins = append(p.Origins, Origin{Kind: OriginUnknown, Pos: pos})
+				return
+			}
+			visited[obj] = true
+			for _, rhs := range rhss {
+				w.walk(rhs, p, visited)
+			}
+		}
+	default:
+		p.Origins = append(p.Origins, Origin{Kind: OriginUnknown, Pos: pos})
+	}
+}
+
+// fieldKeyOf renders a stable cross-package key for a struct field
+// reached through selector sel: "<pkgpath>.<Type>.<Field>" based on the
+// receiver's named type when it has one.
+func fieldKeyOf(info *types.Info, sel *ast.SelectorExpr, field *types.Var) string {
+	t := info.Types[sel.X].Type
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name() + "." + field.Name()
+		}
+		return obj.Name() + "." + field.Name()
+	}
+	if field.Pkg() != nil {
+		return field.Pkg().Path() + "..." + field.Name()
+	}
+	return field.Name()
+}
+
+// FieldKeyOfDef renders the same key for a field declared in a struct
+// type definition, so fact writers (seed fields discovered at
+// definition/population sites) and fact readers (selector sites) agree.
+func FieldKeyOfDef(named *types.Named, field *types.Var) string {
+	obj := named.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name() + "." + field.Name()
+	}
+	return obj.Name() + "." + field.Name()
+}

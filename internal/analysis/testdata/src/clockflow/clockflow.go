@@ -1,0 +1,42 @@
+package clockflow
+
+import "time"
+
+// Clock is the injected time source: the one seam through which wall
+// time may enter.
+type Clock interface {
+	Now() time.Time
+}
+
+// sysClock implements Clock over the real clock. Its method may read
+// the clock — the receiver implementing the package's Clock interface
+// is the structural exemption, no name allowlist involved.
+type sysClock struct{}
+
+func (sysClock) Now() time.Time { return time.Now() }
+
+// stamp reads the clock behind a helper: it carries a clockReadFact.
+func stamp() time.Time { return time.Now() }
+
+// indirect reaches the wall clock two hops away — the interprocedural
+// case the old per-function wallclock check could not see.
+func indirect() time.Time {
+	return stamp() // want `call to clockflow\.stamp reaches the wall clock`
+}
+
+// bypass calls the concrete implementation statically, dodging the
+// interface seam.
+func bypass() time.Time {
+	return sysClock{}.Now() // want `call to \(clockflow\.sysClock\)\.Now reaches the wall clock`
+}
+
+// okInjected threads the interface value: the dynamic callee has no
+// body, hence no fact — the legitimate path.
+func okInjected(c Clock) time.Time {
+	return c.Now()
+}
+
+// okIgnored demonstrates the reasoned escape hatch.
+func okIgnored() time.Time {
+	return stamp() //mcvet:ignore clockflow fixture demonstrates the reasoned override
+}

@@ -1,0 +1,73 @@
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func process(ctx context.Context) error { return ctx.Err() }
+
+// badRoot re-roots the context below the entry point.
+func badRoot() {
+	process(context.Background()) // want `context\.Background\(\) re-roots the context below the cmd/ entry point`
+}
+
+// badTODO is the same defect with a different spelling.
+func badTODO() {
+	process(context.TODO()) // want `context\.TODO\(\) re-roots the context below the cmd/ entry point`
+}
+
+// okNilGuard is the documented opt-out idiom: the caller explicitly
+// passed nil, so rooting here is their choice.
+func okNilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// badSleep ignores the ctx it holds.
+func badSleep(ctx context.Context) {
+	time.Sleep(time.Millisecond) // want `time\.Sleep ignores the ctx held by badSleep`
+}
+
+// badRecv blocks bare although a ctx is in scope.
+func badRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want `bare channel receive although badRecv takes a ctx`
+}
+
+// badSend is the sending twin.
+func badSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `bare channel send although badSend takes a ctx`
+}
+
+// badSelect blocks without consulting the ctx.
+func badSelect(ctx context.Context, ch chan int) {
+	select { // want `select blocks without a ctx\.Done\(\) or default case although badSelect takes a ctx`
+	case <-ch:
+	}
+}
+
+// okSelect offers a ctx.Done() case: the blocking is bounded by the
+// caller's cancellation.
+func okSelect(ctx context.Context, ch chan int) error {
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// okDefault never blocks at all.
+func okDefault(ctx context.Context, ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// okIgnored demonstrates the reasoned escape hatch.
+func okIgnored(ctx context.Context, ch chan int) int {
+	return <-ch //mcvet:ignore ctxflow fixture demonstrates the reasoned override
+}

@@ -1,0 +1,86 @@
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// spin loops forever with no exit path.
+func spin() {
+	for {
+	}
+}
+
+// leak spawns an unstoppable looping goroutine.
+func leak() {
+	go func() { // want `goroutine loops but has no reachable cancellation path`
+		for {
+		}
+	}()
+}
+
+// leakNamed reaches the loop through the call graph: spin's loopFact
+// flags the spawn even though the body is a plain call.
+func leakNamed() {
+	go spin() // want `goroutine loops but has no reachable cancellation path`
+}
+
+var counter int
+
+// okBounded has no loop: the goroutine terminates by itself and needs
+// no cancellation path.
+func okBounded() {
+	go func() {
+		counter++
+	}()
+}
+
+// okCtx loops but consults its context every iteration.
+func okCtx(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// okRange terminates when the channel closes: ranging over a channel
+// is itself the cancellation path.
+func okRange(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// drain ranges over a channel; its cancelFact makes spawning it by
+// name provably stoppable.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// okNamedInterproc: the cancellation path is proven through drain's
+// fact, not the go statement's own body.
+func okNamedInterproc(ch chan int) {
+	go drain(ch)
+}
+
+// okWaitGroup loops a bounded number of times and signals completion.
+func okWaitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			counter++
+		}
+	}()
+}
+
+// okIgnored demonstrates the reasoned escape hatch.
+func okIgnored() {
+	go spin() //mcvet:ignore goleak fixture demonstrates the reasoned override
+}

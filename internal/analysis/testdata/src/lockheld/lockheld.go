@@ -1,0 +1,89 @@
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+var mu sync.Mutex
+var done = make(chan struct{})
+
+// badRecv blocks on a channel inside the critical section.
+func badRecv() {
+	mu.Lock()
+	<-done // want `channel receive while mu is held blocks the critical section`
+	mu.Unlock()
+}
+
+// badSleep sleeps while the lock is held through a deferred unlock.
+func badSleep() {
+	mu.Lock()
+	defer mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while mu is held blocks the critical section`
+}
+
+// wait blocks; callers holding a lock inherit the hazard through its
+// exported blockFact.
+func wait() {
+	<-done
+}
+
+// badIndirect blocks two frames away from the lock.
+func badIndirect() {
+	mu.Lock()
+	wait() // want `call to lockheld\.wait may block \(channel receive at .*\) while mu is held`
+	mu.Unlock()
+}
+
+// okAfterUnlock releases before blocking.
+func okAfterUnlock() {
+	mu.Lock()
+	mu.Unlock()
+	<-done
+}
+
+// okNonblocking: a select with a default clause cannot stall the
+// critical section.
+func okNonblocking() {
+	mu.Lock()
+	select {
+	case <-done:
+	default:
+	}
+	mu.Unlock()
+}
+
+// okClosureOwnSchedule: a literal that blocks runs on its own
+// schedule, not at its definition site under the lock.
+func okClosureOwnSchedule() func() {
+	mu.Lock()
+	f := func() { <-done }
+	mu.Unlock()
+	return f
+}
+
+// okIgnored demonstrates the reasoned escape hatch.
+func okIgnored() {
+	mu.Lock()
+	<-done //mcvet:ignore lockheld fixture demonstrates the reasoned override
+	mu.Unlock()
+}
+
+var a, b sync.Mutex
+
+// orderAB and orderBA take the two locks in opposite orders: each
+// second acquisition is half of a deadlock, reported by the
+// suite-level Finish pass.
+func orderAB() {
+	a.Lock()
+	b.Lock() // want `inconsistent lock order: lockheld\.b acquired while holding lockheld\.a`
+	b.Unlock()
+	a.Unlock()
+}
+
+func orderBA() {
+	b.Lock()
+	a.Lock() // want `inconsistent lock order: lockheld\.a acquired while holding lockheld\.b`
+	a.Unlock()
+	b.Unlock()
+}

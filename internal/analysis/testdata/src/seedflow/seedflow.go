@@ -1,0 +1,75 @@
+package seedflow
+
+import (
+	"math/rand"
+	"time"
+
+	"mcpaging/internal/sim"
+)
+
+// badLiteral hard-codes the stream's identity.
+func badLiteral() *rand.Rand {
+	return rand.New(rand.NewSource(12345)) // want `rand source seed is a hard-coded literal`
+}
+
+// badArith derives a sub-seed with stride arithmetic — the correlated
+// streams the paper's independence assumptions cannot afford.
+func badArith(root int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(root + int64(i)*1000003)) // want `rand source seed is derived with ad-hoc arithmetic`
+}
+
+// badClock samples the wall clock: unreproducible from the recorded
+// root seed.
+func badClock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand source seed samples the wall clock`
+}
+
+// okDerived splits the sub-seed off the root through the blessed
+// splitmix64 chain.
+func okDerived(root int64) *rand.Rand {
+	return rand.New(rand.NewSource(sim.DeriveSeed(root, 1, 0)))
+}
+
+// okParam: an opaque parameter is fine here — provenance is checked at
+// each call site through the exported seedParamFact.
+func okParam(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// badCaller feeds a literal into okParam's seed position: the
+// parameter fact is what turns this call site into a sink.
+func badCaller() *rand.Rand {
+	return okParam(7) // want `seed argument of seedflow\.okParam is a hard-coded literal`
+}
+
+// Spec carries a seed field into generate, making Spec.Seed a
+// fact-carrying seed field.
+type Spec struct {
+	Seed int64
+}
+
+func generate(s Spec) *rand.Rand {
+	return rand.New(rand.NewSource(s.Seed))
+}
+
+// badField assigns a literal to the fact-carrying field.
+func badField() *rand.Rand {
+	var s Spec
+	s.Seed = 99 // want `seed field seedflow\.Spec\.Seed is a hard-coded literal`
+	return generate(s)
+}
+
+// badComposite seeds through a composite literal.
+func badComposite() *rand.Rand {
+	return generate(Spec{Seed: 4}) // want `seed field seedflow\.Spec\.Seed is a hard-coded literal`
+}
+
+// okField threads an opaque root through the field.
+func okField(root int64) *rand.Rand {
+	return generate(Spec{Seed: root})
+}
+
+// okIgnored demonstrates the reasoned escape hatch.
+func okIgnored() *rand.Rand {
+	return rand.New(rand.NewSource(1)) //mcvet:ignore seedflow fixture demonstrates the reasoned override
+}

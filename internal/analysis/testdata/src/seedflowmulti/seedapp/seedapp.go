@@ -1,0 +1,17 @@
+// Package seedapp is the consumer half of the cross-package seedflow
+// fixture: the finding below exists only if seedlib's seedParamFact
+// survived the package boundary.
+package seedapp
+
+import "seedflowmulti/seedlib"
+
+// Bad feeds a hard-coded literal into the library's seed parameter.
+func Bad() {
+	seedlib.New(42) // want `seed argument of seedlib\.New is a hard-coded literal`
+}
+
+// Ok threads an opaque root seed through; its provenance is the
+// caller's problem, checked at that caller's own origin.
+func Ok(root int64) {
+	seedlib.New(root)
+}

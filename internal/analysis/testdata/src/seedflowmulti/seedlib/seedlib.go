@@ -1,0 +1,11 @@
+// Package seedlib is the provider half of the cross-package seedflow
+// fixture: New's parameter flows into a rand source, so analyzing this
+// package exports a seedParamFact that the seedapp package must see.
+package seedlib
+
+import "math/rand"
+
+// New builds the library's rand stream from the caller's seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

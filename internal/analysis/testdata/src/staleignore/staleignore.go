@@ -1,0 +1,24 @@
+// Package staleignore is the RunAll stale-directive fixture: one
+// //mcvet:ignore that suppresses a real finding (kept) and one that
+// suppresses nothing (reported). Checked by TestStaleDirectives, not
+// by want comments — the diagnostic lands on the directive itself, and
+// a line holds only one comment.
+package staleignore
+
+import "sync"
+
+var mu sync.Mutex
+var ch = make(chan int)
+
+// used suppresses a real lockheld finding: the directive earns its keep.
+func used() {
+	mu.Lock()
+	<-ch //mcvet:ignore lockheld fixture: the suppression is exercised
+	mu.Unlock()
+}
+
+// stale carries a well-formed directive with nothing to suppress.
+func stale() {
+	mu.Lock() //mcvet:ignore lockheld nothing on this line blocks, so this directive is dead
+	mu.Unlock()
+}

@@ -20,16 +20,18 @@ var wallclockBanned = map[string]bool{
 }
 
 // DefaultWallclockAllow is the standard wallclock allowlist: functions
-// that measure request latency for the mcservd /metrics endpoint, and
-// the fleet's injected system clock. Latency, probe timing and quota
-// refill are operational telemetry about the service, not simulation
-// output — they never reach a result, manifest or cache key. The fleet
-// funnels every time read through its Clock interface, so sysClock's
-// two methods are the package's only clock call sites.
+// that measure request latency for the mcservd /metrics endpoint.
+// Latency is operational telemetry about the service, not simulation
+// output — it never reaches a result, manifest or cache key.
+//
+// The fleet's sysClock methods used to be listed here by name; they are
+// now exempted structurally instead — any method of a type implementing
+// a same-package `Clock` interface is an injection boundary by
+// construction (see clockflow), so renaming sysClock cannot silently
+// open a wall-clock escape hatch.
 func DefaultWallclockAllow() map[string][]string {
 	return map[string][]string{
 		"internal/server": {"(*Server).handleJob", "(*Server).finishJob"},
-		"internal/fleet":  {"(sysClock).Now", "(sysClock).After"},
 	}
 }
 
@@ -81,7 +83,10 @@ func Wallclock(allow map[string][]string) *Analyzer {
 		for _, f := range pass.Files {
 			for _, decl := range f.Decls {
 				if fd, ok := decl.(*ast.FuncDecl); ok {
-					if fd.Body != nil {
+					// Methods of a type implementing a same-package Clock
+					// interface are the clock-injection boundary: they may
+					// read the wall clock by construction.
+					if fd.Body != nil && !isClockImplMethod(pass.Pkg, pass.TypesInfo, fd) {
 						check(funcDisplayName(fd), fd.Body)
 					}
 					continue

@@ -8,8 +8,8 @@ import (
 // Clock is the package's only source of time. Everything in the fleet
 // that samples the clock — probe latency, token-bucket refill, backoff
 // sleeps — goes through this interface, so tests substitute a fake and
-// the wallclock analyzer has exactly two allowlisted call sites
-// (sysClock's methods) to audit.
+// the wallclock/clockflow analyzers have exactly one structural
+// exemption to audit: methods of a type implementing this interface.
 type Clock interface {
 	// Now returns the current time.
 	Now() time.Time
@@ -18,9 +18,11 @@ type Clock interface {
 }
 
 // sysClock is the real wall clock. Its two methods are the package's
-// only direct time-package reads; they are allowlisted for the
-// wallclock analyzer because fleet timing is operational (backoff,
-// probes, quotas) and never reaches a simulation result or cache key.
+// only direct time-package reads; the wallclock analyzer exempts them
+// structurally because sysClock implements Clock, the injection
+// boundary — fleet timing is operational (backoff, probes, quotas)
+// and never reaches a simulation result or cache key, and clockflow
+// proves interprocedurally that nothing bypasses the interface.
 type sysClock struct{}
 
 func (sysClock) Now() time.Time                         { return time.Now() }

@@ -133,9 +133,10 @@ type Registry struct {
 	workers map[string]*workerState
 	ids     []string // sorted
 
-	stopOnce sync.Once
-	stop     chan struct{}
-	done     chan struct{}
+	stopOnce    sync.Once
+	stop        chan struct{}
+	done        chan struct{}
+	probeCancel context.CancelFunc // set by Start; aborts in-flight probes on Close
 }
 
 // NewRegistry builds a registry over the given worker clients.
@@ -168,24 +169,38 @@ func NewRegistry(clients []*Client, replicas int, cfg RegistryConfig, clk Clock)
 // Ring returns the registry's routing ring.
 func (g *Registry) Ring() *Ring { return g.ring }
 
-// Start launches the background probe loop; Close stops it.
-func (g *Registry) Start() {
+// Start launches the background probe loop under ctx; Close stops it.
+// Probes run under a context derived from ctx, so both the caller's
+// shutdown and Close abort a round that is mid-flight instead of
+// letting it run out its ProbeTimeout detached from everything.
+func (g *Registry) Start(ctx context.Context) {
+	pctx, cancel := context.WithCancel(ctx)
+	g.probeCancel = cancel
 	go func() {
 		defer close(g.done)
+		defer cancel()
 		for {
 			select {
+			case <-pctx.Done():
+				return
 			case <-g.stop:
 				return
 			case <-g.clock.After(g.cfg.ProbeInterval):
-				g.ProbeAll(context.Background())
+				g.ProbeAll(pctx)
 			}
 		}
 	}()
 }
 
-// Close stops the probe loop and waits for it to exit.
+// Close stops the probe loop — cancelling any probe round still in
+// flight — and waits for it to exit.
 func (g *Registry) Close() {
-	g.stopOnce.Do(func() { close(g.stop) })
+	g.stopOnce.Do(func() {
+		if g.probeCancel != nil {
+			g.probeCancel()
+		}
+		close(g.stop)
+	})
 	<-g.done
 }
 

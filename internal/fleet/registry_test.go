@@ -85,6 +85,47 @@ func TestProbeTransitions(t *testing.T) {
 	}
 }
 
+// TestCloseCancelsInflightProbe pins the probe-loop cancellation fix.
+// Before Start took a context, a probe round already in flight when
+// Close ran had nothing to abort it: the loop could not exit until the
+// round's ProbeTimeout expired, so Close (and therefore process drain)
+// stalled behind a dead worker's full timeout. With ProbeTimeout set to
+// an hour, the pre-fix Close blocks for that hour; the fix must cancel
+// the round and return promptly.
+func TestCloseCancelsInflightProbe(t *testing.T) {
+	probing := make(chan struct{}, 16)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		probing <- struct{}{}
+		<-r.Context().Done() // hang until the probe's context is cancelled
+	}))
+	t.Cleanup(ts.Close)
+
+	c := NewClient(ts.URL, nil, newFakeClock(), Backoff{}, 0)
+	reg, err := NewRegistry([]*Client{c}, 8, RegistryConfig{
+		ProbeInterval: time.Second,
+		ProbeTimeout:  time.Hour, // Close must not need to wait this out
+	}, newFakeClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// fakeClock.After fires immediately, so the loop enters a probe
+	// round as soon as it starts; wait until the round is mid-flight.
+	reg.Start(context.Background())
+	<-probing
+
+	closed := make(chan struct{})
+	go func() {
+		reg.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not cancel the in-flight probe round")
+	}
+}
+
 func TestRouteMarksOverrideProbes(t *testing.T) {
 	p := newProbeWorker(t)
 	reg := newTestRegistry(t, []*probeWorker{p})

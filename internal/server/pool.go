@@ -53,6 +53,7 @@ func (s *Server) submitWait(ctx context.Context, j *job) error {
 	if s.draining {
 		return ErrDraining
 	}
+	//mcvet:ignore lockheld the send must stay under drainMu.RLock so Drain cannot close(s.jobs) mid-send; the ctx.Done case bounds the wait
 	select {
 	case s.jobs <- j:
 		s.metrics.accepted.Add(1)

@@ -189,6 +189,7 @@ func RunParallel(inst core.Instance, s Strategy, obs Observer, workers int) (Res
 		return Result{}, err
 	}
 	r.SetParallel(workers)
+	//mcvet:ignore ctxflow RunParallel is the documented synchronous wrapper: a caller without a ctx is its own cancellation root
 	return r.RunContext(context.Background(), inst.P, s, obs)
 }
 
@@ -327,6 +328,7 @@ func (r *Runner) runParallel(ctx context.Context, s Strategy, obs Observer, res 
 		if lanes > 1 {
 			ps.wg.Add(lanes - 1)
 			for l := 1; l < lanes; l++ {
+				//mcvet:ignore ctxflow aborting the send would orphan the matching wg.Add; pool workers always drain, and cancellation lands at the commitEpoch poll
 				parPool.jobs <- scanJob{r: r, lane: l}
 			}
 		}
@@ -467,7 +469,7 @@ func (r *Runner) scanCore(c int) (specHits, specFaults int64) {
 		}
 	}
 	if cur.hits > 0 {
-		segs = append(segs, cur) //mcvet:ignore hotalloc segment storage reaches steady-state capacity after the first epochs
+		segs = append(segs, cur)
 	}
 	ps.segs[c] = segs
 	ps.scanEnd[c] = i

@@ -580,6 +580,7 @@ const cancelCheckEvery = 1024
 // request set. The strategy is Init-ed first, so a single strategy value
 // can be reused across runs. obs may be nil.
 func (r *Runner) Run(params core.Params, s Strategy, obs Observer) (Result, error) {
+	//mcvet:ignore ctxflow Run is the documented synchronous wrapper: a caller without a ctx is its own cancellation root
 	return r.RunContext(context.Background(), params, s, obs)
 }
 
@@ -744,6 +745,7 @@ var runnerPool = sync.Pool{New: func() interface{} { return new(Runner) }}
 // many parameter or strategy combinations over one request set should
 // hold a Runner instead.
 func Run(inst core.Instance, s Strategy, obs Observer) (Result, error) {
+	//mcvet:ignore ctxflow Run is the documented synchronous wrapper: a caller without a ctx is its own cancellation root
 	return RunContext(context.Background(), inst, s, obs)
 }
 

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"mcpaging/internal/core"
+	"mcpaging/internal/sim"
 )
 
 // Kind selects a generator family.
@@ -206,14 +207,23 @@ func (s Spec) generateCore(rng *rand.Rand, j int) core.Sequence {
 	return seq
 }
 
+// mixStream is Mix's sim.DeriveSeed stream ID. Families use stream 0
+// (family.go); keeping Mix on its own stream decorrelates the two even
+// for equal roots and indices.
+const mixStream = 1
+
 // Mix generates one request set per kind with otherwise identical
-// parameters — the standard sweep used by the E13 policy matrix.
+// parameters — the standard sweep used by the E13 policy matrix. Each
+// kind's seed is split off the base seed through the sim.DeriveSeed
+// splitmix64 chain: the old `base.Seed + i*1000003` stride left kind 0
+// on base.Seed itself, so Mix's first entry replayed Generate(base)'s
+// exact stream instead of an independent one.
 func Mix(base Spec) (map[Kind]core.RequestSet, error) {
 	out := make(map[Kind]core.RequestSet, len(Kinds()))
 	for i, k := range Kinds() {
 		s := base
 		s.Kind = k
-		s.Seed = base.Seed + int64(i)*1000003
+		s.Seed = sim.DeriveSeed(base.Seed, mixStream, int64(i))
 		rs, err := Generate(s)
 		if err != nil {
 			return nil, err

@@ -232,6 +232,39 @@ func TestMixCoversAllKinds(t *testing.T) {
 	}
 }
 
+// TestMixDecorrelatedFromGenerate pins the seed-derivation fix in Mix.
+// The old per-kind stride `base.Seed + i*1000003` left kind 0 (Uniform)
+// on base.Seed itself, so Mix(base)[Uniform] was byte-identical to
+// Generate(base) — the "independent" sweep cell replayed the baseline's
+// exact request stream. Every Mix entry must now be decorrelated from
+// the plain Generate of the same spec, while staying deterministic.
+func TestMixDecorrelatedFromGenerate(t *testing.T) {
+	spec := base(Uniform)
+	m, err := Mix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Kinds() {
+		s := spec
+		s.Kind = k
+		plain, err := Generate(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reflect.DeepEqual(m[k], plain) {
+			t.Errorf("%s: Mix entry replays Generate's stream — per-kind seed not decorrelated from the base seed", k)
+		}
+	}
+
+	again, err := Mix(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, again) {
+		t.Fatal("Mix is not deterministic for a fixed base seed")
+	}
+}
+
 func TestCompose(t *testing.T) {
 	rs, err := Compose([]Spec{
 		{Length: 100, Pages: 8, Kind: Loop, Seed: 1},

@@ -15,8 +15,9 @@ cleanup() {
 trap cleanup EXIT
 cd "$(dirname "$0")/.."
 
-echo "== mcvet (analyzer self-check) =="
-go run ./cmd/mcvet ./...
+echo "== mcvet (analyzer self-check, JSON output) =="
+go run ./cmd/mcvet -json "$dir/mcvet.json" ./...
+grep -q '^\[\]$' "$dir/mcvet.json"   # zero findings serialize as an empty array
 
 echo "== mcgen (text + binary) =="
 go run ./cmd/mcgen -kind phased -cores 4 -length 2000 -pages 32 -seed 7 -o "$dir/t.txt"
