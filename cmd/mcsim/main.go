@@ -17,10 +17,21 @@
 // curves); dP[<controller>](<policy>) dynamic partition, where the
 // controller is the Lemma 3 global-LRU donor rule (dP or
 // dP[lru-global]), the fairness-oriented FairShare rule (dP[fair]), or
-// utility-based partitioning (dP[ucp]). Every dynamic controller
-// composes with every policy: LRU FIFO CLOCK LFU MRU MARK RMARK RAND
-// FITF ARC SLRU LRU2 TINYLFU (plus FWF in the shared family).
-// -list-strategies prints the full registry.
+// utility-based partitioning (dP[ucp]); eP[<controller>](<policy>)
+// elastic partition — the same controllers re-deriving quotas under a
+// time-varying capacity schedule (see -capacity). Every dynamic
+// controller composes with every policy: LRU FIFO CLOCK LFU MRU MARK
+// RMARK RAND FITF ARC SLRU LRU2 TINYLFU (plus FWF in the shared
+// family). -list-strategies prints the full registry.
+//
+// Capacity schedule syntax (-capacity, resolved against -k):
+//
+//	fixed                                   constant K (the default)
+//	step(to=8,at=1024)                      one-shot resize at time `at`
+//	step(to=50%,at=1024)                    targets may be percentages of K
+//	ramp(to=8,end=4096)                     linear drift toward `to`
+//	periodic(lo=8,period=2048,duty=0.5)     square-wave shrink storms
+//	trace(path=sched.txt)                   explicit "time k" plateau file
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/metrics"
 	"mcpaging/internal/sim"
@@ -43,6 +55,7 @@ func main() {
 		tracePath = flag.String("trace", "", "input trace (required)")
 		k         = flag.Int("k", 16, "shared cache size K")
 		tau       = flag.Int("tau", 4, "fetch delay τ")
+		capSpec   = flag.String("capacity", "", "K(t) capacity schedule spec (see doc comment; empty = fixed K)")
 		strat     = flag.String("strategy", "S(LRU)", "strategy spec (see doc comment)")
 		all       = flag.Bool("all", false, "run a standard portfolio of strategies")
 		seed      = flag.Int64("seed", 1, "seed for RAND policies")
@@ -85,13 +98,23 @@ func main() {
 		fatal(err)
 	}
 	in := core.Instance{R: rs, P: core.Params{K: *k, Tau: *tau}}
+	if *capSpec != "" {
+		sched, err := capacity.ParseSchedule(*capSpec, *k)
+		if err != nil {
+			fatal(err)
+		}
+		in.P.Capacity = sched
+	}
 
 	specs := []string{*strat}
 	if *all {
 		specs = strategyspec.Portfolio()
 	}
-	tbl := metrics.NewTable(
-		fmt.Sprintf("trace=%s p=%d n=%d K=%d τ=%d", *tracePath, rs.NumCores(), rs.TotalLen(), *k, *tau),
+	title := fmt.Sprintf("trace=%s p=%d n=%d K=%d τ=%d", *tracePath, rs.NumCores(), rs.TotalLen(), *k, *tau)
+	if *capSpec != "" {
+		title += " capacity=" + *capSpec
+	}
+	tbl := metrics.NewTable(title,
 		"strategy", "faults", "fault_rate", "jain", "makespan")
 	for _, spec := range specs {
 		st, err := strategyspec.Build(spec, rs, *k, *seed)
@@ -107,10 +130,20 @@ func main() {
 			}
 			w := bufio.NewWriter(evFile)
 			defer func() { w.Flush(); evFile.Close() }()
-			fmt.Fprintln(w, "time,core,index,page,fault,join,tick,victim")
-			obs = func(e sim.Event) {
-				fmt.Fprintf(w, "%d,%d,%d,%d,%v,%v,%v,%d\n",
-					e.Time, e.Core, e.Index, e.Page, e.Fault, e.Join, e.Tick, e.Victim)
+			if *capSpec != "" {
+				// Elastic runs carry two extra columns; fixed-capacity
+				// output stays byte-identical to earlier versions.
+				fmt.Fprintln(w, "time,core,index,page,fault,join,tick,victim,capacity,k")
+				obs = func(e sim.Event) {
+					fmt.Fprintf(w, "%d,%d,%d,%d,%v,%v,%v,%d,%v,%d\n",
+						e.Time, e.Core, e.Index, e.Page, e.Fault, e.Join, e.Tick, e.Victim, e.Capacity, e.K)
+				}
+			} else {
+				fmt.Fprintln(w, "time,core,index,page,fault,join,tick,victim")
+				obs = func(e sim.Event) {
+					fmt.Fprintf(w, "%d,%d,%d,%d,%v,%v,%v,%d\n",
+						e.Time, e.Core, e.Index, e.Page, e.Fault, e.Join, e.Tick, e.Victim)
+				}
 			}
 		}
 		var sess *telemetry.Session
@@ -137,6 +170,7 @@ func main() {
 					Pages:        len(rs.Universe()),
 					K:            *k,
 					Tau:          *tau,
+					Capacity:     *capSpec,
 					Seed:         *seed,
 					Window:       *telemWin,
 				},

@@ -5,6 +5,13 @@
 //
 //	mcsweep -trace trace.txt -k 8,16,32 -tau 0,2,8 \
 //	        -strategies 'S(LRU),sP[even](LRU),dP[ucp](LRU)' -csv
+//	mcsweep -trace trace.txt -k 16 -tau 2 \
+//	        -capacity 'step(to=75%,at=1024);step(to=50%,at=1024)' \
+//	        -strategies 'S(LRU),eP[fair](LRU)'
+//
+// -capacity adds a K(t) schedule dimension to the grid (semicolon-
+// separated, since schedule specs contain commas); each spec resolves
+// against each K of the grid. Empty means fixed capacity only.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/metrics"
 	"mcpaging/internal/sim"
@@ -31,6 +39,7 @@ func main() {
 		kList      = flag.String("k", "16", "comma-separated cache sizes")
 		tauList    = flag.String("tau", "0,4", "comma-separated fetch delays")
 		specList   = flag.String("strategies", "S(LRU),sP[even](LRU),dP(LRU)", "comma-separated strategy specs")
+		capList    = flag.String("capacity", "", "semicolon-separated K(t) schedule specs (grid dimension; empty = fixed capacity)")
 		seed       = flag.Int64("seed", 1, "seed for RAND policies")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		parallel   = flag.Int("parallel", 0, "intra-run speculation workers per grid point (0 = sequential engine)")
@@ -89,24 +98,30 @@ func main() {
 		fatal(err)
 	}
 	grid := sweep.Grid{
-		R:        rs,
-		Ks:       ks,
-		Taus:     taus,
-		Specs:    splitNonEmpty(*specList),
-		Seed:     *seed,
-		Workers:  *workers,
-		Parallel: *parallel,
+		R:          rs,
+		Ks:         ks,
+		Taus:       taus,
+		Capacities: splitNonEmptyOn(*capList, ";"),
+		Specs:      splitNonEmpty(*specList),
+		Seed:       *seed,
+		Workers:    *workers,
+		Parallel:   *parallel,
 	}
 	if *telem {
 		pages := len(rs.Universe())
 		grid.Observe = func(pt sweep.Point) (sim.Observer, func(sim.Result) error) {
-			dir := filepath.Join(*telemDir,
-				fmt.Sprintf("k%d_tau%d_%s", pt.K, pt.Tau, telemetry.SanitizeLabel(pt.Spec)))
+			name := fmt.Sprintf("k%d_tau%d_%s", pt.K, pt.Tau, telemetry.SanitizeLabel(pt.Spec))
+			params := core.Params{K: pt.K, Tau: pt.Tau}
+			if pt.Capacity != "" {
+				// Grid.Validate parsed every capacity × K pair already.
+				params.Capacity, _ = capacity.ParseSchedule(pt.Capacity, pt.K)
+				name += "_" + telemetry.SanitizeLabel(pt.Capacity)
+			}
 			sess, err := telemetry.Start(telemetry.SessionConfig{
-				Dir: dir,
+				Dir: filepath.Join(*telemDir, name),
 				Collector: telemetry.Config{
 					Cores:  rs.NumCores(),
-					Params: core.Params{K: pt.K, Tau: pt.Tau},
+					Params: params,
 					Window: *telemWin,
 				},
 				Manifest: telemetry.Manifest{
@@ -119,6 +134,7 @@ func main() {
 					Pages:        pages,
 					K:            pt.K,
 					Tau:          pt.Tau,
+					Capacity:     pt.Capacity,
 					Seed:         *seed,
 					Window:       *telemWin,
 				},
@@ -170,9 +186,13 @@ func parseInts(s string) ([]int, error) {
 	return out, nil
 }
 
-func splitNonEmpty(s string) []string {
+func splitNonEmpty(s string) []string { return splitNonEmptyOn(s, ",") }
+
+// splitNonEmptyOn splits on sep and drops empty items; capacity specs
+// use ";" because the schedule grammar itself contains commas.
+func splitNonEmptyOn(s, sep string) []string {
 	var out []string
-	for _, t := range strings.Split(s, ",") {
+	for _, t := range strings.Split(s, sep) {
 		t = strings.TrimSpace(t)
 		if t != "" {
 			out = append(out, t)

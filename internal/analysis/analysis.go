@@ -107,6 +107,7 @@ func (d Diagnostic) String() string {
 // Matching is by path prefix, so subpackages inherit criticality.
 var criticalPrefixes = []string{
 	"mcpaging/internal/cache",
+	"mcpaging/internal/capacity",
 	"mcpaging/internal/core",
 	"mcpaging/internal/sim",
 	"mcpaging/internal/sweep",

@@ -64,6 +64,7 @@ func (a *arcList) reset() { a.r.reset() }
 // the multicore model's no-evict-while-fetching rule.
 type ARC struct {
 	c              int
+	sized          bool // Resize was called; distinguishes Resize(0) from never-resized
 	t1, t2, b1, b2 *arcList
 	target         int // p̂: target size of T1
 	adjustedFor    core.PageID
@@ -84,6 +85,7 @@ func (a *ARC) Name() string { return "ARC" }
 // dynamic partition shrinks the part.
 func (a *ARC) Resize(c int) {
 	a.c = c
+	a.sized = true
 	if a.target > c {
 		a.target = c
 	}
@@ -125,8 +127,11 @@ func (a *ARC) adjust(x core.PageID) {
 
 // EvictFor implements IncomingEvictor: ARC's REPLACE step.
 func (a *ARC) EvictFor(x core.PageID, evictable func(core.PageID) bool) (core.PageID, bool) {
-	if a.c == 0 {
-		a.c = a.t1.len() + a.t2.len() // tolerate missing Resize
+	if !a.sized && a.c == 0 {
+		// Tolerate missing Resize by adopting the current occupancy.
+		// An explicit Resize(0) — an elastic quota shrunk to nothing —
+		// must NOT be overwritten: the part really has zero cells.
+		a.c = a.t1.len() + a.t2.len()
 	}
 	a.adjust(x)
 	fromT1 := a.t1.len() >= 1 &&
@@ -173,7 +178,9 @@ func (a *ARC) Insert(p core.PageID, _ Access) {
 	if a.t1.has(p) || a.t2.has(p) {
 		panic("cache: duplicate insert of page in ARC domain")
 	}
-	if a.c == 0 {
+	if !a.sized && a.c == 0 {
+		// Same missing-Resize tolerance as EvictFor; an explicit
+		// Resize(0) keeps its zero capacity.
 		a.c = a.t1.len() + a.t2.len() + 1
 	}
 	a.adjust(p)

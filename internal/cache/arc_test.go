@@ -208,3 +208,81 @@ func TestLRU2OnceSeenFirst(t *testing.T) {
 		t.Fatalf("third evict = %d; want 1", v)
 	}
 }
+
+// TestARCMissingResizeAdoptsOccupancy pins the missing-Resize
+// fallback: a never-resized ARC adopts a capacity from its occupancy on
+// the first Insert (occupancy + 1) so REPLACE still produces victims
+// instead of running with c = 0, where the p-hat arithmetic and ghost
+// trimming would degenerate.
+func TestARCMissingResizeAdoptsOccupancy(t *testing.T) {
+	a := NewARC()
+	a.Insert(1, acc(0))
+	if a.c != 1 {
+		t.Fatalf("adopted capacity = %d, want 1 (first insert into empty ARC)", a.c)
+	}
+	a.Insert(2, acc(1))
+	v, ok := a.EvictFor(3, nil)
+	if !ok || v != 1 {
+		t.Fatalf("EvictFor without Resize = %d,%v; want 1 (T1 LRU)", v, ok)
+	}
+	// The adoption is one-shot: later operations keep the adopted size.
+	if a.c != 1 {
+		t.Fatalf("capacity drifted to %d after adoption", a.c)
+	}
+}
+
+// TestARCResizeZeroIsRespected pins the elastic-quota contract: an
+// explicit Resize(0) — a part shrunk to nothing — must not be
+// overwritten by the missing-Resize fallback. Every resident page stays
+// evictable and the capacity stays zero.
+func TestARCResizeZeroIsRespected(t *testing.T) {
+	a := NewARC()
+	a.Resize(2)
+	a.Insert(1, acc(0))
+	a.Insert(2, acc(1))
+	a.Resize(0)
+	if a.c != 0 {
+		t.Fatalf("capacity after Resize(0) = %d, want 0", a.c)
+	}
+	// EvictFor must not resurrect the capacity from occupancy.
+	v, ok := a.EvictFor(3, nil)
+	if !ok {
+		t.Fatal("EvictFor after Resize(0) failed")
+	}
+	if a.c != 0 {
+		t.Fatalf("Resize(0) overwritten: capacity = %d", a.c)
+	}
+	// The remaining resident drains through Surrender like any shrink.
+	w, ok := a.Surrender(nil)
+	if !ok {
+		t.Fatal("Surrender after Resize(0) failed")
+	}
+	if v == w {
+		t.Fatalf("Surrender repeated victim %d", w)
+	}
+	if a.Len() != 0 {
+		t.Fatalf("Len after draining = %d, want 0", a.Len())
+	}
+	// Growing again restores normal operation.
+	a.Resize(2)
+	a.Insert(5, acc(4))
+	if !a.Contains(5) || a.c != 2 {
+		t.Fatal("regrow after Resize(0) broken")
+	}
+}
+
+// TestARCResizeZeroSurvivesReset pins Reset's "capacity survives"
+// contract for the sized flag too: a reset ARC that was explicitly
+// sized never re-enters the missing-Resize fallback.
+func TestARCResizeZeroSurvivesReset(t *testing.T) {
+	a := NewARC()
+	a.Resize(0)
+	a.Reset()
+	a.Insert(1, acc(0))
+	if _, ok := a.EvictFor(2, nil); !ok {
+		t.Fatal("EvictFor failed after reset")
+	}
+	if a.c != 0 {
+		t.Fatalf("fallback resurrected capacity %d after Reset", a.c)
+	}
+}

@@ -1,0 +1,70 @@
+package capacity_test
+
+import (
+	"testing"
+
+	"mcpaging/internal/capacity"
+)
+
+// FuzzParseSchedule drives the capacity-spec parser with arbitrary
+// strings: malformed specs must come back as errors, never as panics,
+// and anything that does parse must satisfy the schedule invariants —
+// K(0) is the base, every reachable capacity is >= Min() >= 1, and
+// NextChange is consistent with At. mcservd feeds ParseSchedule
+// directly from request bodies, so this is its input-hardening test.
+func FuzzParseSchedule(f *testing.F) {
+	for _, c := range capacity.List() {
+		f.Add(c.Name, 16)
+	}
+	for _, spec := range []string{
+		"", "fixed", "fixed(k=16)", "fixed(k=100%)", "fixed(k=0)",
+		"step", "step(", "step)", "step()", "step(to=8)", "step(at=4)",
+		"step(to=8,at=1024)", "step(to=50%,at=1024)", "step(to=200%,at=1)",
+		"step(to=8,at=1024", "step(to=8,,at=4)", "step(to=8,to=8,at=4)",
+		"ramp(to=8,end=4096)", "ramp(to=8,start=64,end=128,every=8)",
+		"ramp(to=8,end=9223372036854775807,every=1)",
+		"periodic(lo=8,period=2048)", "periodic(lo=25%,period=64,duty=0.9)",
+		"periodic(lo=8,period=64,duty=NaN)", "periodic(lo=8,period=64,phase=63)",
+		"trace", "trace(path=/nonexistent)",
+		"  step(to=8,at=4)  ", "step(to=8,at=4)\n", "日本語(to=8)", "\x00(\x00)",
+	} {
+		f.Add(spec, 16)
+		f.Add(spec, 1)
+	}
+	f.Fuzz(func(t *testing.T, spec string, base int) {
+		s, err := capacity.ParseSchedule(spec, base)
+		if err != nil {
+			return
+		}
+		if s.Base() != base || s.At(0) != base {
+			t.Fatalf("spec %q base %d: Base()=%d At(0)=%d", spec, base, s.Base(), s.At(0))
+		}
+		if s.Min() < 1 {
+			t.Fatalf("spec %q: Min() = %d < 1", spec, s.Min())
+		}
+		if s.String() == "" {
+			t.Fatalf("spec %q: empty String()", spec)
+		}
+		constant := s.Constant()
+		prev := base
+		for tm := int64(0); tm < 512; tm++ {
+			k := s.At(tm)
+			if k < s.Min() {
+				t.Fatalf("spec %q: At(%d) = %d below Min() %d", spec, tm, k, s.Min())
+			}
+			if constant && k != base {
+				t.Fatalf("spec %q: Constant() but At(%d) = %d != %d", spec, tm, k, base)
+			}
+			if k != prev {
+				// A change must be announced by NextChange(t-1) == t.
+				if nc := s.NextChange(tm - 1); nc != tm {
+					t.Fatalf("spec %q: capacity changed at t=%d but NextChange(%d) = %d", spec, tm, tm-1, nc)
+				}
+			}
+			if nc := s.NextChange(tm); nc <= tm {
+				t.Fatalf("spec %q: NextChange(%d) = %d not in the future", spec, tm, nc)
+			}
+			prev = k
+		}
+	})
+}

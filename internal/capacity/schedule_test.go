@@ -1,0 +1,298 @@
+package capacity
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, spec string, base int) *Schedule {
+	t.Helper()
+	s, err := ParseSchedule(spec, base)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q, %d): %v", spec, base, err)
+	}
+	return s
+}
+
+func TestFixed(t *testing.T) {
+	for _, spec := range []string{"fixed", "fixed(k=16)", "fixed(k=100%)"} {
+		s := mustParse(t, spec, 16)
+		if !s.Constant() {
+			t.Errorf("%q: Constant() = false", spec)
+		}
+		if s.At(0) != 16 || s.At(1<<40) != 16 {
+			t.Errorf("%q: At != 16", spec)
+		}
+		if s.NextChange(0) != NoChange {
+			t.Errorf("%q: NextChange(0) = %d, want NoChange", spec, s.NextChange(0))
+		}
+		if s.Min() != 16 || s.Base() != 16 {
+			t.Errorf("%q: Min/Base = %d/%d", spec, s.Min(), s.Base())
+		}
+	}
+	if _, err := ParseSchedule("fixed(k=8)", 16); err == nil {
+		t.Error("fixed(k=8) at base 16 parsed; want disagreement error")
+	}
+}
+
+func TestStep(t *testing.T) {
+	s := mustParse(t, "step(to=8,at=100)", 16)
+	if s.Constant() {
+		t.Error("step: Constant() = true")
+	}
+	if got := s.At(0); got != 16 {
+		t.Errorf("At(0) = %d, want 16", got)
+	}
+	if got := s.At(99); got != 16 {
+		t.Errorf("At(99) = %d, want 16", got)
+	}
+	if got := s.At(100); got != 8 {
+		t.Errorf("At(100) = %d, want 8", got)
+	}
+	if got := s.NextChange(0); got != 100 {
+		t.Errorf("NextChange(0) = %d, want 100", got)
+	}
+	if got := s.NextChange(100); got != NoChange {
+		t.Errorf("NextChange(100) = %d, want NoChange", got)
+	}
+	if s.Min() != 8 {
+		t.Errorf("Min() = %d, want 8", s.Min())
+	}
+
+	// Percentage resolution against base, including growth.
+	if got := mustParse(t, "step(to=50%,at=10)", 16).At(10); got != 8 {
+		t.Errorf("to=50%% of 16: At(10) = %d, want 8", got)
+	}
+	if got := mustParse(t, "step(to=200%,at=10)", 16).At(10); got != 32 {
+		t.Errorf("to=200%% of 16: At(10) = %d, want 32", got)
+	}
+	// A step to the base capacity is a constant schedule.
+	if !mustParse(t, "step(to=16,at=10)", 16).Constant() {
+		t.Error("step(to=base) should be constant")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	s := mustParse(t, "ramp(to=8,end=80,every=10)", 16)
+	if got := s.At(0); got != 16 {
+		t.Errorf("At(0) = %d, want 16", got)
+	}
+	if got := s.At(80); got != 8 {
+		t.Errorf("At(80) = %d, want 8", got)
+	}
+	if got := s.At(1 << 40); got != 8 {
+		t.Errorf("At(big) = %d, want 8", got)
+	}
+	// Monotone non-increasing for a shrink ramp.
+	prev := s.At(0)
+	for tm := int64(1); tm <= 100; tm++ {
+		k := s.At(tm)
+		if k > prev {
+			t.Fatalf("shrink ramp grew at t=%d: %d -> %d", tm, prev, k)
+		}
+		prev = k
+	}
+	// NextChange walks exactly the change points.
+	var changes []int64
+	for tm := s.NextChange(0); tm != NoChange; tm = s.NextChange(tm) {
+		changes = append(changes, tm)
+		if len(changes) > 100 {
+			t.Fatal("runaway NextChange")
+		}
+	}
+	if len(changes) == 0 {
+		t.Fatal("ramp has no changes")
+	}
+	for _, tm := range changes {
+		if s.At(tm) == s.At(tm-1) {
+			t.Errorf("NextChange reported t=%d but At is unchanged", tm)
+		}
+	}
+}
+
+func TestPeriodic(t *testing.T) {
+	s := mustParse(t, "periodic(lo=8,period=100,duty=0.5)", 16)
+	if got := s.At(0); got != 16 {
+		t.Errorf("At(0) = %d, want 16", got)
+	}
+	if got := s.At(49); got != 16 {
+		t.Errorf("At(49) = %d, want 16", got)
+	}
+	if got := s.At(50); got != 8 {
+		t.Errorf("At(50) = %d, want 8", got)
+	}
+	if got := s.At(100); got != 16 {
+		t.Errorf("At(100) = %d, want 16", got)
+	}
+	if got := s.NextChange(0); got != 50 {
+		t.Errorf("NextChange(0) = %d, want 50", got)
+	}
+	if got := s.NextChange(50); got != 100 {
+		t.Errorf("NextChange(50) = %d, want 100", got)
+	}
+	if s.Min() != 8 {
+		t.Errorf("Min() = %d, want 8", s.Min())
+	}
+	// Phase shifts the wave but must keep K(0) = base.
+	s = mustParse(t, "periodic(lo=8,period=100,duty=0.5,phase=25)", 16)
+	if got := s.At(0); got != 16 {
+		t.Errorf("phase=25: At(0) = %d, want 16", got)
+	}
+	if got := s.NextChange(0); got != 25 {
+		t.Errorf("phase=25: NextChange(0) = %d, want 25", got)
+	}
+	if _, err := ParseSchedule("periodic(lo=8,period=100,duty=0.5,phase=75)", 16); err == nil {
+		t.Error("phase in the low half parsed; want K(0) error")
+	}
+	// lo=100% is a constant square wave.
+	if !mustParse(t, "periodic(lo=100%,period=100)", 16).Constant() {
+		t.Error("periodic(lo=base) should be constant")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.txt")
+	// The "100 8" line repeats k=8: tolerated and deduped.
+	content := "# capacity trace\n0 100%\n64 8\n100 8\n\n128 12\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustParse(t, "trace(path="+path+")", 16)
+	if got := s.At(0); got != 16 {
+		t.Errorf("At(0) = %d, want 16", got)
+	}
+	if got := s.At(64); got != 8 {
+		t.Errorf("At(64) = %d, want 8", got)
+	}
+	if got := s.At(127); got != 8 {
+		t.Errorf("At(127) = %d, want 8", got)
+	}
+	if got := s.At(128); got != 12 {
+		t.Errorf("At(128) = %d, want 12", got)
+	}
+	if got := s.NextChange(64); got != 128 {
+		t.Errorf("NextChange(64) = %d, want 128 (duplicate-k line must dedupe)", got)
+	}
+
+	bad := filepath.Join(dir, "bad.txt")
+	for _, tc := range []string{
+		"0 8\n",         // first value disagrees with base
+		"10 100%\n",     // does not start at t=0
+		"0 100%\n5 0\n", // reaches K=0
+		"0 100%\nx y\n", // malformed
+	} {
+		if err := os.WriteFile(bad, []byte(tc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParseSchedule("trace(path="+bad+")", 16); err == nil {
+			t.Errorf("trace %q parsed; want error", tc)
+		}
+	}
+	if _, err := ParseSchedule("trace(path="+filepath.Join(dir, "missing.txt")+")", 16); err == nil {
+		t.Error("missing trace file parsed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ spec, want string }{
+		{"", "empty"},
+		{"step(to=8,at=100", "want name(key=val,...)"},
+		{"nosuch", "unknown schedule"},
+		{"step(to=8,at=100,bogus=1)", "does not accept"},
+		{"step(to=8,at=100,to=4)", "duplicate"},
+		{"step(at=100)", "to is required"},
+		{"step(to=8)", "at is required"},
+		{"step(to=8,at=0)", "at>=1"},
+		{"step(to=0,at=10)", "want >= 1"},
+		{"step(to=x,at=10)", "not a capacity"},
+		{"step(to=12%%,at=10)", "not a percentage"},
+		{"ramp(to=8,end=0)", "start < end"},
+		{"ramp(to=8,end=10,every=1,start=20)", "start < end"},
+		{"periodic(lo=8,period=1)", "period"},
+		{"periodic(lo=8,period=100,duty=1.5)", "duty"},
+		{"periodic(lo=8,period=100,duty=0)", "duty"},
+		{"periodic(lo=8,period=100,phase=-1)", "phase"},
+		{"trace", "path"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSchedule(tc.spec, 16)
+		if err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded; want error containing %q", tc.spec, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseSchedule(%q) error %q, want substring %q", tc.spec, err, tc.want)
+		}
+	}
+	if _, err := ParseSchedule("fixed", 0); err == nil {
+		t.Error("base K=0 accepted")
+	}
+}
+
+func TestRampPlateauBound(t *testing.T) {
+	if _, err := ParseSchedule("ramp(to=8,end=1000000,every=1)", 16); err == nil {
+		t.Error("million-plateau ramp parsed; want maxPlateaus error")
+	}
+	// Default every (span/8) keeps any span parseable.
+	s := mustParse(t, "ramp(to=8,end=1000000)", 16)
+	if s.At(1000000) != 8 {
+		t.Errorf("default-every ramp At(end) = %d, want 8", s.At(1000000))
+	}
+}
+
+// TestScheduleInvariants cross-checks At against NextChange on a dense
+// probe of every family: between consecutive change points the value
+// must be flat.
+func TestScheduleInvariants(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.txt")
+	if err := os.WriteFile(path, []byte("0 100%\n7 3\n19 75%\n40 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specs := []string{
+		"fixed",
+		"step(to=4,at=33)",
+		"step(to=150%,at=1)",
+		"ramp(to=2,start=5,end=77,every=7)",
+		"ramp(to=24,end=100)",
+		"periodic(lo=4,period=37,duty=0.3)",
+		"periodic(lo=6,period=64,duty=0.9,phase=13)",
+		"trace(path=" + path + ")",
+	}
+	for _, spec := range specs {
+		s := mustParse(t, spec, 8)
+		if s.At(0) != 8 {
+			t.Errorf("%q: At(0) = %d, want base 8", spec, s.At(0))
+		}
+		min := math.MaxInt
+		for tm := int64(0); tm < 300; tm++ {
+			k := s.At(tm)
+			if k < min {
+				min = k
+			}
+			if k < 1 {
+				t.Fatalf("%q: At(%d) = %d < 1", spec, tm, k)
+			}
+			nc := s.NextChange(tm)
+			if nc <= tm {
+				t.Fatalf("%q: NextChange(%d) = %d not in the future", spec, tm, nc)
+			}
+			if nc < 300 && s.At(nc) == k {
+				t.Fatalf("%q: NextChange(%d) = %d but capacity still %d", spec, tm, nc, k)
+			}
+			if tm+1 < nc && s.At(tm+1) != k {
+				t.Fatalf("%q: capacity changed at t=%d before NextChange %d", spec, tm+1, nc)
+			}
+		}
+		if min < s.Min() {
+			t.Errorf("%q: observed min %d below Min() %d", spec, min, s.Min())
+		}
+		if s.String() != spec {
+			t.Errorf("%q: String() = %q", spec, s.String())
+		}
+	}
+}

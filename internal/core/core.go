@@ -154,6 +154,26 @@ func (r RequestSet) Validate() error {
 	return nil
 }
 
+// CapacitySchedule is the K(t) contract Params.Capacity carries: a
+// deterministic, pre-bound capacity schedule (implemented by
+// capacity.Schedule; core stays dependency-free by naming only the
+// interface). At(0) must equal Params.K.
+type CapacitySchedule interface {
+	// At returns the capacity in force at time t.
+	At(t int64) int
+	// NextChange returns the smallest t' > t with At(t') != At(t), or
+	// math.MaxInt64 if capacity never changes again.
+	NextChange(t int64) int64
+	// Constant reports whether the schedule never changes capacity.
+	Constant() bool
+	// Base returns At(0).
+	Base() int
+	// Min returns the minimum capacity the schedule ever reaches.
+	Min() int
+	// String returns the spec the schedule was parsed from.
+	String() string
+}
+
 // Params are the model parameters shared by every simulation and solver.
 type Params struct {
 	// K is the shared cache size in pages. The paper assumes K ≥ p²
@@ -164,6 +184,11 @@ type Params struct {
 	// the faulting core's sequence. A fault occupies τ+1 time steps end
 	// to end; a hit occupies 1.
 	Tau int
+	// Capacity, when non-nil, makes the cache size time-varying: the
+	// simulator serves against K(t) = Capacity.At(t) instead of the
+	// fixed K. Capacity.Base() must equal K. Nil is the classic
+	// fixed-capacity model.
+	Capacity CapacitySchedule
 }
 
 // Validate checks that the parameters are usable.
@@ -173,6 +198,14 @@ func (p Params) Validate() error {
 	}
 	if p.Tau < 0 {
 		return fmt.Errorf("core: fetch delay tau=%d, want >= 0", p.Tau)
+	}
+	if p.Capacity != nil {
+		if base := p.Capacity.Base(); base != p.K {
+			return fmt.Errorf("core: capacity schedule starts at %d, want K=%d", base, p.K)
+		}
+		if min := p.Capacity.Min(); min < 1 {
+			return fmt.Errorf("core: capacity schedule reaches %d, want >= 1", min)
+		}
 	}
 	return nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/server"
 	"mcpaging/internal/sweep"
@@ -104,6 +105,13 @@ func (d *Dispatcher) RunJob(ctx context.Context, req server.JobRequest) (server.
 		return server.JobResponse{}, "", errPermanent{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	params := core.Params{K: req.K, Tau: req.Tau}
+	if req.Capacity != "" {
+		sched, serr := capacity.ParseSchedule(req.Capacity, req.K)
+		if serr != nil {
+			return server.JobResponse{}, "", errPermanent{status: http.StatusBadRequest, msg: serr.Error()}
+		}
+		params.Capacity = sched
+	}
 	if err := params.Validate(); err != nil {
 		return server.JobResponse{}, "", errPermanent{status: http.StatusBadRequest, msg: err.Error()}
 	}
@@ -222,7 +230,8 @@ func (d *Dispatcher) ResolveGrid(req server.SweepRequest) (core.RequestSet, swee
 	if err != nil {
 		return nil, sweep.Grid{}, errPermanent{status: http.StatusBadRequest, msg: err.Error()}
 	}
-	grid := sweep.Grid{R: rs, Ks: req.Ks, Taus: req.Taus, Specs: req.Strategies, Seed: req.Seed}
+	grid := sweep.Grid{R: rs, Ks: req.Ks, Taus: req.Taus, Capacities: req.Capacities,
+		Specs: req.Strategies, Seed: req.Seed}
 	if err := grid.Validate(); err != nil {
 		return nil, sweep.Grid{}, errPermanent{status: http.StatusBadRequest, msg: err.Error()}
 	}
@@ -245,7 +254,8 @@ func (d *Dispatcher) sweepResolved(ctx context.Context, rs core.RequestSet, grid
 	// Cells forward the compact input form; workers resolve it
 	// themselves and arrive at the same content-addressed key.
 	jobOf := func(c sweep.Cell) server.JobRequest {
-		return server.JobRequest{Trace: req.Trace, Strategy: c.Spec, K: c.K, Tau: c.Tau, Seed: req.Seed}
+		return server.JobRequest{Trace: req.Trace, Strategy: c.Spec, K: c.K, Tau: c.Tau,
+			Capacity: c.Capacity, Seed: req.Seed}
 	}
 
 	sem := make(chan struct{}, d.cfg.MaxInflight)
@@ -263,8 +273,13 @@ func (d *Dispatcher) sweepResolved(ctx context.Context, rs core.RequestSet, grid
 				defer func() { <-sem }()
 				d.met.cellsInflight.Add(1)
 				defer d.met.cellsInflight.Add(-1)
-				key := server.JobKey(rs, c.Spec, core.Params{K: c.K, Tau: c.Tau}, req.Seed)
-				line := server.SweepLine{K: c.K, Tau: c.Tau, Spec: c.Spec, Key: key}
+				params := core.Params{K: c.K, Tau: c.Tau}
+				if c.Capacity != "" {
+					// Grid.Validate parsed every capacity × K pair already.
+					params.Capacity, _ = capacity.ParseSchedule(c.Capacity, c.K)
+				}
+				key := server.JobKey(rs, c.Spec, params, req.Seed)
+				line := server.SweepLine{K: c.K, Tau: c.Tau, Capacity: c.Capacity, Spec: c.Spec, Key: key}
 				resp, _, err := d.routeCell(ctx, key, jobOf(c))
 				if err != nil {
 					d.met.cellErrors.Add(1)

@@ -69,4 +69,76 @@ type Controller interface {
 	// all. When false the strategy skips step-boundary work entirely and
 	// its event stream is identical to a tickless strategy's.
 	Ticks() bool
+	// Capacity announces that the shared cache now holds k cells (an
+	// elastic-capacity change of Params.Capacity taking effect at time
+	// t) and reports whether the quota vector changed in response.
+	// Controllers must re-derive quotas deterministically from k alone
+	// plus their own state; occupancy-driven controllers return false.
+	// The strategy sheds any resulting overage via surrenders — like
+	// Resize, Capacity itself never evicts.
+	Capacity(k int, t int64) bool
+}
+
+// reapportion writes into dst a split of total cells proportional to
+// weights, using the largest-remainder method: each entry gets its
+// floor share, and leftover cells go to the largest fractional
+// remainders (ties to the lower index). Entries with positive weight
+// are then guaranteed at least one cell while total allows, taking
+// cells from the largest entries. The split is deterministic in
+// (dst-independent) inputs, which elastic-capacity replay requires.
+func reapportion(dst, weights []int, total int) {
+	sum := 0
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	if sum == 0 || total <= 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	granted := 0
+	rem := make([]int, len(dst))
+	for j, w := range weights {
+		if w <= 0 {
+			dst[j], rem[j] = 0, -1
+			continue
+		}
+		dst[j] = w * total / sum
+		rem[j] = w * total % sum
+		granted += dst[j]
+	}
+	for granted < total {
+		best := -1
+		for j, r := range rem {
+			if r >= 0 && (best == -1 || r > rem[best]) {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		dst[best]++
+		rem[best] = -1
+		granted++
+	}
+	// Every positive weight keeps at least one cell while total allows.
+	for j, w := range weights {
+		if w <= 0 || dst[j] > 0 {
+			continue
+		}
+		big := -1
+		for c := range dst {
+			if dst[c] > 1 && (big == -1 || dst[c] > dst[big]) {
+				big = c
+			}
+		}
+		if big == -1 {
+			break
+		}
+		dst[big]--
+		dst[j]++
+	}
 }

@@ -44,9 +44,10 @@ func (c *testController) Evicted(core.PageID)                     {}
 func (c *testController) Donor(j int, _ PartView, _ func(core.PageID) bool) (int, bool) {
 	return j, true
 }
-func (c *testController) StealOnEmpty() bool { return c.steal }
-func (c *testController) Tick(int64) bool    { return false }
-func (c *testController) Ticks() bool        { return false }
+func (c *testController) StealOnEmpty() bool       { return c.steal }
+func (c *testController) Tick(int64) bool          { return false }
+func (c *testController) Ticks() bool              { return false }
+func (c *testController) Capacity(int, int64) bool { return false }
 
 // TestPartitionedDonorSteal exercises the fallback where a core whose
 // part is empty (after a quota cut) must steal a cell from the most

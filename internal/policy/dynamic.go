@@ -81,6 +81,11 @@ func (c *globalLRUController) Tick(int64) bool { return false }
 // Ticks implements Controller.
 func (c *globalLRUController) Ticks() bool { return false }
 
+// Capacity implements Controller: occupancy-driven, no quotas to
+// re-derive — under pressure the strategy surrenders the globally
+// least recent page via the parts' own LRU orders.
+func (c *globalLRUController) Capacity(int, int64) bool { return false }
+
 // Stage is one constant-partition period of a staged dynamic partition.
 type Stage struct {
 	// At is the simulation time from which Sizes applies.
@@ -99,6 +104,8 @@ type stagedController struct {
 	stages []Stage
 	cur    int
 	quota  []int
+	baseK  int // inst.P.K, captured at Init
+	capK   int // current elastic capacity; baseK when constant
 }
 
 // StagedController returns the controller of a staged dynamic partition.
@@ -145,8 +152,28 @@ func (c *stagedController) Init(inst core.Instance) error {
 		}
 	}
 	c.cur = 0
+	c.baseK, c.capK = inst.P.K, inst.P.K
 	c.quota = append(c.quota[:0], c.stages[0].Sizes...)
 	return nil
+}
+
+// applyStage loads the current stage's sizes into the quota, rescaled
+// to the live capacity when an elastic schedule has moved it off K.
+func (c *stagedController) applyStage() {
+	sizes := c.stages[c.cur].Sizes
+	c.quota = append(c.quota[:0], sizes...)
+	if c.capK == c.baseK {
+		return
+	}
+	sum := 0
+	for _, w := range sizes {
+		sum += w
+	}
+	total := sum * c.capK / c.baseK
+	if total > c.capK {
+		total = c.capK
+	}
+	reapportion(c.quota, sizes, total)
 }
 
 // Hit implements Controller.
@@ -175,7 +202,7 @@ func (c *stagedController) Tick(t int64) bool {
 	changed := false
 	for c.cur+1 < len(c.stages) && c.stages[c.cur+1].At <= t {
 		c.cur++
-		c.quota = append(c.quota[:0], c.stages[c.cur].Sizes...)
+		c.applyStage()
 		changed = true
 	}
 	return changed
@@ -183,6 +210,15 @@ func (c *stagedController) Tick(t int64) bool {
 
 // Ticks implements Controller.
 func (c *stagedController) Ticks() bool { return true }
+
+// Capacity implements Controller: the current stage's sizes are
+// rescaled to the new capacity; later stage boundaries rescale their
+// own sizes the same way.
+func (c *stagedController) Capacity(k int, _ int64) bool {
+	c.capK = k
+	c.applyStage()
+	return true
+}
 
 // Func is a scripted strategy: victim selection is delegated to a closure.
 // It is the vehicle for hand-constructed offline strategies (the SOFF

@@ -118,3 +118,17 @@ func (c *fairController) Tick(t int64) bool {
 
 // Ticks implements Controller.
 func (c *fairController) Ticks() bool { return true }
+
+// Capacity implements Controller: the current quota is rescaled
+// proportionally to the new capacity, preserving whatever balance the
+// window rebalancing has reached so far.
+func (c *fairController) Capacity(k int, _ int64) bool {
+	weights := append([]int(nil), c.quota...)
+	for j := range weights {
+		if c.active[j] && weights[j] == 0 {
+			weights[j] = 1 // an active core never loses its seat
+		}
+	}
+	reapportion(c.quota, weights, k)
+	return true
+}

@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"mcpaging/internal/cache"
 	"mcpaging/internal/core"
 	"mcpaging/internal/sim"
@@ -49,6 +51,18 @@ func (s *Partitioned) Repartitions() {}
 
 // Init implements sim.Strategy.
 func (s *Partitioned) Init(inst core.Instance) error {
+	if cs := inst.P.Capacity; cs != nil && !cs.Constant() {
+		active := 0
+		for _, seq := range inst.R {
+			if len(seq) > 0 {
+				active++
+			}
+		}
+		if cs.Min() < active {
+			return fmt.Errorf("policy: capacity schedule %s reaches %d cells, below %d active cores",
+				cs, cs.Min(), active)
+		}
+	}
 	if err := s.ctrl.Init(inst); err != nil {
 		return err
 	}
@@ -237,4 +251,63 @@ func (s *Partitioned) OnTick(t int64, v sim.View) []core.PageID {
 		}
 	}
 	return out
+}
+
+// OnCapacity implements sim.CapacityAware: the controller re-derives
+// its quota for the new capacity and every part is re-announced its
+// size. Like Resize, this never evicts — the engine drains any
+// overage through SurrenderOne at the same service time.
+func (s *Partitioned) OnCapacity(k int, t int64) {
+	if s.ctrl.Capacity(k, t) {
+		s.quota = s.ctrl.Quota()
+	}
+	for j := range s.parts {
+		if s.quota != nil {
+			s.parts[j].Resize(s.quota[j])
+		} else {
+			// Occupancy-driven: any part may grow to the whole cache.
+			s.parts[j].Resize(k)
+		}
+	}
+}
+
+// SurrenderOne implements sim.CapacityAware: one page is shed under
+// capacity pressure from the part most over its quota (most occupied,
+// for occupancy-driven controllers), ties to the lower core index. A
+// part whose pages are all in flight is skipped; ok=false when every
+// part refuses, and the engine retries at the next service step.
+func (s *Partitioned) SurrenderOne(v sim.View) (core.PageID, bool) {
+	if s.vf.use(v) {
+		for _, part := range s.parts {
+			bindOracle(part, v)
+		}
+	}
+	skip := make([]bool, len(s.parts))
+	for {
+		best, bestOver := -1, 0
+		for j := range s.parts {
+			if skip[j] || s.occ[j] == 0 {
+				continue
+			}
+			over := s.occ[j]
+			if s.quota != nil {
+				over = s.occ[j] - s.quota[j]
+			}
+			if best == -1 || over > bestOver {
+				best, bestOver = j, over
+			}
+		}
+		if best == -1 {
+			return core.NoPage, false
+		}
+		w, ok := s.parts[best].Surrender(s.vf.resident)
+		if !ok {
+			skip[best] = true
+			continue
+		}
+		delete(s.partOf, w)
+		s.occ[best]--
+		s.ctrl.Evicted(w)
+		return w, true
+	}
 }

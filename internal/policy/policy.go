@@ -139,11 +139,31 @@ func (s *Shared) OnFault(p core.PageID, at cache.Access, v sim.View) core.PageID
 	return victim
 }
 
+// OnCapacity implements sim.CapacityAware: the shared policy is told
+// its new domain size; shedding happens via SurrenderOne.
+func (s *Shared) OnCapacity(k int, _ int64) { s.pol.Resize(k) }
+
+// SurrenderOne implements sim.CapacityAware: the policy gives up its
+// victim, exactly the page Evict would have chosen. ok=false when
+// every resident page is in flight; the engine retries at the next
+// service step.
+func (s *Shared) SurrenderOne(v sim.View) (core.PageID, bool) {
+	if s.vf.use(v) {
+		bindOracle(s.pol, v)
+	}
+	return s.pol.Surrender(s.vf.resident)
+}
+
 // staticController fixes the partition for the whole run: the paper's
 // sP^B family. The faulting core always evicts from its own part and
-// never grows past its configured size.
+// never grows past its configured size. Under an elastic capacity
+// schedule the configured sizes act as weights: each announcement
+// rescales the live quota proportionally (largest-remainder rounding),
+// so the partition keeps its shape while tracking K(t).
 type staticController struct {
-	sizes []int
+	conf  []int // configured sizes; never mutated after construction
+	sizes []int // live quota, aliased by Partitioned
+	baseK int   // inst.P.K, captured at Init
 	name  string
 }
 
@@ -152,7 +172,8 @@ type staticController struct {
 // with a non-empty sequence must receive at least one cell.
 func StaticController(sizes []int) Controller {
 	c := append([]int(nil), sizes...)
-	return &staticController{sizes: c, name: fmt.Sprintf("sP%v", c)}
+	return &staticController{conf: c, sizes: append([]int(nil), c...),
+		name: fmt.Sprintf("sP%v", c)}
 }
 
 // NewStatic returns the static-partition strategy sP^B_A: part j of size
@@ -172,11 +193,11 @@ func (c *staticController) Quota() []int { return c.sizes }
 // Init implements Controller.
 func (c *staticController) Init(inst core.Instance) error {
 	p := inst.R.NumCores()
-	if len(c.sizes) != p {
-		return fmt.Errorf("policy: partition has %d parts for %d cores", len(c.sizes), p)
+	if len(c.conf) != p {
+		return fmt.Errorf("policy: partition has %d parts for %d cores", len(c.conf), p)
 	}
 	sum := 0
-	for j, k := range c.sizes {
+	for j, k := range c.conf {
 		if k < 0 {
 			return fmt.Errorf("policy: negative part size %d for core %d", k, j)
 		}
@@ -188,6 +209,8 @@ func (c *staticController) Init(inst core.Instance) error {
 	if sum > inst.P.K {
 		return fmt.Errorf("policy: partition sizes sum to %d > K=%d", sum, inst.P.K)
 	}
+	c.baseK = inst.P.K
+	copy(c.sizes, c.conf)
 	return nil
 }
 
@@ -217,6 +240,24 @@ func (c *staticController) Tick(int64) bool { return false }
 
 // Ticks implements Controller.
 func (c *staticController) Ticks() bool { return false }
+
+// Capacity implements Controller: the configured sizes are rescaled
+// proportionally to the partition's share of the new capacity.
+func (c *staticController) Capacity(k int, _ int64) bool {
+	sum := 0
+	for _, w := range c.conf {
+		sum += w
+	}
+	total := sum
+	if c.baseK > 0 {
+		total = sum * k / c.baseK
+	}
+	if total > k {
+		total = k
+	}
+	reapportion(c.sizes, c.conf, total)
+	return true
+}
 
 // seedQuota is the initial quota of the adaptive controllers (FairShare,
 // UCP): an even split of the K cells, with inactive cores donating their

@@ -34,7 +34,8 @@ func (c *scriptController) Tick(int64) bool {
 	c.change(c.quota)
 	return true
 }
-func (c *scriptController) Ticks() bool { return true }
+func (c *scriptController) Ticks() bool              { return true }
+func (c *scriptController) Capacity(int, int64) bool { return false }
 
 // zeroOracle mirrors what a FITF part sees through fakeView (NextUse 0).
 type zeroOracle struct{}

@@ -144,7 +144,10 @@ func (c *ucpController) repartition() {
 			if !c.active[j] || alloc[j] >= c.k {
 				continue
 			}
-			gain := c.mons[j].hits[alloc[j]] // hits needing alloc[j]+1 cells
+			var gain int64 // hits needing alloc[j]+1 cells; 0 past monitor depth
+			if alloc[j] < len(c.mons[j].hits) {
+				gain = c.mons[j].hits[alloc[j]]
+			}
 			if gain > bestGain {
 				best, bestGain = j, gain
 			}
@@ -172,3 +175,12 @@ func (c *ucpController) Tick(t int64) bool {
 
 // Ticks implements Controller.
 func (c *ucpController) Ticks() bool { return true }
+
+// Capacity implements Controller: the greedy marginal-utility
+// redistribution simply reruns over the new cell count. Monitors keep
+// their base-K depth; allocations past it see zero marginal gain.
+func (c *ucpController) Capacity(k int, _ int64) bool {
+	c.k = k
+	c.repartition()
+	return true
+}

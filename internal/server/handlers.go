@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/strategyspec"
 	"mcpaging/internal/sweep"
@@ -95,6 +96,14 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	params := core.Params{K: req.K, Tau: req.Tau}
+	if req.Capacity != "" {
+		sched, err := capacity.ParseSchedule(req.Capacity, req.K)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		params.Capacity = sched
+	}
 	if err := params.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -216,7 +225,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	grid := sweep.Grid{R: rs, Ks: req.Ks, Taus: req.Taus, Specs: req.Strategies, Seed: req.Seed}
+	grid := sweep.Grid{R: rs, Ks: req.Ks, Taus: req.Taus, Capacities: req.Capacities,
+		Specs: req.Strategies, Seed: req.Seed}
 	if err := grid.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -228,8 +238,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	var pts []*point
 	for _, c := range grid.Cells() {
-		pt := &point{line: SweepLine{K: c.K, Tau: c.Tau, Spec: c.Spec}}
+		pt := &point{line: SweepLine{K: c.K, Tau: c.Tau, Capacity: c.Capacity, Spec: c.Spec}}
 		params := core.Params{K: c.K, Tau: c.Tau}
+		if c.Capacity != "" {
+			// Grid.Validate parsed every capacity × K pair already.
+			sched, serr := capacity.ParseSchedule(c.Capacity, c.K)
+			if serr != nil {
+				httpError(w, http.StatusBadRequest, "%v", serr)
+				return
+			}
+			params.Capacity = sched
+		}
 		pt.line.Key = JobKey(rs, c.Spec, params, req.Seed)
 		if v, ok := s.cache.get(pt.line.Key); ok {
 			pt.hit = &v

@@ -11,12 +11,18 @@ import (
 
 // JobKey computes the content-addressed cache key of one simulation
 // job: a SHA-256 over a canonical encoding of (request set, strategy
-// spec, K, τ, seed). The request set is hashed by content, so the same
-// instance reaches the same key whether it arrived inline, as a binary
-// trace, or as a deterministic workload spec. The spec is trimmed the
-// same way strategyspec.Build trims it; seed is always included because
-// it changes the behaviour of randomized policies (for deterministic
-// policies two seeds simply occupy two cache entries).
+// spec, K, τ, capacity schedule, seed). The request set is hashed by
+// content, so the same instance reaches the same key whether it arrived
+// inline, as a binary trace, or as a deterministic workload spec. The
+// spec is trimmed the same way strategyspec.Build trims it; seed is
+// always included because it changes the behaviour of randomized
+// policies (for deterministic policies two seeds simply occupy two
+// cache entries). The capacity schedule is hashed by its spec string
+// (empty for fixed-capacity jobs): schedules are deterministic in the
+// spec, so content-addressing over the spec is sound. The domain label
+// is v2 — adding the capacity field re-keyed every job, and the bump
+// makes the old and new key spaces disjoint rather than silently
+// aliased.
 //
 // The key is exported because it is also the fleet's routing key:
 // mcfleet consistent-hashes it onto the worker ring, so a job lands on
@@ -31,9 +37,15 @@ func JobKey(rs core.RequestSet, spec string, p core.Params, seed int64) string {
 	writeVarint := func(v int64) {
 		h.Write(buf[:binary.PutVarint(buf[:], v)])
 	}
-	h.Write([]byte("mcservd/job/v1\x00"))
+	h.Write([]byte("mcservd/job/v2\x00"))
 	writeVarint(int64(p.K))
 	writeVarint(int64(p.Tau))
+	capSpec := ""
+	if p.Capacity != nil {
+		capSpec = p.Capacity.String()
+	}
+	writeUvarint(uint64(len(capSpec)))
+	h.Write([]byte(capSpec))
 	writeVarint(seed)
 	spec = strings.TrimSpace(spec)
 	writeUvarint(uint64(len(spec)))

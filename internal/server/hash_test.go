@@ -5,6 +5,7 @@ import (
 	"encoding/base64"
 	"testing"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/trace"
 )
@@ -42,6 +43,7 @@ func TestJobKeyCanonicalAcrossInputModes(t *testing.T) {
 		"k":        JobKey(rs, "S(LRU)", core.Params{K: 5, Tau: 2}, 1),
 		"tau":      JobKey(rs, "S(LRU)", core.Params{K: 4, Tau: 3}, 1),
 		"seed":     JobKey(rs, "S(LRU)", p, 2),
+		"capacity": jobKeyWithCapacity(t, rs, p),
 		"requests": JobKey(core.RequestSet{{1, 2, 3, 1}, {9, 8, 8}}, "S(LRU)", p, 1),
 		// Same flattened content, different core structure.
 		"shape": JobKey(core.RequestSet{{1, 2, 3, 1, 9}, {8, 9}}, "S(LRU)", p, 1),
@@ -53,6 +55,18 @@ func TestJobKeyCanonicalAcrossInputModes(t *testing.T) {
 		}
 		seen[k] = name
 	}
+}
+
+// jobKeyWithCapacity keys the base job with a capacity schedule
+// attached; the schedule spec must be load-bearing like K and τ.
+func jobKeyWithCapacity(t *testing.T, rs core.RequestSet, p core.Params) string {
+	t.Helper()
+	sched, err := capacity.ParseSchedule("step(to=50%,at=2)", p.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Capacity = sched
+	return JobKey(rs, "S(LRU)", p, 1)
 }
 
 func TestResultCacheEvictsLRUAtBudget(t *testing.T) {

@@ -90,6 +90,10 @@ type JobRequest struct {
 	Strategy string     `json:"strategy"`
 	K        int        `json:"k"`
 	Tau      int        `json:"tau"`
+	// Capacity is an optional K(t) schedule spec (capacity
+	// mini-language, resolved against K); empty is the fixed-capacity
+	// model. It is part of the cache key.
+	Capacity string `json:"capacity,omitempty"`
 	// Seed drives RAND/RMARK policies; it is part of the cache key.
 	Seed int64 `json:"seed"`
 	// TimeoutMS optionally lowers the server's per-job timeout for this
@@ -112,6 +116,10 @@ type Result struct {
 	FaultRate          float64 `json:"fault_rate"`
 	Jain               float64 `json:"jain"`
 	VoluntaryEvictions int64   `json:"voluntary_evictions"`
+	// CapacityEvictions counts pages shed under capacity pressure;
+	// omitted for fixed-capacity jobs, keeping their cached response
+	// bytes identical across server versions.
+	CapacityEvictions int64 `json:"capacity_evictions,omitempty"`
 }
 
 // JobResponse is the envelope of POST /v1/jobs.
@@ -130,22 +138,26 @@ type JobResponse struct {
 // strategy grid. The response streams one SweepLine per grid point as
 // JSONL, in deterministic K-major order.
 type SweepRequest struct {
-	Trace      TraceInput `json:"trace"`
-	Ks         []int      `json:"ks"`
-	Taus       []int      `json:"taus"`
-	Strategies []string   `json:"strategies"`
-	Seed       int64      `json:"seed"`
+	Trace TraceInput `json:"trace"`
+	Ks    []int      `json:"ks"`
+	Taus  []int      `json:"taus"`
+	// Capacities are optional K(t) schedule specs forming a grid
+	// dimension (empty = fixed capacity only).
+	Capacities []string `json:"capacities,omitempty"`
+	Strategies []string `json:"strategies"`
+	Seed       int64    `json:"seed"`
 }
 
 // SweepLine is one JSONL line of the sweep stream.
 type SweepLine struct {
-	K      int     `json:"k"`
-	Tau    int     `json:"tau"`
-	Spec   string  `json:"spec"`
-	Key    string  `json:"key"`
-	Cached bool    `json:"cached"`
-	Result *Result `json:"result,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	K        int     `json:"k"`
+	Tau      int     `json:"tau"`
+	Capacity string  `json:"capacity,omitempty"`
+	Spec     string  `json:"spec"`
+	Key      string  `json:"key"`
+	Cached   bool    `json:"cached"`
+	Result   *Result `json:"result,omitempty"`
+	Error    string  `json:"error,omitempty"`
 }
 
 // job is one unit of work on the queue. res is buffered so a worker

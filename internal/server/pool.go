@@ -144,6 +144,7 @@ func resultFrom(name string, totalRequests int, res sim.Result) Result {
 		FaultRate:          rate,
 		Jain:               metrics.JainIndex(res.Faults),
 		VoluntaryEvictions: res.VoluntaryEvictions,
+		CapacityEvictions:  res.CapacityEvictions,
 	}
 }
 

@@ -522,6 +522,17 @@ func (r *Runner) commitEpoch(ctx context.Context, s Strategy, obs Observer, res 
 		}
 		e.now = t
 
+		// Elastic capacity: apply schedule boundaries (and retry blocked
+		// sheds) at exactly the service times the sequential loop would,
+		// cutting speculation at every shed victim. The fast paths below
+		// are fenced at nextChange so no committed run crosses a
+		// boundary unchecked.
+		if e.sched != nil && (t >= e.nextChange || e.used > e.k) {
+			if err := r.applyCapacity(t, s, obs, res, true); err != nil {
+				return false, err
+			}
+		}
+
 		// Fast path: one core is due strictly before every other, and
 		// its speculation continues with a hit run. Service order over
 		// [t, t2) is just that core's consecutive hits, so they commit
@@ -541,6 +552,18 @@ func (r *Runner) commitEpoch(ctx context.Context, s Strategy, obs Observer, res 
 				k := int64(segs[h].hits - pos)
 				if t2 != int64(math.MaxInt64) && t2-t < k {
 					k = t2 - t
+				}
+				if e.sched != nil {
+					// Fence the committed run at the next capacity
+					// boundary; while a shed is blocked on in-flight
+					// pages, commit one step at a time so the retry
+					// fires at every service time, like the sequential
+					// loop.
+					if e.used > e.k {
+						k = 1
+					} else if e.nextChange-t < k {
+						k = e.nextChange - t
+					}
 				}
 				seq := flat.Seq(c)
 				base := int(segs[h].startIdx) + int(pos)
@@ -596,6 +619,14 @@ func (r *Runner) commitEpoch(ctx context.Context, s Strategy, obs Observer, res 
 				ps.batchIdx[c] = segs[h].startIdx + pos
 				if rem := segs[h].hits - pos; rem < m {
 					m = rem
+				}
+			}
+			if ok && m > 0 && e.sched != nil {
+				// Same boundary fence as the single-core hit run.
+				if e.used > e.k {
+					m = 1
+				} else if nc := e.nextChange - t; nc < int64(m) {
+					m = int32(nc)
 				}
 			}
 			if ok && m > 0 {
@@ -823,6 +854,11 @@ func (r *Runner) microStep(s Strategy, obs Observer, res *Result, served *int64)
 		return nil
 	}
 	e.now = t
+	if e.sched != nil && (t >= e.nextChange || e.used > e.k) {
+		if err := r.applyCapacity(t, s, obs, res, true); err != nil {
+			return err
+		}
+	}
 	for c := 0; c < p; c++ {
 		if e.idx[c] >= len(e.seqs[c]) || e.next[c] != t {
 			continue

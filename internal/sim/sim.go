@@ -97,6 +97,29 @@ type Repartitioner interface {
 	Repartitions()
 }
 
+// CapacityAware is the optional Strategy extension elastic-capacity
+// runs require: when Params.Capacity is a non-constant schedule, the
+// engine announces every capacity change and, on shrinks, asks the
+// strategy to surrender cells one at a time. Strategies that do not
+// implement it are rejected for such runs (the engine cannot shed
+// cells it has no victim for); with a nil or constant schedule every
+// strategy runs unchanged.
+type CapacityAware interface {
+	// OnCapacity announces that the cache capacity is k from time t
+	// on. The strategy must resize its internal structures without
+	// evicting (the PR-5 partition contract: Resize never evicts);
+	// eviction happens through the SurrenderOne calls that follow a
+	// shrink. Grow announcements (k above the previous capacity) simply
+	// open free cells.
+	OnCapacity(k int, t int64)
+	// SurrenderOne yields one evictable resident page toward a shrink,
+	// or ok=false when every candidate is still in flight — the engine
+	// then retries at the next service step, mirroring the OnTick shed
+	// contract. The strategy must have already dropped the returned
+	// page from its own metadata.
+	SurrenderOne(v View) (core.PageID, bool)
+}
+
 // View is the read-only window a strategy gets on simulator ground truth.
 // All page IDs cross this interface in the instance's original ID space,
 // even when the engine has renumbered internally.
@@ -131,16 +154,27 @@ type View interface {
 // page, and Fault/Join false. Observers that only care about served
 // requests can filter on !Tick (or, equivalently for historical
 // observers, on Fault/Join, which ticks never set).
+//
+// Elastic-capacity runs add two event shapes, both with Core = -1 and
+// Index = -1. A capacity announcement (Capacity set, Tick clear)
+// carries the new capacity in K and no pages. A capacity-pressure
+// eviction (Capacity and Tick both set) is a cell shed via
+// CapacityAware.SurrenderOne after a shrink: Page = Victim = the
+// evicted page, exactly like a Ticker eviction, so occupancy
+// bookkeeping composes; observers can separate the two shed causes on
+// the Capacity flag. Fixed-capacity runs never set Capacity.
 type Event struct {
-	Time   int64
-	Core   int
-	Index  int
-	Page   core.PageID
-	Fault  bool
-	Join   bool        // fault that joined an in-flight fetch
-	Tick   bool        // voluntary eviction, not a served request
-	Donor  bool        // Tick eviction donating a cell between parts
-	Victim core.PageID // NoPage if none (hit, join, or free cell)
+	Time     int64
+	Core     int
+	Index    int
+	Page     core.PageID
+	Fault    bool
+	Join     bool        // fault that joined an in-flight fetch
+	Tick     bool        // voluntary eviction, not a served request
+	Donor    bool        // Tick eviction donating a cell between parts
+	Capacity bool        // capacity announcement or capacity-pressure eviction
+	K        int         // new capacity (announcements only)
+	Victim   core.PageID // NoPage if none (hit, join, or free cell)
 }
 
 // Observer receives every service event in order. Passing a nil observer
@@ -185,6 +219,9 @@ type Result struct {
 	Makespan int64
 	// VoluntaryEvictions counts pages evicted via OnTick.
 	VoluntaryEvictions int64
+	// CapacityEvictions counts pages shed via SurrenderOne after
+	// capacity shrinks; always zero for fixed-capacity runs.
+	CapacityEvictions int64
 }
 
 // TotalFaults returns the sum of per-core fault counts — the paper's FTF
@@ -221,6 +258,14 @@ type engine struct {
 	now  int64
 	used int
 	w    int // dense universe size
+
+	// Elastic capacity: sched is the run's non-constant schedule (nil
+	// for the classic fixed-K model, including constant schedules, so
+	// the serve loops pay one nil check per step); nextChange caches
+	// sched.NextChange of the last applied boundary. k above is then
+	// K(t), updated by applyCapacity on the canonical timeline.
+	sched      core.CapacitySchedule
+	nextChange int64
 
 	seqs []core.Sequence // dense sequences (alias the input when direct)
 	next []int64         // per-core clock
@@ -311,7 +356,15 @@ func (e *engine) Cached(p core.PageID) bool {
 	return ok && e.readyAt[dp] != notCached
 }
 
-func (e *engine) Free() int  { return e.k - e.used }
+// Free reports unoccupied cells, clamped at zero: after a capacity
+// shrink whose shed is blocked on in-flight pages, used may briefly
+// exceed K(t), and strategies must still see "no free cell".
+func (e *engine) Free() int {
+	if e.used >= e.k {
+		return 0
+	}
+	return e.k - e.used
+}
 func (e *engine) K() int     { return e.k }
 func (e *engine) Tau() int   { return int(e.tau) }
 func (e *engine) Now() int64 { return e.now }
@@ -380,6 +433,14 @@ func (e *engine) reset(p core.Params) {
 	e.tau = int64(p.Tau)
 	e.now = 0
 	e.used = 0
+	e.sched = nil
+	e.nextChange = math.MaxInt64
+	if p.Capacity != nil && !p.Capacity.Constant() {
+		// Constant schedules are exactly the fixed-K model; keeping
+		// sched nil for them makes that equivalence structural.
+		e.sched = p.Capacity
+		e.nextChange = p.Capacity.NextChange(0)
+	}
 	for i := range e.next {
 		e.next[i] = 0
 	}
@@ -415,6 +476,10 @@ type Runner struct {
 	e     engine
 	par   parState
 	stats EngineStats
+	// ca is the current run's CapacityAware view of the strategy (nil
+	// for fixed-capacity runs), held here so both engines' capacity
+	// cold paths reach it without widening their signatures.
+	ca CapacityAware
 }
 
 // NewRunner validates the request set and builds the reusable engine
@@ -611,6 +676,25 @@ func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy,
 	}
 	ticker, _ := s.(Ticker)
 	_, repart := s.(Repartitioner)
+	ca, _ := s.(CapacityAware)
+	r.ca = ca
+	if e.sched != nil {
+		if r.ca == nil {
+			return res, fmt.Errorf("sim: strategy %s does not support time-varying capacity (schedule %s)", s.Name(), e.sched)
+		}
+		// The model needs K(t) >= active cores throughout: with fewer
+		// cells than faulting cores, every cell can be pinned by an
+		// in-flight fetch and a fault has nothing to evict.
+		active := 0
+		for c := range r.rs {
+			if len(r.rs[c]) > 0 {
+				active++
+			}
+		}
+		if e.sched.Min() < active {
+			return res, fmt.Errorf("sim: capacity schedule %s reaches %d cells, below %d active cores", e.sched, e.sched.Min(), active)
+		}
+	}
 	if ticker == nil && r.parallelReady() {
 		r.stats.ParallelRuns++
 		return r.runParallel(ctx, s, obs, &res)
@@ -640,6 +724,12 @@ func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy,
 			break
 		}
 		e.now = t
+
+		if e.sched != nil && (t >= e.nextChange || e.used > e.k) {
+			if err := r.applyCapacity(t, s, obs, &res, false); err != nil {
+				return res, err
+			}
+		}
 
 		if ticker != nil {
 			for _, v := range ticker.OnTick(t, e) {
@@ -718,12 +808,57 @@ func (r *Runner) RunContext(ctx context.Context, params core.Params, s Strategy,
 	return res, nil
 }
 
+// applyCapacity is the elastic-capacity cold path, shared verbatim by
+// the sequential and speculative engines so the capacity timeline is
+// engine-independent. Called at service time t when a schedule
+// boundary has been reached (t >= nextChange) or a previous shrink is
+// still shedding (used > k): it announces the net capacity At(t) —
+// several breakpoints between two service steps collapse into one
+// announcement, deterministically in t — and then reclaims
+// over-capacity cells one SurrenderOne victim at a time. In-flight
+// pages cannot be evicted (the paper's rule); when only those remain
+// the shed stops and is retried at every subsequent service step.
+//
+//mcpaging:coldpath capacity boundaries are rare relative to served requests
+func (r *Runner) applyCapacity(t int64, s Strategy, obs Observer, res *Result, cut bool) error {
+	e := &r.e
+	if t >= e.nextChange {
+		if k := e.sched.At(t); k != e.k {
+			e.k = k
+			r.ca.OnCapacity(k, t)
+			if obs != nil {
+				obs(Event{Time: t, Core: -1, Index: -1, Page: core.NoPage, Victim: core.NoPage, Capacity: true, K: k})
+			}
+		}
+		e.nextChange = e.sched.NextChange(t)
+	}
+	for e.used > e.k {
+		v, ok := r.ca.SurrenderOne(e)
+		if !ok {
+			break
+		}
+		if err := e.evictOriginal(v, t); err != nil {
+			return fmt.Errorf("sim: strategy %s capacity shed: %w", s.Name(), err)
+		}
+		res.CapacityEvictions++
+		if cut {
+			r.cutSpeculation(v)
+		}
+		if obs != nil {
+			obs(Event{Time: t, Core: -1, Index: -1, Page: v, Victim: v, Tick: true, Capacity: true})
+		}
+	}
+	return nil
+}
+
 // release drops references to the caller's request set (and renumbered
 // copies of it) while keeping array capacity for the next bind.
 func (r *Runner) release() {
 	r.rs = nil
 	r.e.seqs = nil
 	r.e.fwd = nil
+	r.e.sched = nil
+	r.ca = nil
 	for i := range r.e.denseSeqs {
 		r.e.denseSeqs[i] = nil
 	}

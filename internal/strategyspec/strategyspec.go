@@ -6,6 +6,8 @@
 //	sP[opt](<policy>)           offline-optimal static partition (LRU
 //	                            curves, or Belady curves for FITF)
 //	dP[<controller>](<policy>)  dynamic partition: controller × policy
+//	eP[<controller>](<policy>)  elastic partition: the same controllers,
+//	                            named for runs under a capacity schedule
 //
 // Partition controllers and eviction policies are orthogonal: every
 // dynamic controller composes with every policy, so dP[ucp](ARC) and
@@ -14,6 +16,14 @@
 // dP[lru-global]), dP[fair] (FairShare) and dP[ucp] (utility-based
 // cache partitioning). Policies are the names accepted by
 // cache.NewFactory, plus FWF in the shared family.
+//
+// The eP family is the elastic-capacity axis of the grammar: eP[even],
+// eP[fair], eP[ucp] and eP (alias eP[lru-global]) build the same
+// controller × policy compositions as their sP/dP counterparts but
+// carry the elastic label, marking rows meant to run under a
+// `-capacity` schedule (every controller re-derives its quota on a
+// capacity announcement, so under a constant schedule the eP strategy
+// is step-for-step identical to its namesake).
 //
 // The registry below is the single source of truth for the grammar:
 // Build, List and Portfolio all derive from it, as do `mcsim
@@ -148,11 +158,65 @@ var families = []familyRow{
 			return policy.NewPartitioned(policy.UCPController(0), mk), nil
 		},
 	},
+	{
+		family:   "eP",
+		desc:     "elastic partition, global-LRU donor under K(t)",
+		policies: allPolicies,
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			return buildElastic("eP[lru-global]", policy.GlobalLRUController(), pol, seed)
+		},
+	},
+	{
+		family:   "eP[even]",
+		desc:     "elastic partition, even split rescaled with K(t)",
+		policies: allPolicies,
+		build: func(pol string, rs core.RequestSet, k int, seed int64) (sim.Strategy, error) {
+			ctrl := policy.StaticController(policy.EvenSizes(k, rs.NumCores()))
+			return buildElastic("eP[even]", ctrl, pol, seed)
+		},
+	},
+	{
+		family:   "eP[fair]",
+		desc:     "elastic partition, FairShare quota rescaled with K(t)",
+		policies: allPolicies,
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			return buildElastic("eP[fair]", policy.FairController(0), pol, seed)
+		},
+	},
+	{
+		family:   "eP[ucp]",
+		desc:     "elastic partition, UCP reallocation over K(t) cells",
+		policies: allPolicies,
+		build: func(pol string, _ core.RequestSet, _ int, seed int64) (sim.Strategy, error) {
+			return buildElastic("eP[ucp]", policy.UCPController(0), pol, seed)
+		},
+	},
+}
+
+// elasticController relabels a partition controller with its eP-family
+// name; behaviour is untouched (elasticity lives in the engine and in
+// the controllers' own Capacity hooks).
+type elasticController struct {
+	policy.Controller
+	label string
+}
+
+func (c elasticController) Name() string { return c.label }
+
+// buildElastic composes an eP row: the wrapped controller over the
+// named eviction policy.
+func buildElastic(label string, ctrl policy.Controller, pol string, seed int64) (sim.Strategy, error) {
+	mk, err := cache.NewFactory(pol, seed)
+	if err != nil {
+		return nil, err
+	}
+	return policy.NewPartitioned(elasticController{ctrl, label}, mk), nil
 }
 
 // familyAliases maps accepted alternate spellings to registry families.
 var familyAliases = map[string]string{
 	"dP[lru-global]": "dP",
+	"eP[lru-global]": "eP",
 }
 
 // familyByName resolves a family head, following aliases.

@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/metrics"
 	"mcpaging/internal/sim"
@@ -24,6 +25,12 @@ type Grid struct {
 	Ks []int
 	// Taus are the fetch delays to sweep.
 	Taus []int
+	// Capacities are capacity-schedule specs (capacity mini-language,
+	// resolved against each point's K) to sweep; the empty slice — or an
+	// empty string entry — is the fixed-capacity model. Sweeping shrink
+	// severities ("step(to=75%,at=...)", "step(to=50%,at=...)", ...) is
+	// the intended use.
+	Capacities []string
 	// Specs are strategy specs in the strategyspec mini-language.
 	Specs []string
 	// Seed drives RAND policies.
@@ -63,7 +70,26 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: negative tau %d", tau)
 		}
 	}
+	for _, cap := range g.Capacities {
+		if cap == "" {
+			continue
+		}
+		for _, k := range g.Ks {
+			if _, err := capacity.ParseSchedule(cap, k); err != nil {
+				return fmt.Errorf("sweep: K=%d: %v", k, err)
+			}
+		}
+	}
 	return nil
+}
+
+// capacities returns the capacity dimension, defaulting to the single
+// fixed-capacity entry when none is configured.
+func (g Grid) capacities() []string {
+	if len(g.Capacities) == 0 {
+		return []string{""}
+	}
+	return g.Capacities
 }
 
 // Cell is one grid coordinate. Cells — not Points — are the unit the
@@ -71,19 +97,24 @@ func (g Grid) Validate() error {
 // determines one job.
 type Cell struct {
 	K, Tau int
-	Spec   string
+	// Capacity is the point's K(t) schedule spec; "" = fixed capacity.
+	Capacity string
+	Spec     string
 }
 
 // Cells enumerates the grid in canonical order — K-major, then τ, then
-// spec. This single definition of "grid order" is shared by Run (point
-// order), mcservd's /v1/sweep stream, and mcfleet's re-merge of results
-// arriving out of order from many workers.
+// capacity, then spec. This single definition of "grid order" is shared
+// by Run (point order), mcservd's /v1/sweep stream, and mcfleet's
+// re-merge of results arriving out of order from many workers.
 func (g Grid) Cells() []Cell {
-	cells := make([]Cell, 0, len(g.Ks)*len(g.Taus)*len(g.Specs))
+	caps := g.capacities()
+	cells := make([]Cell, 0, len(g.Ks)*len(g.Taus)*len(caps)*len(g.Specs))
 	for _, k := range g.Ks {
 		for _, tau := range g.Taus {
-			for _, spec := range g.Specs {
-				cells = append(cells, Cell{K: k, Tau: tau, Spec: spec})
+			for _, cap := range caps {
+				for _, spec := range g.Specs {
+					cells = append(cells, Cell{K: k, Tau: tau, Capacity: cap, Spec: spec})
+				}
 			}
 		}
 	}
@@ -93,13 +124,17 @@ func (g Grid) Cells() []Cell {
 // Point is one grid cell's result.
 type Point struct {
 	K, Tau   int
+	Capacity string
 	Spec     string
 	Strategy string
 	Faults   int64
 	Rate     float64
 	Jain     float64
 	Makespan int64
-	Err      error
+	// CapacityEvictions counts pages shed under capacity pressure;
+	// always 0 for fixed-capacity points.
+	CapacityEvictions int64
+	Err               error
 }
 
 // Run executes the grid. Points come back in deterministic order
@@ -121,7 +156,7 @@ func Run(g Grid) ([]Point, error) {
 	cells := g.Cells()
 	points := make([]Point, len(cells))
 	for i, c := range cells {
-		points[i] = Point{K: c.K, Tau: c.Tau, Spec: c.Spec}
+		points[i] = Point{K: c.K, Tau: c.Tau, Capacity: c.Capacity, Spec: c.Spec}
 	}
 	if workers > len(points) {
 		workers = len(points)
@@ -149,12 +184,21 @@ func Run(g Grid) ([]Point, error) {
 					continue
 				}
 				pt.Strategy = st.Name()
+				params := core.Params{K: pt.K, Tau: pt.Tau}
+				if pt.Capacity != "" {
+					sched, serr := capacity.ParseSchedule(pt.Capacity, pt.K)
+					if serr != nil {
+						pt.Err = serr
+						continue
+					}
+					params.Capacity = sched
+				}
 				var obs sim.Observer
 				var done func(sim.Result) error
 				if g.Observe != nil {
 					obs, done = g.Observe(*pt)
 				}
-				res, rerr := rn.Run(core.Params{K: pt.K, Tau: pt.Tau}, st, obs)
+				res, rerr := rn.Run(params, st, obs)
 				if rerr != nil {
 					pt.Err = rerr
 					continue
@@ -163,6 +207,7 @@ func Run(g Grid) ([]Point, error) {
 				pt.Rate = float64(res.TotalFaults()) / total
 				pt.Jain = metrics.JainIndex(res.Faults)
 				pt.Makespan = res.Makespan
+				pt.CapacityEvictions = res.CapacityEvictions
 				if done != nil {
 					if derr := done(res); derr != nil {
 						pt.Err = derr
@@ -179,9 +224,22 @@ func Run(g Grid) ([]Point, error) {
 	return points, nil
 }
 
-// Table renders sweep points as a metrics table.
+// Table renders sweep points as a metrics table. The capacity column
+// appears only when the sweep actually carries a capacity dimension, so
+// fixed-capacity tables keep their historical shape.
 func Table(title string, pts []Point) *metrics.Table {
-	t := metrics.NewTable(title, "K", "tau", "strategy", "faults", "fault_rate", "jain", "makespan", "err")
+	elastic := false
+	for _, p := range pts {
+		if p.Capacity != "" {
+			elastic = true
+			break
+		}
+	}
+	headers := []string{"K", "tau", "strategy", "faults", "fault_rate", "jain", "makespan", "err"}
+	if elastic {
+		headers = []string{"K", "tau", "capacity", "strategy", "faults", "fault_rate", "jain", "makespan", "cap_evictions", "err"}
+	}
+	t := metrics.NewTable(title, headers...)
 	for _, p := range pts {
 		errStr := ""
 		if p.Err != nil {
@@ -191,7 +249,15 @@ func Table(title string, pts []Point) *metrics.Table {
 		if name == "" {
 			name = p.Spec
 		}
-		t.AddRow(p.K, p.Tau, name, p.Faults, p.Rate, p.Jain, p.Makespan, errStr)
+		if elastic {
+			cap := p.Capacity
+			if cap == "" {
+				cap = "fixed"
+			}
+			t.AddRow(p.K, p.Tau, cap, name, p.Faults, p.Rate, p.Jain, p.Makespan, p.CapacityEvictions, errStr)
+		} else {
+			t.AddRow(p.K, p.Tau, name, p.Faults, p.Rate, p.Jain, p.Makespan, errStr)
+		}
 	}
 	return t
 }

@@ -269,10 +269,10 @@ func TestCellsCanonicalOrder(t *testing.T) {
 	}
 	cells := g.Cells()
 	want := []sweep.Cell{
-		{2, 0, "S(LRU)"}, {2, 0, "S(FIFO)"},
-		{2, 1, "S(LRU)"}, {2, 1, "S(FIFO)"},
-		{4, 0, "S(LRU)"}, {4, 0, "S(FIFO)"},
-		{4, 1, "S(LRU)"}, {4, 1, "S(FIFO)"},
+		{2, 0, "", "S(LRU)"}, {2, 0, "", "S(FIFO)"},
+		{2, 1, "", "S(LRU)"}, {2, 1, "", "S(FIFO)"},
+		{4, 0, "", "S(LRU)"}, {4, 0, "", "S(FIFO)"},
+		{4, 1, "", "S(LRU)"}, {4, 1, "", "S(FIFO)"},
 	}
 	if len(cells) != len(want) {
 		t.Fatalf("%d cells, want %d", len(cells), len(want))
@@ -287,7 +287,7 @@ func TestCellsCanonicalOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, p := range pts {
-		if (sweep.Cell{p.K, p.Tau, p.Spec}) != cells[i] {
+		if (sweep.Cell{p.K, p.Tau, p.Capacity, p.Spec}) != cells[i] {
 			t.Fatalf("point %d (%+v) out of cell order (%+v)", i, p, cells[i])
 		}
 	}

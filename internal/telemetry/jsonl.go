@@ -19,7 +19,15 @@ func (c *Collector) writeEventJSONL(e sim.Event) {
 	b := c.evBuf[:0]
 	b = append(b, `{"t":`...)
 	b = strconv.AppendInt(b, e.Time, 10)
-	if e.Tick {
+	if e.Capacity {
+		if e.Tick {
+			b = append(b, `,"capacity":true,"tick":true,"page":`...)
+			b = strconv.AppendInt(b, int64(e.Page), 10)
+		} else {
+			b = append(b, `,"capacity":true,"k":`...)
+			b = strconv.AppendInt(b, int64(e.K), 10)
+		}
+	} else if e.Tick {
 		b = append(b, `,"tick":true,"page":`...)
 		b = strconv.AppendInt(b, int64(e.Page), 10)
 		if e.Donor {

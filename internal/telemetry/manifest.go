@@ -25,9 +25,12 @@ type Manifest struct {
 	Cores    int `json:"cores"`
 	Requests int `json:"requests"`
 	Pages    int `json:"pages"`
-	// K and Tau are the model parameters of the run.
-	K   int `json:"k"`
-	Tau int `json:"tau"`
+	// K and Tau are the model parameters of the run. Capacity is the
+	// K(t) schedule spec for elastic runs; empty (and omitted) when the
+	// capacity is fixed.
+	K        int    `json:"k"`
+	Tau      int    `json:"tau"`
+	Capacity string `json:"capacity,omitempty"`
 	// Seed drives randomized policies and generated workloads.
 	Seed int64 `json:"seed"`
 	// Window is the telemetry window width in time steps.

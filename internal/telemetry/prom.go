@@ -35,6 +35,13 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 	}
 	scalar("mcpaging_partition_changes_total", "Cross-core evictions: cells moved between cores' occupancy shares.", "counter", itoa(tot.PartitionChanges))
 	scalar("mcpaging_voluntary_evictions_total", "Pages evicted voluntarily by Ticker strategies.", "counter", itoa(tot.VoluntaryEvictions))
+	if c.elastic {
+		// Elastic-only metrics: fixed-capacity snapshots stay byte-identical.
+		scalar("mcpaging_capacity_changes_total", "Elastic-capacity K(t) announcements over the run.", "counter", itoa(tot.CapacityChanges))
+		scalar("mcpaging_capacity_evictions_total", "Pages shed under capacity pressure while K(t) shrank.", "counter", itoa(tot.CapacityEvictions))
+		scalar("mcpaging_capacity_k", "Cache capacity K(t) at run end.", "gauge", itoa(tot.FinalCapacity))
+		scalar("mcpaging_capacity_k_min", "Minimum cache capacity K(t) reached over the run.", "gauge", itoa(tot.MinCapacity))
+	}
 	scalar("mcpaging_fault_jain", "Jain fairness index of whole-run per-core fault counts.", "gauge", ftoa(tot.FaultJain))
 	scalar("mcpaging_makespan", "Maximum finish time across cores.", "gauge", itoa(c.res.Makespan))
 	scalar("mcpaging_windows_total", "Telemetry windows closed over the run.", "counter", itoa(tot.Windows))

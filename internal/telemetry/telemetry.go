@@ -90,6 +90,15 @@ type Window struct {
 	PartitionChanges int64 `json:"partition_changes"`
 	// VoluntaryEvictions counts Ticker evictions in the window.
 	VoluntaryEvictions int64 `json:"voluntary_evictions"`
+	// CapacityChanges counts elastic-capacity announcements in the
+	// window and CapacityEvictions the capacity-pressure sheds that
+	// drained the cache to a smaller K(t). CapacityK is the capacity in
+	// force at window close. All three are zero — and omitted, keeping
+	// fixed-capacity exports byte-identical — unless the run carries a
+	// non-constant schedule.
+	CapacityChanges   int64 `json:"capacity_changes,omitempty"`
+	CapacityEvictions int64 `json:"capacity_evictions,omitempty"`
+	CapacityK         int64 `json:"capacity_k,omitempty"`
 }
 
 // Totals is the end-of-run counter snapshot, per core where sliced.
@@ -113,6 +122,15 @@ type Totals struct {
 	// VoluntaryEvictions the whole-run Ticker eviction count.
 	PartitionChanges   int64
 	VoluntaryEvictions int64
+	// CapacityChanges counts K(t) announcements over the run and
+	// CapacityEvictions the capacity-pressure sheds (kept out of
+	// VoluntaryEvictions, mirroring sim.Result). MinCapacity and
+	// FinalCapacity track the schedule actually seen; all four are zero
+	// for fixed-capacity runs.
+	CapacityChanges   int64
+	CapacityEvictions int64
+	MinCapacity       int64
+	FinalCapacity     int64
 	// FaultJain is Jain's index of the whole-run per-core fault counts.
 	FaultJain float64
 	// Windows counts all closed windows; DroppedWindows how many of them
@@ -140,6 +158,10 @@ type Collector struct {
 	cumReq, cumFaults, cumHits, cumJoins []int64
 	donated, taken                       []int64
 	partChanges, volEvictions            int64
+
+	elastic                  bool  // run carries a non-constant schedule
+	curK, minK               int64 // K(t) in force / minimum seen
+	capChanges, capEvictions int64
 
 	ring      []Window
 	ringStart int
@@ -179,6 +201,11 @@ func New(cfg Config) *Collector {
 		taken:     make([]int64, p),
 		events:    cfg.Events,
 	}
+	if cs := cfg.Params.Capacity; cs != nil && !cs.Constant() {
+		c.elastic = true
+		c.curK = int64(cfg.Params.K)
+		c.minK = c.curK
+	}
 	c.resetCur(0)
 	return c
 }
@@ -205,6 +232,9 @@ func (c *Collector) closeCur() {
 		c.curJain[j] = cw.Faults
 	}
 	c.cur.FaultJain = metrics.JainIndex(c.curJain)
+	if c.elastic {
+		c.cur.CapacityK = c.curK
+	}
 	if len(c.ring) < c.maxWin {
 		c.ring = append(c.ring, c.cur)
 	} else {
@@ -233,6 +263,28 @@ func (c *Collector) Observe(e sim.Event) {
 	}
 	c.anyEvent = true
 	c.advanceTo(e.Time)
+	if e.Capacity {
+		if e.Tick {
+			// Capacity-pressure eviction: the engine shed e.Page to fit a
+			// shrunken K(t). The holder loses the cell but no core takes
+			// it, so the partition counters stay untouched.
+			if h, ok := c.holder[e.Page]; ok {
+				c.occ[h]--
+				delete(c.holder, e.Page)
+			}
+			c.cur.CapacityEvictions++
+			c.capEvictions++
+			return
+		}
+		// Announcement: K(t) changed at e.Time.
+		c.curK = int64(e.K)
+		if c.curK < c.minK {
+			c.minK = c.curK
+		}
+		c.cur.CapacityChanges++
+		c.capChanges++
+		return
+	}
 	if e.Tick {
 		// Voluntary eviction: the holder's share shrinks by one cell. A
 		// donor tick (a dynamic partition shedding toward new quotas) is
@@ -342,6 +394,10 @@ func (c *Collector) Totals() Totals {
 		TauDebt:            td,
 		PartitionChanges:   c.partChanges,
 		VoluntaryEvictions: c.volEvictions,
+		CapacityChanges:    c.capChanges,
+		CapacityEvictions:  c.capEvictions,
+		MinCapacity:        c.minK,
+		FinalCapacity:      c.curK,
 		FaultJain:          metrics.JainIndex(c.cumFaults),
 		Windows:            c.closed,
 		DroppedWindows:     c.dropped,

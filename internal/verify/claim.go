@@ -26,6 +26,7 @@ import (
 	"io"
 	"os"
 
+	"mcpaging/internal/capacity"
 	"mcpaging/internal/core"
 	"mcpaging/internal/strategyspec"
 	"mcpaging/internal/workload"
@@ -93,6 +94,17 @@ type Claim struct {
 	// K and Tau are the model parameters of every run.
 	K   int `json:"k"`
 	Tau int `json:"tau"`
+	// Capacity is an optional K(t) schedule spec (capacity
+	// mini-language) applied to both runs; it is resolved against each
+	// run's own base K, so percentage forms scale with ChallengerK.
+	// Empty is the fixed-capacity model. Not valid for opt-ratio claims
+	// (the offline solver is fixed-K).
+	Capacity string `json:"capacity,omitempty"`
+	// ChallengerK, when > 0, runs the challenger at that capacity
+	// instead of K — resource-augmentation claims ("the challenger
+	// needs 2K cells to match the baseline") in the Sleator-Tarjan /
+	// Peserico sense. 0 runs both sides at K.
+	ChallengerK int `json:"challenger_k,omitempty"`
 	// Samples is the full-mode sample count; QuickSamples the bounded
 	// CI-mode count (0 = max(8, Samples/8)).
 	Samples      int `json:"samples"`
@@ -129,6 +141,31 @@ func (c *Claim) metric() Metric {
 	return c.Metric
 }
 
+// challengerK returns the capacity the challenger runs at.
+func (c *Claim) challengerK() int {
+	if c.ChallengerK > 0 {
+		return c.ChallengerK
+	}
+	return c.K
+}
+
+// sideParams builds the run parameters for one side of the claim at
+// base capacity k, resolving the capacity schedule spec when set.
+func (c *Claim) sideParams(k int) (core.Params, error) {
+	p := core.Params{K: k, Tau: c.Tau}
+	if c.Capacity != "" {
+		sched, err := capacity.ParseSchedule(c.Capacity, k)
+		if err != nil {
+			return core.Params{}, err
+		}
+		p.Capacity = sched
+	}
+	if err := p.Validate(); err != nil {
+		return core.Params{}, err
+	}
+	return p, nil
+}
+
 // quickSamples returns the bounded sample count for -quick runs.
 func (c *Claim) quickSamples() int {
 	if c.QuickSamples > 0 {
@@ -156,8 +193,16 @@ func (c *Claim) Validate() error {
 	if c.QuickSamples < 0 || c.QuickSamples > c.Samples {
 		return fmt.Errorf("verify: claim %s: quick_samples %d outside [0, %d]", c.Name, c.QuickSamples, c.Samples)
 	}
-	if err := (core.Params{K: c.K, Tau: c.Tau}).Validate(); err != nil {
+	if _, err := c.sideParams(c.K); err != nil {
 		return fmt.Errorf("verify: claim %s: %w", c.Name, err)
+	}
+	if c.ChallengerK < 0 {
+		return fmt.Errorf("verify: claim %s: challenger_k = %d, want >= 0", c.Name, c.ChallengerK)
+	}
+	if c.ChallengerK > 0 {
+		if _, err := c.sideParams(c.ChallengerK); err != nil {
+			return fmt.Errorf("verify: claim %s: challenger_k: %w", c.Name, err)
+		}
 	}
 	switch c.Relation {
 	case "<=", ">=":
@@ -187,12 +232,18 @@ func (c *Claim) Validate() error {
 		if c.Challenger == "" {
 			return fmt.Errorf("verify: claim %s: metric %s needs a challenger", c.Name, c.metric())
 		}
-		if _, err := strategyspec.Build(c.Challenger, probe, c.K, 0); err != nil {
+		if _, err := strategyspec.Build(c.Challenger, probe, c.challengerK(), 0); err != nil {
 			return fmt.Errorf("verify: claim %s: challenger: %w", c.Name, err)
 		}
 	case MetricOptRatio:
 		if c.Challenger != "" {
 			return fmt.Errorf("verify: claim %s: opt-ratio compares against bound, not a challenger", c.Name)
+		}
+		if c.Capacity != "" {
+			return fmt.Errorf("verify: claim %s: opt-ratio is fixed-capacity (the offline solver has no K(t))", c.Name)
+		}
+		if c.ChallengerK > 0 {
+			return fmt.Errorf("verify: claim %s: opt-ratio has no challenger to augment", c.Name)
 		}
 		if c.Bound <= 0 {
 			return fmt.Errorf("verify: claim %s: opt-ratio needs bound > 0", c.Name)

@@ -89,17 +89,32 @@ func (p *Prover) Prove(c Claim) (Verdict, error) {
 	}
 	n := p.samplesFor(&c)
 	v := Verdict{
-		Claim:      c.Name,
-		Family:     c.Family,
-		Metric:     c.metric(),
-		Baseline:   c.Baseline,
-		Challenger: c.Challenger,
-		Relation:   c.Relation,
-		Mode:       c.mode(),
-		Margin:     c.Margin,
-		Samples:    n,
+		Claim:       c.Name,
+		Family:      c.Family,
+		Metric:      c.metric(),
+		Baseline:    c.Baseline,
+		Challenger:  c.Challenger,
+		Relation:    c.Relation,
+		Mode:        c.mode(),
+		Margin:      c.Margin,
+		Samples:     n,
+		Capacity:    c.Capacity,
+		ChallengerK: c.ChallengerK,
 	}
-	params := core.Params{K: c.K, Tau: c.Tau}
+	// Each side runs at its own base capacity: the baseline at K, the
+	// challenger at challenger_k when set (resource augmentation). The
+	// capacity schedule, when present, resolves against each base.
+	baseParams, err := c.sideParams(c.K)
+	if err != nil {
+		return Verdict{}, fmt.Errorf("verify: claim %s: %w", c.Name, err)
+	}
+	chalParams := baseParams
+	if c.challengerK() != c.K {
+		chalParams, err = c.sideParams(c.challengerK())
+		if err != nil {
+			return Verdict{}, fmt.Errorf("verify: claim %s: %w", c.Name, err)
+		}
+	}
 	var runner *sim.Runner
 	effects := make([]float64, 0, n)
 	for i := 0; i < n; i++ {
@@ -118,7 +133,7 @@ func (p *Prover) Prove(c Claim) (Verdict, error) {
 		}
 		runner.SetParallel(p.opts.Parallel)
 		stratSeed := sim.DeriveSeed(c.Seed, streamStrategy, int64(i))
-		effect, err := p.evalSample(&c, rs, runner, params, stratSeed)
+		effect, err := p.evalSample(&c, rs, runner, baseParams, chalParams, stratSeed)
 		if err != nil {
 			return Verdict{}, fmt.Errorf("verify: claim %s sample %d (seed %d): %w", c.Name, i, instSeed, err)
 		}
@@ -155,8 +170,8 @@ func (p *Prover) Prove(c Claim) (Verdict, error) {
 
 // evalSample computes one paired effect: positive means the sample
 // supports the claim, negative refutes it, zero is a tie.
-func (p *Prover) evalSample(c *Claim, rs core.RequestSet, runner *sim.Runner, params core.Params, stratSeed int64) (float64, error) {
-	base, err := p.runMetric(c, c.Baseline, rs, runner, params, stratSeed)
+func (p *Prover) evalSample(c *Claim, rs core.RequestSet, runner *sim.Runner, baseParams, chalParams core.Params, stratSeed int64) (float64, error) {
+	base, err := p.runMetric(c, c.Baseline, rs, runner, baseParams, stratSeed)
 	if err != nil {
 		return 0, fmt.Errorf("baseline %s: %w", c.Baseline, err)
 	}
@@ -164,7 +179,7 @@ func (p *Prover) evalSample(c *Claim, rs core.RequestSet, runner *sim.Runner, pa
 	if c.metric() == MetricOptRatio {
 		chal = c.Bound
 	} else {
-		chal, err = p.runMetric(c, c.Challenger, rs, runner, params, stratSeed)
+		chal, err = p.runMetric(c, c.Challenger, rs, runner, chalParams, stratSeed)
 		if err != nil {
 			return 0, fmt.Errorf("challenger %s: %w", c.Challenger, err)
 		}
@@ -176,10 +191,10 @@ func (p *Prover) evalSample(c *Claim, rs core.RequestSet, runner *sim.Runner, pa
 	return base - chal, nil
 }
 
-// runMetric runs one strategy over the bound request set and extracts
-// the claim's metric.
+// runMetric runs one strategy over the bound request set at the given
+// side's parameters and extracts the claim's metric.
 func (p *Prover) runMetric(c *Claim, spec string, rs core.RequestSet, runner *sim.Runner, params core.Params, stratSeed int64) (float64, error) {
-	strat, err := strategyspec.Build(spec, rs, c.K, stratSeed)
+	strat, err := strategyspec.Build(spec, rs, params.K, stratSeed)
 	if err != nil {
 		return 0, err
 	}

@@ -49,6 +49,11 @@ type Verdict struct {
 	Relation   string `json:"relation"`
 	Mode       Mode   `json:"mode"`
 	Status     Status `json:"status"`
+	// Capacity echoes the claim's K(t) schedule spec; ChallengerK its
+	// resource-augmentation capacity. Both omitted for fixed, same-K
+	// claims, keeping historical reports byte-stable.
+	Capacity    string `json:"capacity,omitempty"`
+	ChallengerK int    `json:"challenger_k,omitempty"`
 	// Samples is the number of instances drawn; every sample is a win
 	// (supports the claim), a loss (violates it) or a tie.
 	Samples int `json:"samples"`

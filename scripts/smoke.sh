@@ -33,6 +33,11 @@ go run ./cmd/mcsim -trace "$dir/t.bin" -k 8 -tau 2 -strategy 'dP[ucp](LRU)' -eve
 test -s "$dir/ev.csv"
 go run ./cmd/mcsim -trace "$dir/t.txt" -k 16 -tau 4 -strategy 'dP[ucp](ARC)' > /dev/null
 
+echo "== mcsim (elastic capacity: eP under a mid-run shrink) =="
+go run ./cmd/mcsim -trace "$dir/t.txt" -k 16 -tau 4 -strategy 'eP[fair](LRU)' \
+    -capacity 'step(to=50%,at=1000)' -events "$dir/ev_cap.csv" > /dev/null
+grep -q ',capacity,k$' "$dir/ev_cap.csv"   # elastic runs export the K(t) columns
+
 echo "== mcsweep =="
 go run ./cmd/mcsweep -trace "$dir/t.txt" -k 8,16 -tau 0,4 \
     -strategies 'S(LRU),S(ARC),dP[fair](LRU)' -csv > "$dir/sweep.csv"
