@@ -113,8 +113,14 @@ func main() {
 			name := fmt.Sprintf("k%d_tau%d_%s", pt.K, pt.Tau, telemetry.SanitizeLabel(pt.Spec))
 			params := core.Params{K: pt.K, Tau: pt.Tau}
 			if pt.Capacity != "" {
-				// Grid.Validate parsed every capacity × K pair already.
-				params.Capacity, _ = capacity.ParseSchedule(pt.Capacity, pt.K)
+				// Grid.Validate parsed this pair already, but a trace file
+				// can change underneath us; record the failure on the point
+				// rather than silently labelling its telemetry fixed-capacity.
+				sched, serr := capacity.ParseSchedule(pt.Capacity, pt.K)
+				if serr != nil {
+					return nil, func(sim.Result) error { return serr }
+				}
+				params.Capacity = sched
 				name += "_" + telemetry.SanitizeLabel(pt.Capacity)
 			}
 			sess, err := telemetry.Start(telemetry.SessionConfig{

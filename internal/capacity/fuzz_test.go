@@ -10,8 +10,11 @@ import (
 // strings: malformed specs must come back as errors, never as panics,
 // and anything that does parse must satisfy the schedule invariants —
 // K(0) is the base, every reachable capacity is >= Min() >= 1, and
-// NextChange is consistent with At. mcservd feeds ParseSchedule
-// directly from request bodies, so this is its input-hardening test.
+// NextChange is consistent with At. mcservd and mcfleet feed
+// ParsePortableSchedule directly from request bodies, so this is their
+// input-hardening test: the portable parser must be a strict
+// restriction of ParseSchedule (never accepting more, resolving to the
+// same schedule when both accept).
 func FuzzParseSchedule(f *testing.F) {
 	for _, c := range capacity.List() {
 		f.Add(c.Name, 16)
@@ -33,8 +36,15 @@ func FuzzParseSchedule(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, spec string, base int) {
 		s, err := capacity.ParseSchedule(spec, base)
+		sp, perr := capacity.ParsePortableSchedule(spec, base)
+		if perr == nil && err != nil {
+			t.Fatalf("spec %q base %d: portable parse accepted what ParseSchedule rejected (%v)", spec, base, err)
+		}
 		if err != nil {
 			return
+		}
+		if perr == nil && string(sp.Canonical()) != string(s.Canonical()) {
+			t.Fatalf("spec %q base %d: portable parse resolved a different schedule", spec, base)
 		}
 		if s.Base() != base || s.At(0) != base {
 			t.Fatalf("spec %q base %d: Base()=%d At(0)=%d", spec, base, s.Base(), s.At(0))

@@ -14,13 +14,18 @@
 // Params.K) and always starts there: At(0) == Base(). Capacity values
 // are either absolute page counts or percentages of the base, so one
 // spec string composes with every K of a sweep grid. All queries are
-// pure integer arithmetic on pre-computed breakpoints — the same
-// (spec, base) pair yields the identical K(t) everywhere, which is what
-// lets mcservd hash the spec into its content-addressed job key.
+// pure integer arithmetic on pre-computed breakpoints. For the portable
+// families the same (spec, base) pair yields the identical K(t)
+// everywhere; trace additionally depends on the contents of a file
+// local to the parsing process, which is why network-facing services
+// parse with ParsePortableSchedule (rejecting trace) and why mcservd
+// hashes the resolved schedule (Canonical), never the spec string, into
+// its content-addressed job key.
 package capacity
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"os"
@@ -78,6 +83,36 @@ func (s *Schedule) Min() int { return s.min }
 // String returns the spec the schedule was parsed from.
 func (s *Schedule) String() string { return s.spec }
 
+// Canonical returns a canonical binary encoding of the resolved
+// schedule — the breakpoint list or periodic-wave parameters that
+// define K(t), not the spec string. Two specs resolving to the same
+// K(t) encode identically, and a trace schedule's encoding follows the
+// file contents it was resolved from, so a content-addressed cache key
+// built over Canonical (mcservd's JobKey) always corresponds to the
+// K(t) actually simulated even when spec and file diverge.
+func (s *Schedule) Canonical() []byte {
+	var buf [binary.MaxVarintLen64]byte
+	out := make([]byte, 0, 8+16*len(s.bps))
+	vi := func(v int64) { out = append(out, buf[:binary.PutVarint(buf[:], v)]...) }
+	vi(int64(s.base))
+	if s.period > 0 {
+		out = append(out, 'p')
+		vi(s.period)
+		vi(s.onLen)
+		vi(s.phase)
+		vi(int64(s.hi))
+		vi(int64(s.lo))
+		return out
+	}
+	out = append(out, 'b')
+	vi(int64(len(s.bps)))
+	for _, bp := range s.bps {
+		vi(bp.t)
+		vi(int64(bp.k))
+	}
+	return out
+}
+
 // Constant reports whether the schedule never changes capacity — a
 // constant schedule is byte-identical, in events and results, to the
 // fixed-K model.
@@ -134,9 +169,13 @@ func (s *Schedule) NextChange(t int64) int64 {
 
 // scheduleDef is one grammar-registry row.
 type scheduleDef struct {
-	name  string
-	desc  string
-	keys  []string
+	name string
+	desc string
+	keys []string
+	// local marks families whose K(t) depends on resources local to the
+	// parsing process (files). ParsePortableSchedule rejects them, so a
+	// spec arriving over the network can never name a host path.
+	local bool
 	build func(p schedParams, base int) (*Schedule, error)
 }
 
@@ -344,7 +383,7 @@ var schedules = []scheduleDef{
 	},
 	{
 		name: "trace", desc: "breakpoints from a file: one `t k` pair per line, t ascending from 0",
-		keys: []string{"path"},
+		keys: []string{"path"}, local: true,
 		build: func(p schedParams, base int) (*Schedule, error) {
 			path, ok := p["path"]
 			if !ok || path == "" {
@@ -403,11 +442,14 @@ func validCaps(base, min int) error {
 
 // readTrace parses "t k" lines. Blank lines and #-comments are skipped;
 // k values may be absolute or percentages of base. The first breakpoint
-// must be "0 <base>" (or "0 100%").
+// must be "0 <base>" (or "0 100%"). Errors carry the line number but
+// never the line's contents: parse errors propagate into HTTP bodies
+// and logs, which must not become a file-disclosure channel.
 func readTrace(f *os.File, base int) ([]breakpoint, error) {
 	var bps []breakpoint
 	sc := bufio.NewScanner(f)
 	line := 0
+	lastT := int64(-1)
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -416,15 +458,23 @@ func readTrace(f *os.File, base int) ([]breakpoint, error) {
 		}
 		fields := strings.Fields(text)
 		if len(fields) != 2 {
-			return nil, fmt.Errorf("line %d: want \"t k\", got %q", line, text)
+			return nil, fmt.Errorf("line %d: want two fields \"t k\"", line)
 		}
 		t, err := strconv.ParseInt(fields[0], 10, 64)
 		if err != nil || t < 0 {
-			return nil, fmt.Errorf("line %d: bad time %q", line, fields[0])
+			return nil, fmt.Errorf("line %d: bad time (want integer >= 0)", line)
 		}
+		// Times must strictly increase on every line, including lines the
+		// same-k dedup below would otherwise skip: a dense export with an
+		// out-of-order or duplicated timestamp is malformed even when the
+		// capacity happens to be unchanged.
+		if t <= lastT {
+			return nil, fmt.Errorf("line %d: time out of order", line)
+		}
+		lastT = t
 		k, err := schedParams{"k": fields[1]}.capOr("k", base, -1)
 		if err != nil {
-			return nil, fmt.Errorf("line %d: %v", line, err)
+			return nil, fmt.Errorf("line %d: bad capacity (want pages or N%%, >= 1, <= %d)", line, maxK)
 		}
 		if len(bps) >= maxPlateaus {
 			return nil, fmt.Errorf("more than %d breakpoints", maxPlateaus)
@@ -490,6 +540,34 @@ func List() []Info {
 // parameters are errors. Every schedule satisfies At(0) == base and
 // Min() >= 1.
 func ParseSchedule(spec string, base int) (*Schedule, error) {
+	return parse(spec, base, false)
+}
+
+// ParsePortableSchedule is ParseSchedule restricted to the portable
+// families — those whose K(t) is fully determined by the spec string
+// and base alone. Families that read files local to the parsing
+// process (trace) are rejected. Anything parsing a spec supplied by a
+// remote client — mcservd's handlers, the mcfleet dispatcher — must
+// use this entry point: a remote spec must never name a path on the
+// host (file-existence probing, content disclosure through parse
+// errors), and a path-dependent schedule would break the fleet's
+// same-key-same-result routing contract anyway.
+func ParsePortableSchedule(spec string, base int) (*Schedule, error) {
+	return parse(spec, base, true)
+}
+
+// portableNames lists the families ParsePortableSchedule accepts.
+func portableNames() []string {
+	var out []string
+	for i := range schedules {
+		if !schedules[i].local {
+			out = append(out, schedules[i].name)
+		}
+	}
+	return out
+}
+
+func parse(spec string, base int, portableOnly bool) (*Schedule, error) {
 	spec = strings.TrimSpace(spec)
 	if spec == "" {
 		return nil, fmt.Errorf("capacity: empty spec")
@@ -506,6 +584,10 @@ func ParseSchedule(spec string, base int) (*Schedule, error) {
 	if def == nil {
 		return nil, fmt.Errorf("capacity: unknown schedule %q (valid: %s)",
 			name, strings.Join(Names(), ", "))
+	}
+	if portableOnly && def.local {
+		return nil, fmt.Errorf("capacity: %s schedules read files local to the server and are not accepted here (portable families: %s)",
+			name, strings.Join(portableNames(), ", "))
 	}
 	par := schedParams{}
 	var keys []string // spec order, so unknown-key errors are stable

@@ -1,6 +1,7 @@
 package capacity
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
@@ -180,10 +181,13 @@ func TestTrace(t *testing.T) {
 
 	bad := filepath.Join(dir, "bad.txt")
 	for _, tc := range []string{
-		"0 8\n",         // first value disagrees with base
-		"10 100%\n",     // does not start at t=0
-		"0 100%\n5 0\n", // reaches K=0
-		"0 100%\nx y\n", // malformed
+		"0 8\n",               // first value disagrees with base
+		"10 100%\n",           // does not start at t=0
+		"0 100%\n5 0\n",       // reaches K=0
+		"0 100%\nx y\n",       // malformed
+		"0 100%\n5 8\n3 12\n", // time out of order
+		"0 100%\n5 8\n3 8\n",  // out-of-order time masked by same-k dedup
+		"0 100%\n5 8\n5 8\n",  // duplicate time masked by same-k dedup
 	} {
 		if err := os.WriteFile(bad, []byte(tc), 0o644); err != nil {
 			t.Fatal(err)
@@ -230,6 +234,89 @@ func TestParseErrors(t *testing.T) {
 	}
 	if _, err := ParseSchedule("fixed", 0); err == nil {
 		t.Error("base K=0 accepted")
+	}
+}
+
+func TestParsePortableSchedule(t *testing.T) {
+	for _, spec := range []string{
+		"fixed", "step(to=8,at=10)", "ramp(to=8,end=100)", "periodic(lo=8,period=100)",
+	} {
+		if _, err := ParsePortableSchedule(spec, 16); err != nil {
+			t.Errorf("ParsePortableSchedule(%q): %v", spec, err)
+		}
+	}
+	dir := t.TempDir()
+	existing := filepath.Join(dir, "sched.txt")
+	if err := os.WriteFile(existing, []byte("0 100%\n5 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reject := func(path string) string {
+		t.Helper()
+		_, err := ParsePortableSchedule("trace(path="+path+")", 16)
+		if err == nil {
+			t.Fatalf("ParsePortableSchedule accepted trace(path=%s)", path)
+		}
+		if !strings.Contains(err.Error(), "portable") {
+			t.Fatalf("trace rejection error %q does not name the portable families", err)
+		}
+		return err.Error()
+	}
+	// Rejection must happen before any file access and must not depend
+	// on whether the path exists — otherwise the error itself becomes a
+	// remote file-existence probe.
+	if a, b := reject(existing), reject(filepath.Join(dir, "missing.txt")); a != b {
+		t.Fatalf("portable rejection leaks file existence: %q vs %q", a, b)
+	}
+}
+
+// TestCanonicalEncodesResolvedSchedule pins that Canonical is a
+// function of the resolved K(t), not of the spec string: equivalent
+// spellings collide, every behavioural change separates, and a trace
+// schedule's encoding tracks the file contents.
+func TestCanonicalEncodesResolvedSchedule(t *testing.T) {
+	a := mustParse(t, "step(to=8,at=10)", 16)
+	if b := mustParse(t, "step(to=50%,at=10)", 16); !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Error("equivalent step specs encode differently")
+	}
+	distinct := []*Schedule{
+		a,
+		mustParse(t, "step(to=8,at=11)", 16),
+		mustParse(t, "step(to=9,at=10)", 16),
+		mustParse(t, "fixed", 16),
+		mustParse(t, "fixed", 8),
+		mustParse(t, "periodic(lo=8,period=100)", 16),
+		mustParse(t, "periodic(lo=8,period=100,duty=0.3)", 16),
+		mustParse(t, "periodic(lo=8,period=100,duty=0.5,phase=25)", 16),
+	}
+	seen := map[string]string{}
+	for _, s := range distinct {
+		enc := string(s.Canonical())
+		if prev, ok := seen[enc]; ok {
+			t.Errorf("Canonical collision between %q and %q (base %d)", prev, s.String(), s.Base())
+		}
+		seen[enc] = s.String()
+	}
+	// A trace resolving to the same breakpoints as a step is the same
+	// schedule; editing the file changes the encoding under an
+	// unchanged spec.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.txt")
+	if err := os.WriteFile(path, []byte("0 100%\n10 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr := mustParse(t, "trace(path="+path+")", 16)
+	if !bytes.Equal(tr.Canonical(), a.Canonical()) {
+		t.Error("trace with step's breakpoints encodes differently from step")
+	}
+	if err := os.WriteFile(path, []byte("0 100%\n10 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := mustParse(t, "trace(path="+path+")", 16)
+	if tr.String() != tr2.String() {
+		t.Fatal("trace spec changed across re-parse")
+	}
+	if bytes.Equal(tr.Canonical(), tr2.Canonical()) {
+		t.Error("editing the trace file did not change Canonical")
 	}
 }
 

@@ -172,6 +172,10 @@ type CapacitySchedule interface {
 	Min() int
 	// String returns the spec the schedule was parsed from.
 	String() string
+	// Canonical returns a canonical binary encoding of the resolved
+	// K(t) — not the spec — suitable for content-addressed hashing:
+	// two schedules with the same Canonical bytes behave identically.
+	Canonical() []byte
 }
 
 // Params are the model parameters shared by every simulation and solver.

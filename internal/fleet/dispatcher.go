@@ -106,7 +106,9 @@ func (d *Dispatcher) RunJob(ctx context.Context, req server.JobRequest) (server.
 	}
 	params := core.Params{K: req.K, Tau: req.Tau}
 	if req.Capacity != "" {
-		sched, serr := capacity.ParseSchedule(req.Capacity, req.K)
+		// Portable families only: a tenant-supplied spec must never name
+		// a file on the coordinator or a worker.
+		sched, serr := capacity.ParsePortableSchedule(req.Capacity, req.K)
 		if serr != nil {
 			return server.JobResponse{}, "", errPermanent{status: http.StatusBadRequest, msg: serr.Error()}
 		}
@@ -231,7 +233,7 @@ func (d *Dispatcher) ResolveGrid(req server.SweepRequest) (core.RequestSet, swee
 		return nil, sweep.Grid{}, errPermanent{status: http.StatusBadRequest, msg: err.Error()}
 	}
 	grid := sweep.Grid{R: rs, Ks: req.Ks, Taus: req.Taus, Capacities: req.Capacities,
-		Specs: req.Strategies, Seed: req.Seed}
+		Specs: req.Strategies, Seed: req.Seed, PortableOnly: true}
 	if err := grid.Validate(); err != nil {
 		return nil, sweep.Grid{}, errPermanent{status: http.StatusBadRequest, msg: err.Error()}
 	}
@@ -274,12 +276,24 @@ func (d *Dispatcher) sweepResolved(ctx context.Context, rs core.RequestSet, grid
 				d.met.cellsInflight.Add(1)
 				defer d.met.cellsInflight.Add(-1)
 				params := core.Params{K: c.K, Tau: c.Tau}
+				line := server.SweepLine{K: c.K, Tau: c.Tau, Capacity: c.Capacity, Spec: c.Spec}
 				if c.Capacity != "" {
-					// Grid.Validate parsed every capacity × K pair already.
-					params.Capacity, _ = capacity.ParseSchedule(c.Capacity, c.K)
+					// Grid.Validate (PortableOnly) parsed this pair already,
+					// but fail the cell rather than discard the error: a
+					// silently nil schedule would key and route the cell as
+					// fixed-capacity while the forwarded request still
+					// carries the elastic spec.
+					sched, serr := capacity.ParsePortableSchedule(c.Capacity, c.K)
+					if serr != nil {
+						d.met.cellErrors.Add(1)
+						line.Error = serr.Error()
+						results[i] <- slot{line: line}
+						return
+					}
+					params.Capacity = sched
 				}
 				key := server.JobKey(rs, c.Spec, params, req.Seed)
-				line := server.SweepLine{K: c.K, Tau: c.Tau, Capacity: c.Capacity, Spec: c.Spec, Key: key}
+				line.Key = key
 				resp, _, err := d.routeCell(ctx, key, jobOf(c))
 				if err != nil {
 					d.met.cellErrors.Add(1)

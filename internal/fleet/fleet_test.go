@@ -129,6 +129,37 @@ func TestFleetSweepMatchesSingleNode(t *testing.T) {
 	}
 }
 
+// TestFleetRejectsTraceCapacity pins the coordinator's network
+// boundary: a tenant capacity spec naming a file on the coordinator
+// or a worker (trace) is refused as a permanent 400 before any
+// routing — only the portable schedule families travel the fleet.
+func TestFleetRejectsTraceCapacity(t *testing.T) {
+	f := newTestFleet(t, []string{newWorker(t, "w1").URL}, DispatcherConfig{}, GatewayConfig{QuotaRate: -1})
+	job := server.JobRequest{
+		Trace: fleetTrace(), Strategy: "S(LRU)", K: 8, Tau: 1,
+		Capacity: "trace(path=/etc/hostname)", Seed: 1,
+	}
+	resp := postJSON(t, f.ts.URL+"/v1/jobs", job)
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("job status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "portable") {
+		t.Fatalf("job rejection %q does not name the portable families", body)
+	}
+
+	sreq := fleetSweepRequest()
+	sreq.Capacities = []string{"trace(path=/etc/hostname)"}
+	resp = postJSON(t, f.ts.URL+"/v1/sweep", sreq)
+	body = readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, body)
+	}
+	if f.met.jobs.Load() != 0 || f.met.sweeps.Load() != 0 {
+		t.Fatalf("rejected requests were routed: jobs=%d sweeps=%d", f.met.jobs.Load(), f.met.sweeps.Load())
+	}
+}
+
 // TestFleetSweepCacheAffinity reruns a sweep and expects every cell to
 // be a cache hit: consistent-hash routing sent each key back to the
 // worker that computed it, so the per-worker caches act as one

@@ -97,7 +97,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	params := core.Params{K: req.K, Tau: req.Tau}
 	if req.Capacity != "" {
-		sched, err := capacity.ParseSchedule(req.Capacity, req.K)
+		// Portable families only: a client-supplied spec must never name
+		// a file on the server.
+		sched, err := capacity.ParsePortableSchedule(req.Capacity, req.K)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
@@ -226,7 +228,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	grid := sweep.Grid{R: rs, Ks: req.Ks, Taus: req.Taus, Capacities: req.Capacities,
-		Specs: req.Strategies, Seed: req.Seed}
+		Specs: req.Strategies, Seed: req.Seed, PortableOnly: true}
 	if err := grid.Validate(); err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -241,8 +243,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		pt := &point{line: SweepLine{K: c.K, Tau: c.Tau, Capacity: c.Capacity, Spec: c.Spec}}
 		params := core.Params{K: c.K, Tau: c.Tau}
 		if c.Capacity != "" {
-			// Grid.Validate parsed every capacity × K pair already.
-			sched, serr := capacity.ParseSchedule(c.Capacity, c.K)
+			// Grid.Validate (PortableOnly) parsed every capacity × K pair
+			// already; re-parse with the same restriction.
+			sched, serr := capacity.ParsePortableSchedule(c.Capacity, c.K)
 			if serr != nil {
 				httpError(w, http.StatusBadRequest, "%v", serr)
 				return

@@ -17,12 +17,15 @@ import (
 // spec is trimmed the same way strategyspec.Build trims it; seed is
 // always included because it changes the behaviour of randomized
 // policies (for deterministic policies two seeds simply occupy two
-// cache entries). The capacity schedule is hashed by its spec string
-// (empty for fixed-capacity jobs): schedules are deterministic in the
-// spec, so content-addressing over the spec is sound. The domain label
-// is v2 — adding the capacity field re-keyed every job, and the bump
-// makes the old and new key spaces disjoint rather than silently
-// aliased.
+// cache entries). The capacity schedule is hashed by its canonical
+// resolved form (Schedule.Canonical — the breakpoint list or wave
+// parameters, empty for fixed-capacity jobs), never by the spec
+// string: two spellings of the same K(t) share an entry, and a
+// schedule whose spec alone does not determine K(t) (trace reads a
+// file) can never alias a key onto a different simulation. The domain
+// label is v3 — v2 hashed the raw spec string; switching to the
+// canonical encoding re-keyed every elastic job, and the bump makes
+// the old and new key spaces disjoint rather than silently aliased.
 //
 // The key is exported because it is also the fleet's routing key:
 // mcfleet consistent-hashes it onto the worker ring, so a job lands on
@@ -37,15 +40,15 @@ func JobKey(rs core.RequestSet, spec string, p core.Params, seed int64) string {
 	writeVarint := func(v int64) {
 		h.Write(buf[:binary.PutVarint(buf[:], v)])
 	}
-	h.Write([]byte("mcservd/job/v2\x00"))
+	h.Write([]byte("mcservd/job/v3\x00"))
 	writeVarint(int64(p.K))
 	writeVarint(int64(p.Tau))
-	capSpec := ""
+	var capEnc []byte
 	if p.Capacity != nil {
-		capSpec = p.Capacity.String()
+		capEnc = p.Capacity.Canonical()
 	}
-	writeUvarint(uint64(len(capSpec)))
-	h.Write([]byte(capSpec))
+	writeUvarint(uint64(len(capEnc)))
+	h.Write(capEnc)
 	writeVarint(seed)
 	spec = strings.TrimSpace(spec)
 	writeUvarint(uint64(len(spec)))

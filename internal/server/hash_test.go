@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"encoding/base64"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"mcpaging/internal/capacity"
@@ -67,6 +69,38 @@ func jobKeyWithCapacity(t *testing.T, rs core.RequestSet, p core.Params) string 
 	}
 	p.Capacity = sched
 	return JobKey(rs, "S(LRU)", p, 1)
+}
+
+// TestJobKeyHashesResolvedSchedule pins that the key covers the
+// resolved K(t) (Schedule.Canonical), not the spec string: equivalent
+// spellings share a cache entry, and a trace schedule's key follows
+// the file contents — editing the file re-keys the job instead of
+// silently serving stale cached results.
+func TestJobKeyHashesResolvedSchedule(t *testing.T) {
+	rs := core.RequestSet{{1, 2, 3, 1}, {9, 8, 9}}
+	key := func(spec string) string {
+		t.Helper()
+		sched, err := capacity.ParseSchedule(spec, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return JobKey(rs, "S(LRU)", core.Params{K: 16, Tau: 2, Capacity: sched}, 1)
+	}
+	if key("step(to=8,at=2)") != key("step(to=50%,at=2)") {
+		t.Fatal("equivalent schedule specs produced different keys")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.txt")
+	if err := os.WriteFile(path, []byte("0 100%\n5 8\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k1 := key("trace(path=" + path + ")")
+	if err := os.WriteFile(path, []byte("0 100%\n5 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if k2 := key("trace(path=" + path + ")"); k1 == k2 {
+		t.Fatal("editing the trace file left the job key unchanged")
+	}
 }
 
 func TestResultCacheEvictsLRUAtBudget(t *testing.T) {

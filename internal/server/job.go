@@ -92,7 +92,9 @@ type JobRequest struct {
 	Tau      int        `json:"tau"`
 	// Capacity is an optional K(t) schedule spec (capacity
 	// mini-language, resolved against K); empty is the fixed-capacity
-	// model. It is part of the cache key.
+	// model. Only the portable families are accepted — trace(path=...)
+	// names a server-side file and is rejected with 400. The resolved
+	// schedule is part of the cache key.
 	Capacity string `json:"capacity,omitempty"`
 	// Seed drives RAND/RMARK policies; it is part of the cache key.
 	Seed int64 `json:"seed"`
@@ -142,7 +144,8 @@ type SweepRequest struct {
 	Ks    []int      `json:"ks"`
 	Taus  []int      `json:"taus"`
 	// Capacities are optional K(t) schedule specs forming a grid
-	// dimension (empty = fixed capacity only).
+	// dimension (empty = fixed capacity only). Portable families only,
+	// like JobRequest.Capacity.
 	Capacities []string `json:"capacities,omitempty"`
 	Strategies []string `json:"strategies"`
 	Seed       int64    `json:"seed"`

@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -175,6 +178,52 @@ func TestCacheDisabled(t *testing.T) {
 	b, _ := decodeJob(t, postJSON(t, ts.URL+"/v1/jobs", req))
 	if a.Cached || b.Cached {
 		t.Fatal("cache disabled but a response reported cached")
+	}
+}
+
+// TestTraceCapacityRejectedOverHTTP pins the network boundary: a
+// client-supplied capacity spec may use the portable families, but
+// trace(path=...) names a file on the server — accepting it would let
+// a remote client probe and (through parse errors) read host files —
+// so both endpoints refuse it with 400 before touching the path.
+func TestTraceCapacityRejectedOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.txt")
+	if err := os.WriteFile(path, []byte("0 100%\n5 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := "trace(path=" + path + ")"
+
+	resp := postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 8, Tau: 1, Capacity: spec,
+	})
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("job with trace capacity: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "portable") {
+		t.Fatalf("job rejection body %q does not name the portable families", body)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/sweep", SweepRequest{
+		Trace: TraceInput{Inline: testTrace()}, Ks: []int{8}, Taus: []int{1},
+		Capacities: []string{spec}, Strategies: []string{"S(LRU)"},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sweep with trace capacity: status %d, want 400", resp.StatusCode)
+	}
+
+	// A portable spec on the same job is accepted end to end.
+	resp = postJSON(t, ts.URL+"/v1/jobs", JobRequest{
+		Trace: TraceInput{Inline: testTrace()}, Strategy: "S(LRU)", K: 8, Tau: 1,
+		Capacity: "step(to=50%,at=4)",
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job with portable capacity: status %d, want 200", resp.StatusCode)
 	}
 }
 

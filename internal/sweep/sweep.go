@@ -42,6 +42,12 @@ type Grid struct {
 	// the grid has fewer points than cores; points ineligible for the
 	// parallel engine fall back automatically with identical results.
 	Parallel int
+	// PortableOnly restricts Capacities to the portable schedule
+	// families (capacity.ParsePortableSchedule): no family that reads
+	// files local to the validating process. The network-facing callers
+	// — mcservd's sweep handler, the mcfleet coordinator — set it so a
+	// remote grid can never name a path on the host.
+	PortableOnly bool
 	// Observe, when non-nil, is called once per grid point — concurrently
 	// from worker goroutines, after the point's strategy is built — and
 	// may return an observer to attach to the point's run plus a done
@@ -70,12 +76,16 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: negative tau %d", tau)
 		}
 	}
+	parse := capacity.ParseSchedule
+	if g.PortableOnly {
+		parse = capacity.ParsePortableSchedule
+	}
 	for _, cap := range g.Capacities {
 		if cap == "" {
 			continue
 		}
 		for _, k := range g.Ks {
-			if _, err := capacity.ParseSchedule(cap, k); err != nil {
+			if _, err := parse(cap, k); err != nil {
 				return fmt.Errorf("sweep: K=%d: %v", k, err)
 			}
 		}
